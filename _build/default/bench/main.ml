@@ -1,0 +1,115 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5), then microbenchmarks the schedulers'
+   planning latency with Bechamel (§6 "Scheduler latency" / Table 3).
+
+   Run with SUNFLOW_BENCH_FAST=1 to shrink the trace for a quick smoke
+   pass (used by CI-style checks); the default regenerates everything
+   on the full 526-Coflow workload. *)
+
+module E = Sunflow_experiments
+module Units = Sunflow_core.Units
+
+let settings () =
+  match Sys.getenv_opt "SUNFLOW_BENCH_FAST" with
+  | Some ("1" | "true") ->
+    let params =
+      { Sunflow_trace.Synthetic.default_params with n_coflows = 120; span = 800. }
+    in
+    { E.Common.default with trace_params = params }
+  | _ -> E.Common.default
+
+let timed ppf label f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Format.fprintf ppf "  [%s took %.1fs]@." label (Unix.gettimeofday () -. t0)
+
+let experiment_reports ppf s =
+  let reports =
+    [
+      ("table4", E.Exp_table4.report);
+      ("fig3", E.Exp_fig3.report);
+      ("fig4", E.Exp_fig4.report);
+      ("fig5", E.Exp_fig5.report);
+      ("fig6", E.Exp_fig6.report);
+      ("fig7", E.Exp_fig7.report);
+      ("fig8", E.Exp_fig8.report);
+      ("fig9", E.Exp_fig9.report);
+      ("fig10", E.Exp_fig10.report);
+      ("table3", E.Exp_complexity.report);
+      ("headline", E.Exp_headline.report);
+      ("ordering", E.Exp_ordering.report);
+      ("baseline-gap", E.Exp_baseline_gap.report);
+      ("ablations", E.Exp_ablations.report);
+      ("oracle", E.Exp_oracle.report);
+      ("extensions", E.Exp_extensions.report);
+    ]
+  in
+  List.iter
+    (fun (label, report) ->
+      timed ppf label (fun () -> report ?settings:(Some s) ppf))
+    reports
+
+(* --- Bechamel microbenchmarks: scheduler planning latency --- *)
+
+let scheduler_tests s =
+  let open Bechamel in
+  let delta = s.E.Common.delta and bandwidth = s.E.Common.bandwidth in
+  let rng = Sunflow_stats.Rng.create 77 in
+  let coflow width =
+    let demand = Sunflow_core.Demand.create () in
+    for i = 0 to width - 1 do
+      for j = 0 to width - 1 do
+        Sunflow_core.Demand.set demand i (width + j)
+          (Units.mb (float_of_int (1 + Sunflow_stats.Rng.int rng 64)))
+      done
+    done;
+    Sunflow_core.Coflow.make ~id:0 demand
+  in
+  let c8 = coflow 8 and c16 = coflow 16 in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"planning"
+    [
+      stage "sunflow/|C|=64" (fun () ->
+          Sunflow_core.Sunflow.schedule ~delta ~bandwidth c8);
+      stage "sunflow/|C|=256" (fun () ->
+          Sunflow_core.Sunflow.schedule ~delta ~bandwidth c16);
+      stage "solstice/|C|=64" (fun () ->
+          Sunflow_baselines.Solstice.assignments ~bandwidth
+            c8.Sunflow_core.Coflow.demand);
+      stage "tms/|C|=64" (fun () ->
+          Sunflow_baselines.Tms.assignments ~bandwidth
+            c8.Sunflow_core.Coflow.demand);
+      stage "edmonds/|C|=64" (fun () ->
+          Sunflow_baselines.Edmonds.assignments ~bandwidth
+            c8.Sunflow_core.Coflow.demand);
+    ]
+
+let run_bechamel ppf s =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (scheduler_tests s) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  E.Common.section ppf "BECHAMEL: scheduler planning latency";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns_per_run :: _) ->
+        Format.fprintf ppf "  %-24s %10.1f us/run@." name (ns_per_run /. 1e3)
+      | _ -> Format.fprintf ppf "  %-24s (no estimate)@." name)
+    results
+
+let () =
+  let ppf = Format.std_formatter in
+  let s = settings () in
+  Format.fprintf ppf
+    "Sunflow reproduction benchmark harness (CoNEXT 2016)@.settings: B=%g Gbps, delta=%a, %d Coflows, seed=%d@."
+    (Units.to_gbps s.E.Common.bandwidth)
+    Units.pp_time s.E.Common.delta
+    s.E.Common.trace_params.Sunflow_trace.Synthetic.n_coflows
+    s.E.Common.trace_params.Sunflow_trace.Synthetic.seed;
+  experiment_reports ppf s;
+  run_bechamel ppf s;
+  Format.fprintf ppf "@.done.@."

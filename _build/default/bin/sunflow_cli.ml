@@ -1,0 +1,346 @@
+(* The sunflow command-line tool.
+
+   Subcommands:
+     gen-trace    synthesise a Facebook-like Coflow trace file
+     classify     Table-4 category statistics of a trace
+     bounds       per-Coflow lower bounds of a trace
+     intra        schedule each Coflow alone: Sunflow vs the baselines
+     inter        replay a trace through a chosen fabric/scheduler
+     experiments  regenerate the paper's tables and figures *)
+
+open Cmdliner
+module Units = Sunflow_core.Units
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Trace = Sunflow_trace.Trace
+module Synthetic = Sunflow_trace.Synthetic
+module Workload = Sunflow_trace.Workload
+module D = Sunflow_stats.Descriptive
+
+(* --- shared options --- *)
+
+let bandwidth_arg =
+  let doc = "Link rate in Gbps." in
+  Arg.(value & opt float 1. & info [ "b"; "bandwidth" ] ~docv:"GBPS" ~doc)
+
+let delta_arg =
+  let doc = "Circuit reconfiguration delay in milliseconds." in
+  Arg.(value & opt float 10. & info [ "d"; "delta" ] ~docv:"MS" ~doc)
+
+let trace_file_arg =
+  let doc = "Trace file in the coflow-benchmark format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let load_trace path = Trace.load path
+let to_bandwidth gbps = Units.gbps gbps
+let to_delta ms = Units.ms ms
+
+(* --- gen-trace --- *)
+
+let gen_trace out seed n_coflows n_ports span perturb =
+  let params =
+    { Synthetic.default_params with seed; n_coflows; n_ports; span }
+  in
+  let trace = Synthetic.generate params in
+  let trace =
+    if perturb then Workload.perturb ~seed:(seed + 1) trace else trace
+  in
+  Trace.save out trace;
+  Format.printf "wrote %d Coflows (%a) to %s@." (Trace.n_coflows trace)
+    Units.pp_bytes (Trace.total_bytes trace) out
+
+let gen_trace_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output trace file.")
+  in
+  let seed =
+    Arg.(value & opt int Synthetic.default_params.seed & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  let n =
+    Arg.(
+      value
+      & opt int Synthetic.default_params.n_coflows
+      & info [ "coflows" ] ~doc:"Number of Coflows.")
+  in
+  let ports =
+    Arg.(
+      value
+      & opt int Synthetic.default_params.n_ports
+      & info [ "ports" ] ~doc:"Fabric port count.")
+  in
+  let span =
+    Arg.(
+      value
+      & opt float Synthetic.default_params.span
+      & info [ "span" ] ~doc:"Arrival window in seconds.")
+  in
+  let perturb =
+    Arg.(value & flag & info [ "perturb" ] ~doc:"Apply the +-5% size perturbation.")
+  in
+  Cmd.v
+    (Cmd.info "gen-trace" ~doc:"Synthesise a Facebook-like Coflow trace file.")
+    Term.(const gen_trace $ out $ seed $ n $ ports $ span $ perturb)
+
+(* --- classify --- *)
+
+let classify path =
+  let trace = load_trace path in
+  Format.printf "%-6s %8s %9s %12s %8s@." "cat" "coflows" "coflow%" "bytes"
+    "bytes%";
+  List.iter
+    (fun (s : Workload.class_stat) ->
+      Format.printf "%-6s %8d %8.1f%% %12s %7.3f%%@."
+        (Coflow.Category.to_string s.category)
+        s.count s.coflow_pct
+        (Format.asprintf "%a" Units.pp_bytes s.bytes)
+        s.bytes_pct)
+    (Workload.classify trace)
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Category statistics of a trace (paper Table 4).")
+    Term.(const classify $ trace_file_arg)
+
+(* --- bounds --- *)
+
+let bounds path gbps ms =
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let trace = load_trace path in
+  Format.printf "%5s %5s %10s %10s %8s@." "id" "|C|" "TpL" "TcL" "alpha";
+  List.iter
+    (fun (c : Coflow.t) ->
+      if not (Demand.is_empty c.demand) then
+        Format.printf "%5d %5d %9.3fs %9.3fs %8.3f@." c.id
+          (Coflow.n_subflows c)
+          (Bounds.packet_lower ~bandwidth c.demand)
+          (Bounds.circuit_lower ~bandwidth ~delta c.demand)
+          (Bounds.alpha ~bandwidth ~delta c.demand))
+    trace.Trace.coflows;
+  Format.printf "idleness at %g Gbps: %.1f%%@." gbps
+    (100. *. Workload.idleness ~bandwidth trace)
+
+let bounds_cmd =
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Per-Coflow lower bounds (paper §2.4).")
+    Term.(const bounds $ trace_file_arg $ bandwidth_arg $ delta_arg)
+
+(* --- intra --- *)
+
+let intra path gbps ms =
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let trace = load_trace path in
+  let coflows =
+    List.filter
+      (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+      trace.Trace.coflows
+  in
+  let summary name ratios =
+    Format.printf "%-9s CCT/TcL avg=%.2f p95=%.2f max=%.2f@." name
+      (D.mean ratios) (D.percentile 95. ratios)
+      (snd (D.min_max ratios))
+  in
+  let sunflow_ratios =
+    List.map
+      (fun (c : Coflow.t) ->
+        let tcl = Bounds.circuit_lower ~bandwidth ~delta c.demand in
+        (Sunflow_core.Sunflow.schedule ~delta ~bandwidth
+           { c with Coflow.arrival = 0. })
+          .finish
+        /. tcl)
+      coflows
+  in
+  summary "sunflow" sunflow_ratios;
+  List.iter
+    (fun (name, run) ->
+      let ratios =
+        List.map
+          (fun (c : Coflow.t) ->
+            let tcl = Bounds.circuit_lower ~bandwidth ~delta c.demand in
+            let (o : Sunflow_baselines.Executor.outcome) =
+              run ~delta ~bandwidth { c with Coflow.arrival = 0. }
+            in
+            o.cct /. tcl)
+          coflows
+      in
+      summary name ratios)
+    [
+      ("solstice", fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Solstice.schedule ~delta ~bandwidth c);
+      ("tms", fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Tms.schedule ~delta ~bandwidth c);
+      ("edmonds", fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Edmonds.schedule ~delta ~bandwidth c);
+    ]
+
+let intra_cmd =
+  Cmd.v
+    (Cmd.info "intra"
+       ~doc:"Intra-Coflow comparison: every Coflow scheduled alone.")
+    Term.(const intra $ trace_file_arg $ bandwidth_arg $ delta_arg)
+
+(* --- inter --- *)
+
+let inter path gbps ms scheduler csv_out =
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let trace = load_trace path in
+  let result =
+    match scheduler with
+    | `Sunflow -> Sunflow_sim.Circuit_sim.run ~delta ~bandwidth trace.Trace.coflows
+    | `Varys ->
+      Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Varys.allocate
+        ~bandwidth trace.Trace.coflows
+    | `Aalo ->
+      Sunflow_sim.Packet_sim.run
+        ~sent_thresholds:
+          (Sunflow_sim.Packet_sim.aalo_thresholds
+             Sunflow_packet.Aalo.default_params)
+        ~scheduler:Sunflow_packet.Aalo.allocate ~bandwidth trace.Trace.coflows
+    | `Fair ->
+      Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Fair.allocate
+        ~bandwidth trace.Trace.coflows
+  in
+  Format.printf "%a@." Sunflow_sim.Sim_result.pp result;
+  match csv_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Sunflow_sim.Sim_result.to_csv result);
+    close_out oc;
+    Format.printf "per-Coflow CCTs written to %s@." path
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-Coflow CCTs as CSV.")
+
+let scheduler_arg =
+  let values =
+    [ ("sunflow", `Sunflow); ("varys", `Varys); ("aalo", `Aalo); ("fair", `Fair) ]
+  in
+  Arg.(
+    value
+    & opt (enum values) `Sunflow
+    & info [ "s"; "scheduler" ] ~docv:"SCHED"
+        ~doc:"Scheduler: $(b,sunflow) (circuit switch), $(b,varys), $(b,aalo) or $(b,fair) (packet switch).")
+
+let inter_cmd =
+  Cmd.v
+    (Cmd.info "inter" ~doc:"Replay a trace with arrivals through a fabric.")
+    Term.(
+      const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
+      $ csv_arg)
+
+(* --- gantt --- *)
+
+let gantt path coflow_id gbps ms =
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let trace = load_trace path in
+  match
+    List.find_opt
+      (fun (c : Coflow.t) -> c.id = coflow_id)
+      trace.Trace.coflows
+  with
+  | None ->
+    Format.eprintf "no Coflow %d in %s@." coflow_id path;
+    exit 2
+  | Some c ->
+    let c = { c with Coflow.arrival = 0. } in
+    let r = Sunflow_core.Sunflow.schedule ~delta ~bandwidth c in
+    Format.printf "%a@.@.%a@.@." Coflow.pp c
+      (Sunflow_core.Schedule.pp_gantt ~width:72 ~bandwidth)
+      r.reservations;
+    Format.printf "CCT %a | TcL %a | TpL %a | %d setups@."
+      Units.pp_time r.finish Units.pp_time
+      (Bounds.circuit_lower ~bandwidth ~delta c.demand)
+      Units.pp_time
+      (Bounds.packet_lower ~bandwidth c.demand)
+      r.setups
+
+let gantt_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"ID" ~doc:"Coflow id within the trace.")
+  in
+  Cmd.v
+    (Cmd.info "gantt"
+       ~doc:"Render one Coflow's Sunflow schedule as a Gantt chart.")
+    Term.(const gantt $ trace_file_arg $ id $ bandwidth_arg $ delta_arg)
+
+(* --- experiments --- *)
+
+let experiments names =
+  let module E = Sunflow_experiments in
+  let all =
+    [
+      ("table4", E.Exp_table4.report);
+      ("fig3", E.Exp_fig3.report);
+      ("fig4", E.Exp_fig4.report);
+      ("fig5", E.Exp_fig5.report);
+      ("fig6", E.Exp_fig6.report);
+      ("fig7", E.Exp_fig7.report);
+      ("fig8", E.Exp_fig8.report);
+      ("fig9", E.Exp_fig9.report);
+      ("fig10", E.Exp_fig10.report);
+      ("table3", E.Exp_complexity.report);
+      ("headline", E.Exp_headline.report);
+      ("ordering", E.Exp_ordering.report);
+      ("baseline-gap", E.Exp_baseline_gap.report);
+      ("ablations", E.Exp_ablations.report);
+      ("oracle", E.Exp_oracle.report);
+      ("extensions", E.Exp_extensions.report);
+    ]
+  in
+  let selected =
+    match names with
+    | [] -> all
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all with
+          | Some r -> (n, r)
+          | None ->
+            Format.eprintf "unknown experiment %S; known: %s@." n
+              (String.concat ", " (List.map fst all));
+            exit 2)
+        names
+  in
+  List.iter
+    (fun (_, report) -> report ?settings:None Format.std_formatter)
+    selected
+
+let experiments_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:"Experiments to run (default: all). E.g. fig3 fig8 headline.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures on the synthetic trace.")
+    Term.(const experiments $ names)
+
+let () =
+  let info =
+    Cmd.info "sunflow" ~version:"1.0.0"
+      ~doc:"Sunflow: efficient optical circuit scheduling for Coflows (CoNEXT 2016)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_trace_cmd;
+            classify_cmd;
+            bounds_cmd;
+            intra_cmd;
+            inter_cmd;
+            gantt_cmd;
+            experiments_cmd;
+          ]))

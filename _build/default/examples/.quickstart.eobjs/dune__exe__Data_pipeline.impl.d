@@ -1,0 +1,1 @@
+examples/data_pipeline.ml: Demand Format Inter List Sunflow_core Sunflow_jobs Sunflow_packet Units

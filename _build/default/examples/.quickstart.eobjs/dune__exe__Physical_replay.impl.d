@@ -1,0 +1,1 @@
+examples/physical_replay.ml: Coflow Demand Float Format Inter List Option Prt Sunflow_core Sunflow_stats Sunflow_switch Units

@@ -1,0 +1,1 @@
+examples/policy_priorities.ml: Coflow Demand Format Inter List Option Starvation_guard Sunflow_core Units

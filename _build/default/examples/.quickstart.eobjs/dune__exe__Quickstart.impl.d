@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bounds Coflow Demand Format Schedule Sunflow Sunflow_core Units

@@ -1,0 +1,1 @@
+examples/shuffle_replay.ml: Coflow Format List Sunflow_core Sunflow_packet Sunflow_sim Sunflow_trace Units

@@ -1,0 +1,1 @@
+examples/shuffle_replay.mli:

@@ -1,0 +1,1 @@
+examples/switch_comparison.ml: Bounds Coflow Demand Format List Schedule Sunflow Sunflow_baselines Sunflow_core Sunflow_stats Units

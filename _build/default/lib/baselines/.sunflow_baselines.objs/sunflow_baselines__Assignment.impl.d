@@ -1,0 +1,1 @@
+lib/baselines/assignment.ml: Format List Sunflow_core

@@ -1,0 +1,1 @@
+lib/baselines/edmonds.ml: Array Assignment Executor Float List Sunflow_core Sunflow_matching

@@ -1,0 +1,1 @@
+lib/baselines/edmonds.mli: Assignment Executor Sunflow_core

@@ -1,0 +1,1 @@
+lib/baselines/executor.ml: Assignment Float Hashtbl List Sunflow_core

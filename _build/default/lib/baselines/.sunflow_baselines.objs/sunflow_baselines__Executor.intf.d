@@ -1,0 +1,1 @@
+lib/baselines/executor.mli: Assignment Sunflow_core

@@ -1,0 +1,1 @@
+lib/baselines/quantized.ml: Array Float List Sunflow_core Sunflow_matching

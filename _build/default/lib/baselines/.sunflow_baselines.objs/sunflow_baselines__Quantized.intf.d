@@ -1,0 +1,1 @@
+lib/baselines/quantized.mli: Sunflow_core

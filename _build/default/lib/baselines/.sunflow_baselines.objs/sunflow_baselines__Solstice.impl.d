@@ -1,0 +1,1 @@
+lib/baselines/solstice.ml: Assignment Executor List Quantized Sunflow_core

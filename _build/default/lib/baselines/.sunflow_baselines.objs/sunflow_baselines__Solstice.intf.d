@@ -1,0 +1,1 @@
+lib/baselines/solstice.mli: Assignment Executor Sunflow_core

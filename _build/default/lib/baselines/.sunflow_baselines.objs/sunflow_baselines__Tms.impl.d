@@ -1,0 +1,1 @@
+lib/baselines/tms.ml: Array Assignment Executor Float List Quantized Sunflow_core Sunflow_matching

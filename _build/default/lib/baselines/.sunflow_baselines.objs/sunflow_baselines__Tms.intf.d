@@ -1,0 +1,1 @@
+lib/baselines/tms.mli: Assignment Executor Sunflow_core

@@ -1,0 +1,24 @@
+type t = { pairs : (int * int) list; duration : float }
+
+let is_matching pairs =
+  let srcs = List.map fst pairs and dsts = List.map snd pairs in
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  distinct srcs && distinct dsts
+
+let make ~pairs ~duration =
+  if duration <= 0. then invalid_arg "Assignment.make: non-positive duration";
+  if not (is_matching pairs) then
+    invalid_arg "Assignment.make: pairs are not a one-to-one matching";
+  { pairs; duration }
+
+let mem t pair = List.mem pair t.pairs
+
+let changed_from ~previous t =
+  match previous with
+  | None -> t.pairs
+  | Some prev -> List.filter (fun p -> not (List.mem p prev.pairs)) t.pairs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{dur=%a:" Sunflow_core.Units.pp_time t.duration;
+  List.iter (fun (i, j) -> Format.fprintf ppf " %d->%d" i j) t.pairs;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,27 @@
+(** Circuit assignments: the unit of work of the all-stop-heritage
+    schedulers (paper §3.1.1).
+
+    Each assignment is a one-to-one matching between input and output
+    ports, held for a duration. Edmonds, TMS and Solstice all emit a
+    sequence of assignments; the {!Executor} then plays the sequence on
+    the not-all-stop switch model. Durations are in seconds of
+    transmission time (the reconfiguration delay is charged by the
+    executor, not stored here). *)
+
+type t = { pairs : (int * int) list; duration : float }
+
+val make : pairs:(int * int) list -> duration:float -> t
+(** Raises [Invalid_argument] when [pairs] is not a matching (a
+    repeated input or output port) or [duration <= 0.]. *)
+
+val is_matching : (int * int) list -> bool
+(** No input port and no output port appears twice. *)
+
+val mem : t -> int * int -> bool
+
+val changed_from : previous:t option -> t -> (int * int) list
+(** Circuits of [t] that are not in [previous] — the circuits that must
+    be (re)configured, each a switching event. With [previous = None]
+    every circuit changes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+module Dense = Sunflow_matching.Dense
+module Hungarian = Sunflow_matching.Hungarian
+module Demand = Sunflow_core.Demand
+
+let default_slot = 0.3
+
+let assignments ?(slot = default_slot) ?(adaptive = false) ~bandwidth demand =
+  if bandwidth <= 0. then invalid_arg "Edmonds.assignments: bandwidth <= 0";
+  if slot <= 0. then invalid_arg "Edmonds.assignments: non-positive slot";
+  if Demand.is_empty demand then []
+  else begin
+    let ports, m_bytes = Demand.to_dense demand in
+    let work = Array.map (Array.map (fun b -> b /. bandwidth)) m_bytes in
+    let out = ref [] in
+    let eps = 1e-12 in
+    let continue_ = ref (Dense.total work > eps) in
+    while !continue_ do
+      let matched = Hungarian.max_weight_matching work in
+      match matched with
+      | [] -> continue_ := false
+      | _ ->
+        let duration =
+          if adaptive then begin
+            (* shrink the slot when every matched circuit finishes early *)
+            let needed =
+              List.fold_left
+                (fun acc (a, b) -> Float.max acc work.(a).(b))
+                0. matched
+            in
+            Float.min slot needed
+          end
+          else slot
+        in
+        let pairs = List.map (fun (a, b) -> (ports.(a), ports.(b))) matched in
+        out := Assignment.make ~pairs ~duration :: !out;
+        List.iter
+          (fun (a, b) ->
+            let v = work.(a).(b) -. duration in
+            work.(a).(b) <- (if v < eps then 0. else v))
+          matched;
+        if Dense.total work <= eps then continue_ := false
+    done;
+    List.rev !out
+  end
+
+let schedule ?slot ?adaptive ~delta ~bandwidth (coflow : Sunflow_core.Coflow.t) =
+  let plan = assignments ?slot ?adaptive ~bandwidth coflow.demand in
+  let demand_time =
+    List.map
+      (fun (pair, bytes) -> (pair, bytes /. bandwidth))
+      (Demand.entries coflow.demand)
+  in
+  Executor.run ~delta ~demand_time plan

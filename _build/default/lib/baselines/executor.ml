@@ -1,0 +1,81 @@
+module Prt = Sunflow_core.Prt
+
+type outcome = {
+  cct : float;
+  switching_count : int;
+  assignments_used : int;
+  reservations : Prt.reservation list;
+  leftover : float;
+}
+
+let run ~delta ~demand_time assignments =
+  if delta < 0. then invalid_arg "Executor.run: negative delta";
+  let remaining : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((i, j), p) ->
+      if p <= 0. then invalid_arg "Executor.run: non-positive demand entry";
+      let prev =
+        match Hashtbl.find_opt remaining (i, j) with Some v -> v | None -> 0.
+      in
+      Hashtbl.replace remaining (i, j) (prev +. p))
+    demand_time;
+  let left () = Hashtbl.fold (fun _ v acc -> acc +. v) remaining 0. in
+  let cct = ref 0. in
+  let switching = ref 0 in
+  let used = ref 0 in
+  let reservations = ref [] in
+  (* Drain circuit (i, j) for up to [dur] seconds starting at [t];
+     records the completion instant when the entry empties. *)
+  let drain (i, j) t dur =
+    match Hashtbl.find_opt remaining (i, j) with
+    | None -> ()
+    | Some rem ->
+      let served = Float.min rem dur in
+      let rem' = rem -. served in
+      if rem' <= 1e-12 then begin
+        Hashtbl.remove remaining (i, j);
+        cct := Float.max !cct (t +. served)
+      end
+      else Hashtbl.replace remaining (i, j) rem'
+  in
+  let rec play t prev = function
+    | [] -> t
+    | (a : Assignment.t) :: rest ->
+      if Hashtbl.length remaining = 0 then t
+      else begin
+        incr used;
+        let changed = Assignment.changed_from ~previous:prev a in
+        switching := !switching + List.length changed;
+        let reconfig = if changed = [] then 0. else delta in
+        (* circuits persisting from the previous assignment transmit
+           through the reconfiguration window *)
+        if reconfig > 0. then
+          List.iter
+            (fun pair ->
+              if not (List.mem pair changed) then drain pair t reconfig)
+            a.pairs;
+        let t_tx = t +. reconfig in
+        List.iter (fun pair -> drain pair t_tx a.duration) a.pairs;
+        List.iter
+          (fun (src, dst) ->
+            (* every circuit's window spans the whole assignment slot;
+               new circuits spend the leading reconfiguration idle,
+               persistent ones transmit through it (setup = 0) *)
+            let setup = if List.mem (src, dst) changed then reconfig else 0. in
+            let r =
+              { Prt.coflow = 0; src; dst; start = t; setup;
+                length = reconfig +. a.duration }
+            in
+            reservations := r :: !reservations)
+          a.pairs;
+        play (t_tx +. a.duration) (Some a) rest
+      end
+  in
+  let _end_time = play 0. None assignments in
+  {
+    cct = !cct;
+    switching_count = !switching;
+    assignments_used = !used;
+    reservations = List.rev !reservations;
+    leftover = left ();
+  }

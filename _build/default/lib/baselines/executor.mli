@@ -1,0 +1,40 @@
+(** Not-all-stop execution of an assignment sequence.
+
+    Assignments are played one after another. When consecutive
+    assignments share circuits, those circuits keep transmitting
+    through the reconfiguration window (the paper: "circuits unchanged
+    in two consecutive assignments may stay active continuously");
+    circuits being set up or torn down idle for the reconfiguration
+    delay. Real demand is drained against the scheduled circuit time —
+    assignments computed on stuffed matrices contain dummy demand, so a
+    circuit may stay reserved after its real demand is done.
+
+    Execution stops as soon as all real demand has drained; trailing
+    assignments are never played (and never counted). *)
+
+type outcome = {
+  cct : float;
+      (** instant (relative to start [0.]) the last real byte lands;
+          [0.] for an empty demand *)
+  switching_count : int;
+      (** circuit establishments performed before completion *)
+  assignments_used : int;
+      (** assignments at least partially played *)
+  reservations : Sunflow_core.Prt.reservation list;
+      (** the executed windows as reservations (setup > 0 on changed
+          circuits), for port-constraint checking and Gantt rendering *)
+  leftover : float;
+      (** seconds of real processing time left when the sequence ran
+          out; [0.] when the schedule covers the demand, which every
+          scheduler in this library guarantees *)
+}
+
+val run :
+  delta:float ->
+  demand_time:((int * int) * float) list ->
+  Assignment.t list ->
+  outcome
+(** [run ~delta ~demand_time assignments] plays the sequence against
+    real demand expressed in processing-time seconds per circuit.
+    Raises [Invalid_argument] on negative [delta] or a non-positive
+    demand entry. *)

@@ -1,0 +1,101 @@
+module Demand = Sunflow_core.Demand
+module Bipartite = Sunflow_matching.Bipartite
+module Hopcroft_karp = Sunflow_matching.Hopcroft_karp
+
+type t = {
+  ports : int array;
+  units : int array array;
+  quantum : float;
+}
+
+let of_demand ~bandwidth ~steps demand =
+  if bandwidth <= 0. then invalid_arg "Quantized.of_demand: bandwidth <= 0";
+  if steps <= 0 then invalid_arg "Quantized.of_demand: steps <= 0";
+  if Demand.is_empty demand then None
+  else begin
+    let ports, m_bytes = Demand.to_dense demand in
+    let k = Array.length ports in
+    let max_p = Sunflow_matching.Dense.max_entry m_bytes /. bandwidth in
+    let quantum = max_p /. float_of_int steps in
+    let units =
+      Array.init k (fun i ->
+          Array.init k (fun j ->
+              let p = m_bytes.(i).(j) /. bandwidth in
+              if p <= 0. then 0
+              else max 1 (int_of_float (Float.ceil (p /. quantum)))))
+    in
+    Some { ports; units; quantum }
+  end
+
+let size t = Array.length t.units
+
+let row_sums t = Array.map (Array.fold_left ( + ) 0) t.units
+
+let col_sums t =
+  let k = size t in
+  let s = Array.make k 0 in
+  Array.iter (fun row -> Array.iteri (fun j v -> s.(j) <- s.(j) + v) row) t.units;
+  s
+
+let max_entry t =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 t.units
+
+let total t =
+  Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 t.units
+
+let is_balanced t =
+  let rs = row_sums t and cs = col_sums t in
+  let s = Array.fold_left max 0 rs in
+  Array.for_all (( = ) s) rs && Array.for_all (( = ) s) cs
+
+(* Exact greedy equalisation on integers (same scheme as
+   Stuffing.stuff, no numerical drift possible). *)
+let stuff t =
+  let k = size t in
+  let units = Array.map Array.copy t.units in
+  let out = { t with units } in
+  let rs = row_sums out and cs = col_sums out in
+  let s =
+    max (Array.fold_left max 0 rs) (Array.fold_left max 0 cs)
+  in
+  let rdef = Array.map (fun x -> s - x) rs in
+  let cdef = Array.map (fun x -> s - x) cs in
+  let find_deficient d =
+    let best = ref (-1) in
+    Array.iteri (fun i v -> if v > 0 && !best = -1 then best := i) d;
+    !best
+  in
+  let rec go () =
+    let i = find_deficient rdef in
+    if i >= 0 then begin
+      let j = find_deficient cdef in
+      if j >= 0 then begin
+        let amount = min rdef.(i) cdef.(j) in
+        units.(i).(j) <- units.(i).(j) + amount;
+        rdef.(i) <- rdef.(i) - amount;
+        cdef.(j) <- cdef.(j) - amount;
+        go ()
+      end
+    end
+  in
+  (if k > 0 then go ());
+  out
+
+let perfect_matching_at_least t threshold =
+  let k = size t in
+  let edges = ref [] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> if v >= threshold && v > 0 then edges := (i, j) :: !edges) row)
+    t.units;
+  Hopcroft_karp.perfect (Bipartite.create ~n_left:k ~n_right:k !edges)
+
+let subtract_matching t pairs w =
+  List.iter
+    (fun (i, j) ->
+      let v = t.units.(i).(j) - w in
+      if v < 0 then invalid_arg "Quantized.subtract_matching: negative entry";
+      t.units.(i).(j) <- v)
+    pairs
+
+let to_pairs t pairs = List.map (fun (i, j) -> (t.ports.(i), t.ports.(j))) pairs

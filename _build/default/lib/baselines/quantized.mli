@@ -1,0 +1,44 @@
+(** Integer-quantum demand matrices.
+
+    Solstice and TMS both need exact arithmetic: their stuffing and
+    decomposition loops terminate by driving entries to exactly zero,
+    which floating point cannot guarantee. Both therefore quantise the
+    demand onto an integer lattice first — each entry becomes a count
+    of quanta (rounded up, as Solstice itself rounds demand up) — and
+    decompose in exact integer arithmetic. *)
+
+type t = {
+  ports : int array;  (** dense index -> fabric port id *)
+  units : int array array;  (** demand in quanta, square over [ports] *)
+  quantum : float;  (** seconds of processing time per quantum *)
+}
+
+val of_demand :
+  bandwidth:float -> steps:int -> Sunflow_core.Demand.t -> t option
+(** Quantise a demand's processing-time matrix so the largest entry is
+    [steps] quanta. [None] on an empty demand. Raises
+    [Invalid_argument] on non-positive [bandwidth] or [steps]. *)
+
+val stuff : t -> t
+(** Equalise all row and column sums to the largest line sum by adding
+    dummy quanta (exact integer stuffing; the result satisfies
+    {!is_balanced}). *)
+
+val is_balanced : t -> bool
+
+val max_entry : t -> int
+val total : t -> int
+
+val row_sums : t -> int array
+val col_sums : t -> int array
+
+val perfect_matching_at_least : t -> int -> (int * int) list option
+(** A perfect matching (over the dense index space) among entries
+    [>= threshold] quanta, if one exists. *)
+
+val subtract_matching : t -> (int * int) list -> int -> unit
+(** Remove [w] quanta from each matched entry in place. Raises
+    [Invalid_argument] if an entry would go negative. *)
+
+val to_pairs : t -> (int * int) list -> (int * int) list
+(** Map dense-index pairs back to fabric port ids. *)

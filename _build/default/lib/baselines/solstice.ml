@@ -1,0 +1,41 @@
+module Demand = Sunflow_core.Demand
+
+let quantization_steps = 64
+
+(* Threshold cascade on the exact integer lattice: start at the
+   largest power-of-two quantum count, extract perfect matchings among
+   entries >= r, halve r when none exists. On a balanced integer
+   matrix a perfect matching over positive entries always exists
+   (Birkhoff), so the cascade provably drains to zero at r = 1. *)
+let assignments ~bandwidth demand =
+  if bandwidth <= 0. then invalid_arg "Solstice.assignments: bandwidth <= 0";
+  match Quantized.of_demand ~bandwidth ~steps:quantization_steps demand with
+  | None -> []
+  | Some q ->
+    let work = Quantized.stuff q in
+    let rec top_level r top = if 2 * r <= top then top_level (2 * r) top else r in
+    let out = ref [] in
+    let rec extract r =
+      if Quantized.total work > 0 && r >= 1 then begin
+        match Quantized.perfect_matching_at_least work r with
+        | Some pm ->
+          Quantized.subtract_matching work pm r;
+          let pairs = Quantized.to_pairs work pm in
+          let duration = float_of_int r *. work.Quantized.quantum in
+          out := Assignment.make ~pairs ~duration :: !out;
+          extract r
+        | None -> extract (r / 2)
+      end
+    in
+    let top = Quantized.max_entry work in
+    if top > 0 then extract (top_level 1 top);
+    List.rev !out
+
+let schedule ~delta ~bandwidth (coflow : Sunflow_core.Coflow.t) =
+  let plan = assignments ~bandwidth coflow.demand in
+  let demand_time =
+    List.map
+      (fun (pair, bytes) -> (pair, bytes /. bandwidth))
+      (Demand.entries coflow.demand)
+  in
+  Executor.run ~delta ~demand_time plan

@@ -1,0 +1,30 @@
+(** Solstice (Liu et al., CoNEXT 2015), the strongest prior circuit
+    scheduler (paper §3.1.1) and the intra-Coflow baseline of the
+    evaluation.
+
+    Solstice stuffs the demand matrix to equal line sums, then
+    repeatedly extracts perfect matchings whose edges all carry at
+    least a threshold [r], halving [r] when no such matching exists.
+    Large chunks of demand are covered by long assignments first, the
+    long tail by progressively shorter ones — which is exactly where
+    the reconfiguration overhead piles up once demand is
+    application-scale (the paper's Fig. 3/5 observation).
+
+    To make the threshold cascade terminate exactly, demand is first
+    quantised up onto an integer lattice (the largest entry becomes
+    {!quantization_steps} quanta), mirroring Solstice's own rounding-up
+    of demand; stuffing and extraction then run in exact integer
+    arithmetic. *)
+
+val quantization_steps : int
+(** Lattice resolution: the largest demand entry becomes this many
+    quanta; every other entry is rounded up to whole quanta. *)
+
+val assignments : bandwidth:float -> Sunflow_core.Demand.t -> Assignment.t list
+(** The assignment sequence (durations in processing-time seconds) for
+    one Coflow demand. Total scheduled time per circuit covers the
+    (quantised, stuffed) demand exactly. Empty demand yields []. *)
+
+val schedule :
+  delta:float -> bandwidth:float -> Sunflow_core.Coflow.t -> Executor.outcome
+(** Schedule and execute on the not-all-stop switch; see {!Executor}. *)

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Demand Float Hashtbl List

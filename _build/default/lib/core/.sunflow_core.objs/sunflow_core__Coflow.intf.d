@@ -1,0 +1,1 @@
+lib/core/coflow.mli: Demand Format

@@ -1,0 +1,1 @@
+lib/core/deadline.ml: Coflow Inter List Order Prt Sunflow

@@ -1,0 +1,1 @@
+lib/core/demand.ml: Array Float Format Hashtbl List Sunflow_matching Units

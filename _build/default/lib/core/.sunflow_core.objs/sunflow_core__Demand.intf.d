@@ -1,0 +1,1 @@
+lib/core/demand.mli: Format Sunflow_matching

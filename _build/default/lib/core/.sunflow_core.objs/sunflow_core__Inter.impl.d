@@ -1,0 +1,1 @@
+lib/core/inter.ml: Bounds Coflow Hashtbl List Option Order Prt Sunflow

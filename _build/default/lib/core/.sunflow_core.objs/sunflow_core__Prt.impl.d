@@ -1,0 +1,1 @@
+lib/core/prt.ml: Float Format Hashtbl List Units

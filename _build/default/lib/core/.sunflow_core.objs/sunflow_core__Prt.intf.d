@@ -1,0 +1,1 @@
+lib/core/prt.mli: Format

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Bytes Float Format List Prt

@@ -1,0 +1,1 @@
+lib/core/starvation_guard.ml: Coflow Demand Float Inter List Prt Schedule

@@ -1,0 +1,1 @@
+lib/core/starvation_guard.mli: Coflow Inter

@@ -1,0 +1,1 @@
+lib/core/sunflow.ml: Coflow Demand Float List Order Prt

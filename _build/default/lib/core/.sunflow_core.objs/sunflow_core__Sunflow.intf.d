@@ -1,0 +1,1 @@
+lib/core/sunflow.mli: Coflow Order Prt

@@ -1,0 +1,37 @@
+let line_maxima per_flow demand =
+  let rows : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let cols : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl k v =
+    let prev = match Hashtbl.find_opt tbl k with Some x -> x | None -> 0. in
+    Hashtbl.replace tbl k (prev +. v)
+  in
+  List.iter
+    (fun ((i, j), bytes) ->
+      let t = per_flow bytes in
+      bump rows i t;
+      bump cols j t)
+    (Demand.entries demand);
+  let table_max tbl = Hashtbl.fold (fun _ v acc -> Float.max v acc) tbl 0. in
+  Float.max (table_max rows) (table_max cols)
+
+let packet_lower ~bandwidth demand =
+  if bandwidth <= 0. then invalid_arg "Bounds.packet_lower: bandwidth <= 0";
+  line_maxima (fun bytes -> bytes /. bandwidth) demand
+
+let flow_time ~delta p = if p <= 0. then 0. else p +. delta
+
+let circuit_lower ~bandwidth ~delta demand =
+  if bandwidth <= 0. then invalid_arg "Bounds.circuit_lower: bandwidth <= 0";
+  if delta < 0. then invalid_arg "Bounds.circuit_lower: negative delta";
+  line_maxima (fun bytes -> flow_time ~delta (bytes /. bandwidth)) demand
+
+let alpha ~bandwidth ~delta demand =
+  match Demand.entries demand with
+  | [] -> invalid_arg "Bounds.alpha: empty demand"
+  | entries ->
+    let min_p =
+      List.fold_left
+        (fun acc (_, bytes) -> Float.min acc (bytes /. bandwidth))
+        infinity entries
+    in
+    delta /. min_p

@@ -1,0 +1,25 @@
+(** Coflow-completion-time lower bounds (paper §2.4).
+
+    Both bounds are scheduling-policy independent. [T_L^p] is the
+    bottleneck-port transfer time in a packet-switched fabric
+    (Equation 2); [T_L^c] additionally charges one reconfiguration
+    delay per flow on its bottleneck port (Equations 3–4) and is the
+    not-all-stop-model bound the paper derives — tighter for the
+    optical switch than the all-stop bound of prior work. *)
+
+val packet_lower : bandwidth:float -> Demand.t -> float
+(** [T_L^p]: the largest row or column sum of the processing-time
+    matrix (Equation 2). [0.] for an empty demand. *)
+
+val circuit_lower : bandwidth:float -> delta:float -> Demand.t -> float
+(** [T_L^c]: same with each non-zero entry charged [p_i,j + delta]
+    (Equations 3–4). [0.] for an empty demand. *)
+
+val alpha : bandwidth:float -> delta:float -> Demand.t -> float
+(** [alpha = delta / min (d_i,j / B)] over non-zero flows — the
+    constant of Lemma 2, bounding [CCT <= 2 (1 + alpha) T_L^p].
+    Raises [Invalid_argument] on an empty demand. *)
+
+val flow_time : delta:float -> float -> float
+(** [t_i,j] of Equation 3: [0.] when the processing time is [0.],
+    otherwise processing time plus [delta]. *)

@@ -1,0 +1,35 @@
+let edf ~deadline_of =
+  Inter.Custom
+    (fun a b ->
+      match compare (deadline_of a) (deadline_of b) with
+      | 0 -> Coflow.compare_arrival a b
+      | c -> c)
+
+type admission = {
+  admitted : (int * float) list;
+  rejected : (int * float) list;
+  prt : Prt.t;
+}
+
+let admit ?(now = 0.) ?(order = Order.Ordered_port) ~deadline_of ~delta
+    ~bandwidth coflows =
+  let ordered =
+    Inter.sort (edf ~deadline_of) ~bandwidth coflows
+  in
+  let prt = Prt.create () in
+  let admitted = ref [] and rejected = ref [] in
+  List.iter
+    (fun (c : Coflow.t) ->
+      (* tentative plan on a copy: rejection must leave no trace *)
+      let trial = Prt.copy prt in
+      let plan = Sunflow.schedule ~prt:trial ~now ~order ~delta ~bandwidth c in
+      if plan.finish <= deadline_of c then begin
+        (* commit by replaying on the real table (same outcome: the
+           trial started from an identical table) *)
+        let committed = Sunflow.schedule ~prt ~now ~order ~delta ~bandwidth c in
+        admitted := (c.id, committed.finish) :: !admitted
+      end
+      else rejected := (c.id, plan.finish) :: !rejected)
+    ordered;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  { admitted = sorted !admitted; rejected = sorted !rejected; prt }

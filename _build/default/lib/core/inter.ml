@@ -1,0 +1,57 @@
+type policy =
+  | Fifo
+  | Shortest_first
+  | Priority_classes of (Coflow.t -> int)
+  | Custom of (Coflow.t -> Coflow.t -> int)
+
+let sort policy ~bandwidth coflows =
+  let cmp =
+    match policy with
+    | Fifo -> Coflow.compare_arrival
+    | Shortest_first ->
+      fun a b ->
+        let ta = Bounds.packet_lower ~bandwidth a.Coflow.demand in
+        let tb = Bounds.packet_lower ~bandwidth b.Coflow.demand in
+        (match compare ta tb with 0 -> Coflow.compare_arrival a b | c -> c)
+    | Priority_classes class_of ->
+      fun a b ->
+        (match compare (class_of a) (class_of b) with
+        | 0 -> Coflow.compare_arrival a b
+        | c -> c)
+    | Custom cmp -> cmp
+  in
+  List.stable_sort cmp coflows
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Shortest_first -> "shortest-coflow-first"
+  | Priority_classes _ -> "priority-classes"
+  | Custom _ -> "custom"
+
+type result = {
+  prt : Prt.t;
+  per_coflow : (int * Sunflow.result) list;
+}
+
+let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
+    ~policy ~delta ~bandwidth coflows =
+  let prt = Prt.create () in
+  let established_set = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace established_set c ()) established;
+  let is_established c = Hashtbl.mem established_set c in
+  let ordered = sort policy ~bandwidth coflows in
+  let per_coflow =
+    List.map
+      (fun c ->
+        let r =
+          Sunflow.schedule ~prt ~now ~order ~established:is_established ~delta
+            ~bandwidth c
+        in
+        (c.Coflow.id, r))
+      ordered
+  in
+  { prt; per_coflow }
+
+let finish_of result id =
+  List.assoc_opt id result.per_coflow
+  |> Option.map (fun (r : Sunflow.result) -> r.finish)

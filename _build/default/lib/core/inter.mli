@@ -1,0 +1,53 @@
+(** Inter-Coflow scheduling (paper §4.2).
+
+    The framework asks the operator for one thing only: a priority
+    ordering over Coflows. The intra-Coflow scheduler is then applied
+    to each Coflow in that order against a shared Port Reservation
+    Table, so more-prioritised Coflows are never blocked by
+    less-prioritised ones (their reservations are already in the table
+    when lower-priority Coflows are considered — Fig. 2's example of C2
+    shortening its reservation so as not to block C1). *)
+
+(** How to translate a high-level resource-management policy into a
+    priority ordering (paper §4.2, "Flexible Management Policies"). *)
+type policy =
+  | Fifo  (** arrival order — no Coflow jumps the queue *)
+  | Shortest_first
+      (** ascending packet-switched lower bound [T_L^p] of the current
+          (remaining) demand — the shortest-Coflow-first policy the
+          evaluation uses, mirroring Varys' SEBF *)
+  | Priority_classes of (Coflow.t -> int)
+      (** explicit classes, lower class served first; FIFO within a
+          class (privileged vs regular users, stage ordering, ...) *)
+  | Custom of (Coflow.t -> Coflow.t -> int)
+      (** arbitrary comparator *)
+
+val sort : policy -> bandwidth:float -> Coflow.t list -> Coflow.t list
+(** Stable priority ordering of Coflows under a policy. *)
+
+val policy_name : policy -> string
+
+type result = {
+  prt : Prt.t;  (** the combined reservation table *)
+  per_coflow : (int * Sunflow.result) list;
+      (** intra-Coflow result for every input Coflow, in service order *)
+}
+
+val schedule :
+  ?now:float ->
+  ?order:Order.t ->
+  ?established:(int * int) list ->
+  policy:policy ->
+  delta:float ->
+  bandwidth:float ->
+  Coflow.t list ->
+  result
+(** [schedule ~policy ~delta ~bandwidth coflows] plans service for all
+    Coflows (their demands interpreted as remaining-at-[now]).
+    [established] lists circuits physically up at [now]; any Coflow's
+    first reservation on such a circuit starting exactly at [now] pays
+    no reconfiguration delay. Coflows with empty demand get an empty
+    plan finishing at [now]. *)
+
+val finish_of : result -> int -> float option
+(** Planned finish time of a Coflow by id. *)

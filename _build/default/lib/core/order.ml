@@ -1,0 +1,30 @@
+type t =
+  | Ordered_port
+  | Sorted_demand_desc
+  | Sorted_demand_asc
+  | Shuffled of int
+  | Custom of (((int * int) * float) list -> ((int * int) * float) list)
+
+let apply order entries =
+  match order with
+  | Ordered_port -> List.sort (fun (a, _) (b, _) -> compare a b) entries
+  | Sorted_demand_desc ->
+    List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb)) entries
+  | Sorted_demand_asc ->
+    List.sort (fun (ka, a) (kb, b) -> compare (a, ka) (b, kb)) entries
+  | Shuffled seed ->
+    let rng = Sunflow_stats.Rng.create seed in
+    Sunflow_stats.Rng.shuffle_list rng entries
+  | Custom f ->
+    let out = f entries in
+    let norm l = List.sort compare l in
+    if norm out <> norm entries then
+      invalid_arg "Order.apply: Custom ordering is not a permutation";
+    out
+
+let to_string = function
+  | Ordered_port -> "OrderedPort"
+  | Sorted_demand_desc -> "SortedDemand"
+  | Sorted_demand_asc -> "SortedDemandAsc"
+  | Shuffled seed -> "Random(seed=" ^ string_of_int seed ^ ")"
+  | Custom _ -> "Custom"

@@ -1,0 +1,21 @@
+(** Reservation orderings for Sunflow.
+
+    Algorithm 1 considers the flows of a Coflow in an arbitrary order
+    (line 3, "Shuffle P if desired"); Lemma 1 holds for any ordering.
+    §5.3.1 measures three concrete orderings and finds performance
+    insensitive to the choice; this module provides them. *)
+
+type t =
+  | Ordered_port  (** sort by [(src, dst)] — the paper's default *)
+  | Sorted_demand_desc  (** largest flow first (the paper's SortedDemand) *)
+  | Sorted_demand_asc  (** smallest flow first *)
+  | Shuffled of int  (** uniformly random order from a seed (Random) *)
+  | Custom of (((int * int) * float) list -> ((int * int) * float) list)
+      (** arbitrary reordering of [((src, dst), bytes)] entries *)
+
+val apply : t -> ((int * int) * float) list -> ((int * int) * float) list
+(** Reorder demand entries. A [Custom] function must return a
+    permutation of its input; this is checked and violations raise
+    [Invalid_argument]. *)
+
+val to_string : t -> string

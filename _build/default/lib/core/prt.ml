@@ -1,0 +1,122 @@
+type port = In of int | Out of int
+
+type reservation = {
+  coflow : int;
+  src : int;
+  dst : int;
+  start : float;
+  setup : float;
+  length : float;
+}
+
+let stop r = r.start +. r.length
+let transmission r = r.length -. r.setup
+
+(* Per-port reservations kept as lists sorted by start time. Port
+   occupancies in this problem are short (one list per rack, tens of
+   reservations), so sorted lists beat fancier structures in practice
+   and keep invariant checks trivial. *)
+type t = (port, reservation list) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let copy (t : t) = Hashtbl.copy t
+let is_empty (t : t) = Hashtbl.length t = 0
+
+let port_list (t : t) p =
+  match Hashtbl.find_opt t p with Some l -> l | None -> []
+
+let free_at t p instant =
+  List.for_all
+    (fun r -> instant < r.start || instant >= stop r)
+    (port_list t p)
+
+let next_start_after t p instant =
+  List.fold_left
+    (fun acc r -> if r.start > instant then Float.min acc r.start else acc)
+    infinity (port_list t p)
+
+(* Per-port reservations never overlap, so the list sorted by start is
+   also sorted by stop: the first stop beyond the instant is the
+   port's next release. *)
+let port_next_release t p instant =
+  let rec find = function
+    | [] -> infinity
+    | r :: rest ->
+      let s = stop r in
+      if s > instant then s else find rest
+  in
+  find (port_list t p)
+
+let next_release_after (t : t) instant =
+  Hashtbl.fold (fun p _ acc -> Float.min acc (port_next_release t p instant)) t infinity
+
+let next_release_on_ports t ports instant =
+  List.fold_left
+    (fun acc p -> Float.min acc (port_next_release t p instant))
+    infinity ports
+
+(* [start, stop) windows. Chained float sums put consecutive window
+   boundaries within an ulp of each other, so an intersection below a
+   nanosecond is rounding noise, not a double booking. *)
+let time_tolerance = 1e-9
+
+let overlaps a b =
+  Float.min (stop a) (stop b) -. Float.max a.start b.start > time_tolerance
+
+let insert_sorted t p r =
+  let l = port_list t p in
+  List.iter
+    (fun existing ->
+      if overlaps existing r then
+        invalid_arg
+          (Format.asprintf
+             "Prt.reserve: overlap on %s: new [%g, %g) vs existing [%g, %g)"
+             (match p with In i -> "in." ^ string_of_int i | Out j -> "out." ^ string_of_int j)
+             r.start (stop r) existing.start (stop existing)))
+    l;
+  let sorted = List.sort (fun a b -> compare a.start b.start) (r :: l) in
+  Hashtbl.replace t p sorted
+
+let reserve t r =
+  if r.length <= 0. then invalid_arg "Prt.reserve: non-positive length";
+  if r.setup < 0. || r.setup > r.length then
+    invalid_arg "Prt.reserve: setup outside [0, length]";
+  if r.src < 0 || r.dst < 0 then invalid_arg "Prt.reserve: negative port";
+  insert_sorted t (In r.src) r;
+  (* The Out insert cannot fail halfway in a state-corrupting way: if it
+     raises, the In entry is stale. Check Out first via a dry run. *)
+  (try insert_sorted t (Out r.dst) r
+   with e ->
+     Hashtbl.replace t (In r.src)
+       (List.filter (fun x -> x != r) (port_list t (In r.src)));
+     raise e)
+
+let port_reservations t p = port_list t p
+
+let all_reservations (t : t) =
+  Hashtbl.fold
+    (fun p rs acc -> match p with In _ -> List.rev_append rs acc | Out _ -> acc)
+    t []
+  |> List.sort (fun a b -> compare (a.start, a.src, a.dst) (b.start, b.src, b.dst))
+
+let established_at t instant =
+  all_reservations t
+  |> List.filter_map (fun r ->
+         if r.start +. r.setup <= instant && instant < stop r then
+           Some (r.src, r.dst)
+         else None)
+  |> List.sort_uniq compare
+
+let ports_in_use (t : t) =
+  Hashtbl.fold (fun p rs acc -> if rs = [] then acc else p :: acc) t []
+  |> List.sort compare
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "[in.%d -> out.%d] c#%d start=%a setup=%a len=%a@,"
+        r.src r.dst r.coflow Units.pp_time r.start Units.pp_time r.setup
+        Units.pp_time r.length)
+    (all_reservations t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,78 @@
+(** Port Reservation Table (paper §4.1.1).
+
+    The PRT records, for every input and output port, the time windows
+    during which the port is taken by a circuit. Each reservation spans
+    [[start, stop)] on both endpoints of its circuit; the first [setup]
+    seconds of the window model the reconfiguration delay (during which
+    no data moves) and the remainder transmits at full link rate.
+
+    Input ports and output ports are separate namespaces: circuit
+    [(3, 3)] reserves input port 3 and output port 3 independently.
+
+    Reservations never overlap on a port — [reserve] enforces the
+    paper's port constraint (§2.1): an input (output) port carries at
+    most one circuit at a time. *)
+
+type port = In of int | Out of int
+
+type reservation = {
+  coflow : int;  (** owning Coflow id *)
+  src : int;  (** input port *)
+  dst : int;  (** output port *)
+  start : float;
+  setup : float;  (** leading reconfiguration time, [0 <= setup <= length] *)
+  length : float;  (** total window length; transmission = length - setup *)
+}
+
+val stop : reservation -> float
+(** [start +. length]. *)
+
+val transmission : reservation -> float
+(** Seconds of actual data transfer, [length -. setup]. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val is_empty : t -> bool
+
+val free_at : t -> port -> float -> bool
+(** No reservation window contains the instant (Algorithm 1 line 15).
+    A window [[start, stop)] contains [start] but not [stop]. *)
+
+val next_start_after : t -> port -> float -> float
+(** Earliest reservation start strictly greater than the instant — the
+    "next-reserv-time" [tm] of Algorithm 1 line 16 — or [infinity]. *)
+
+val next_release_after : t -> float -> float
+(** Earliest reservation stop strictly greater than the instant, over
+    all ports (Algorithm 1 line 10), or [infinity]. *)
+
+val next_release_on_ports : t -> port list -> float -> float
+(** Like {!next_release_after} but restricted to the given ports — the
+    scheduler only cares about releases on ports its remaining demand
+    can use, which keeps the scan local under inter-Coflow load. *)
+
+val reserve : t -> reservation -> unit
+(** Record a reservation on both of its ports. Raises
+    [Invalid_argument] if it would overlap an existing window on either
+    port, if [length <= 0.], or if [setup] is outside [[0, length]]. *)
+
+val port_reservations : t -> port -> reservation list
+(** Reservations on one port, sorted by start time. *)
+
+val all_reservations : t -> reservation list
+(** Every reservation once (keyed on input ports), sorted by
+    [(start, src, dst)]. *)
+
+val established_at : t -> float -> (int * int) list
+(** Circuits actively transmitting at an instant: reservations with
+    [start + setup <= t < stop]. Used when rescheduling to carry live
+    circuits over without paying a new delta. *)
+
+val ports_in_use : t -> port list
+(** Ports holding at least one reservation, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render all reservations, one per line. *)

@@ -1,0 +1,95 @@
+let finish_time ~default reservations =
+  List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) default reservations
+
+let transmission_overlap (r : Prt.reservation) ~t0 ~t1 =
+  let tx_start = r.start +. r.setup and tx_stop = Prt.stop r in
+  Float.max 0. (Float.min t1 tx_stop -. Float.max t0 tx_start)
+
+let bytes_in_window ~bandwidth ~t0 ~t1 reservations =
+  List.fold_left
+    (fun acc r -> acc +. (bandwidth *. transmission_overlap r ~t0 ~t1))
+    0. reservations
+
+let switching_count reservations =
+  List.fold_left (fun k (r : Prt.reservation) -> if r.setup > 0. then k + 1 else k) 0 reservations
+
+let coflow_reservations prt ~coflow =
+  Prt.all_reservations prt
+  |> List.filter (fun (r : Prt.reservation) -> r.coflow = coflow)
+
+let total_setup_time reservations =
+  List.fold_left (fun acc (r : Prt.reservation) -> acc +. r.setup) 0. reservations
+
+let duty_cycle reservations =
+  let tx = List.fold_left (fun a r -> a +. Prt.transmission r) 0. reservations in
+  let len =
+    List.fold_left (fun a (r : Prt.reservation) -> a +. r.length) 0. reservations
+  in
+  if len = 0. then 1. else tx /. len
+
+let check_port_constraints reservations =
+  (* same nanosecond tolerance as Prt: boundaries produced by chained
+     float sums may interleave by an ulp *)
+  let overlap (a : Prt.reservation) (b : Prt.reservation) =
+    Float.min (Prt.stop a) (Prt.stop b) -. Float.max a.start b.start > 1e-9
+  in
+  let violation =
+    let rec scan = function
+      | [] -> None
+      | r :: rest ->
+        let clash =
+          List.find_opt
+            (fun r' ->
+              (r.Prt.src = r'.Prt.src || r.Prt.dst = r'.Prt.dst)
+              && overlap r r')
+            rest
+        in
+        (match clash with Some r' -> Some (r, r') | None -> scan rest)
+    in
+    scan reservations
+  in
+  match violation with
+  | None -> Ok "port constraints satisfied"
+  | Some (a, b) ->
+    Error
+      (Format.asprintf
+         "overlap: [in.%d->out.%d] (%g, %g) vs [in.%d->out.%d] (%g, %g)" a.src
+         a.dst a.start (Prt.stop a) b.src b.dst b.start (Prt.stop b))
+
+let pp_gantt ?(width = 72) ~bandwidth:_ ppf reservations =
+  match reservations with
+  | [] -> Format.fprintf ppf "(empty schedule)"
+  | _ ->
+    let t0 =
+      List.fold_left
+        (fun a (r : Prt.reservation) -> Float.min a r.start)
+        infinity reservations
+    in
+    let t1 = finish_time ~default:t0 reservations in
+    let span = Float.max (t1 -. t0) 1e-12 in
+    let cell t = int_of_float (Float.of_int width *. ((t -. t0) /. span)) in
+    let srcs =
+      List.sort_uniq compare
+        (List.map (fun (r : Prt.reservation) -> r.src) reservations)
+    in
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun src ->
+        let line = Bytes.make width '.' in
+        List.iter
+          (fun (r : Prt.reservation) ->
+            if r.src = src then begin
+              let a = min (width - 1) (cell r.start) in
+              let s = min (width - 1) (cell (r.start +. r.setup)) in
+              let b = min width (max (s + 1) (cell (Prt.stop r))) in
+              for k = a to min (width - 1) (s - 1) do
+                Bytes.set line k '#'
+              done;
+              for k = s to b - 1 do
+                Bytes.set line k '='
+              done
+            end)
+          reservations;
+        Format.fprintf ppf "in.%-3d |%s|@," src (Bytes.to_string line))
+      srcs;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Analysis of circuit schedules (reservation plans).
+
+    A plan is a list of {!Prt.reservation}s. These helpers compute the
+    quantities the evaluation reports — completion times, switching
+    counts, bytes moved in a window — and render plans as text Gantt
+    charts like the paper's Fig. 1c. *)
+
+val finish_time : default:float -> Prt.reservation list -> float
+(** Latest reservation stop, or [default] when the plan is empty. *)
+
+val transmission_overlap : Prt.reservation -> t0:float -> t1:float -> float
+(** Seconds of actual data transfer a reservation performs inside the
+    window [[t0, t1)] — the overlap of its transmission phase
+    [[start + setup, stop)] with the window. *)
+
+val bytes_in_window :
+  bandwidth:float -> t0:float -> t1:float -> Prt.reservation list -> float
+(** Total bytes a plan transfers inside a window at full link rate per
+    active circuit. *)
+
+val switching_count : Prt.reservation list -> int
+(** Number of circuit establishments (reservations paying a setup). *)
+
+val coflow_reservations : Prt.t -> coflow:int -> Prt.reservation list
+(** All reservations a PRT holds for one Coflow, sorted by start. *)
+
+val total_setup_time : Prt.reservation list -> float
+(** Seconds spent reconfiguring across the plan (sum of setups). *)
+
+val duty_cycle : Prt.reservation list -> float
+(** Fraction of reserved port-time actually transmitting:
+    [sum transmission / sum length]. [1.] for an empty plan. *)
+
+val check_port_constraints : Prt.reservation list -> (string, string) result
+(** Verify the paper's port constraint (§2.1) independently of the PRT
+    insertion checks: no two reservations overlap in time on a shared
+    input or output port. Returns [Error msg] naming the first
+    violation. Used by tests as an oracle over every scheduler. *)
+
+val pp_gantt :
+  ?width:int -> bandwidth:float -> Format.formatter -> Prt.reservation list -> unit
+(** Render a plan as one timeline row per input port ([#] setup, [=]
+    transmission, [.] idle), like the paper's Fig. 1. [width] is the
+    number of character cells (default 72). *)

@@ -1,0 +1,136 @@
+type config = { n_ports : int; t_work : float; tau : float }
+
+let round_robin_assignment ~n_ports ~k =
+  if n_ports <= 0 then invalid_arg "Starvation_guard: non-positive port count";
+  let k = ((k mod n_ports) + n_ports) mod n_ports in
+  List.init n_ports (fun i -> (i, (i + k) mod n_ports))
+
+let guaranteed_service_period c =
+  float_of_int c.n_ports *. (c.t_work +. c.tau)
+
+let check c ~delta =
+  if c.n_ports <= 0 then Error "n_ports must be positive"
+  else if c.tau <= delta then Error "tau must exceed the reconfiguration delay"
+  else if c.t_work < c.tau then Error "T must be at least tau"
+  else Ok ()
+
+type outcome = {
+  finishes : (int * float) list;
+  horizon : float;
+}
+
+type state = { coflow : Coflow.t; remaining : Demand.t }
+
+let byte_eps = 1e-3
+
+let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
+    ~prioritized ~starved c =
+  (match check c ~delta with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Starvation_guard.run: " ^ msg));
+  if horizon <= 0. then invalid_arg "Starvation_guard.run: non-positive horizon";
+  let all = prioritized @ starved in
+  List.iter
+    (fun (co : Coflow.t) ->
+      if Demand.max_port co.demand >= c.n_ports then
+        invalid_arg "Starvation_guard.run: port outside the fabric")
+    all;
+  let prioritized_ids =
+    List.map (fun (co : Coflow.t) -> co.Coflow.id) prioritized
+  in
+  let states =
+    List.map
+      (fun (co : Coflow.t) ->
+        { coflow = co; remaining = Demand.copy co.demand })
+      all
+  in
+  let finishes = ref [] in
+  let finish_if_drained t st =
+    if Demand.is_empty st.remaining
+       && not (List.mem_assoc st.coflow.Coflow.id !finishes)
+    then finishes := (st.coflow.Coflow.id, t) :: !finishes
+  in
+  let live () =
+    List.filter (fun st -> not (Demand.is_empty st.remaining)) states
+  in
+  (* T sub-interval: run the priority scheduler for the prioritized
+     Coflows only and execute its plan truncated to the window. *)
+  let work_phase t0 t1 =
+    let eligible =
+      live ()
+      |> List.filter (fun st -> List.mem st.coflow.Coflow.id prioritized_ids)
+    in
+    if eligible <> [] then begin
+      let plan =
+        Inter.schedule ~now:t0 ~policy ~delta ~bandwidth
+          (List.map
+             (fun st -> Coflow.with_demand st.coflow st.remaining)
+             eligible)
+      in
+      List.iter
+        (fun (r : Prt.reservation) ->
+          let seconds = Schedule.transmission_overlap r ~t0 ~t1 in
+          if seconds > 0. then begin
+            match
+              List.find_opt (fun st -> st.coflow.Coflow.id = r.coflow) eligible
+            with
+            | Some st ->
+              Demand.drain st.remaining r.src r.dst (seconds *. bandwidth);
+              if Demand.get st.remaining r.src r.dst <= byte_eps then
+                Demand.set st.remaining r.src r.dst 0.;
+              finish_if_drained (Float.min (Prt.stop r) t1) st
+            | None -> ()
+          end)
+        (Prt.all_reservations plan.Inter.prt)
+    end
+  in
+  (* tau sub-interval: circuits of A_k are set up (paying delta) and
+     all Coflows with demand on a circuit share its bandwidth
+     equally — water-filled so no circuit time is wasted. *)
+  let guard_phase t0 t1 k =
+    let capacity = (t1 -. t0 -. delta) *. bandwidth in
+    if capacity > 0. then
+      List.iter
+        (fun (i, j) ->
+          let claimants =
+            live () |> List.filter (fun st -> Demand.get st.remaining i j > 0.)
+          in
+          let rec share cap = function
+            | [] -> ()
+            | claimants ->
+              let fair = cap /. float_of_int (List.length claimants) in
+              let spent = ref 0. in
+              let rest =
+                List.filter
+                  (fun st ->
+                    let want = Demand.get st.remaining i j in
+                    let got = Float.min want fair in
+                    Demand.drain st.remaining i j got;
+                    if Demand.get st.remaining i j <= byte_eps then
+                      Demand.set st.remaining i j 0.;
+                    spent := !spent +. got;
+                    finish_if_drained t1 st;
+                    Demand.get st.remaining i j > 0.)
+                  claimants
+              in
+              let cap' = cap -. !spent in
+              if rest <> [] && cap' > byte_eps then share cap' rest
+          in
+          share capacity claimants)
+        (round_robin_assignment ~n_ports:c.n_ports ~k)
+  in
+  let period = c.t_work +. c.tau in
+  let rec cycle t k =
+    if t < horizon && live () <> [] then begin
+      let t_mid = Float.min horizon (t +. c.t_work) in
+      work_phase t t_mid;
+      let t_end = Float.min horizon (t +. period) in
+      if t_end > t_mid then guard_phase t_mid t_end k;
+      cycle t_end (k + 1)
+    end
+  in
+  cycle 0. 1;
+  {
+    finishes = List.sort (fun (a, _) (b, _) -> compare a b) !finishes;
+    horizon;
+  }

@@ -1,0 +1,57 @@
+(** Starvation avoidance for inter-Coflow scheduling (paper §4.2,
+    "Avoiding Starvation").
+
+    Priority scheduling lets high-priority Coflows block low-priority
+    ones indefinitely (especially under adversarial arrivals). The
+    paper's remedy: a fixed list of [N] circuit assignments
+    [Phi = A_1 ... A_N] covering all [N^2] circuits, and a repeating
+    [(T + tau)] super-interval — during each [T] sub-interval the
+    normal priority scheduler runs; during each [tau] sub-interval the
+    next [A_k] (round-robin) is installed and {e all} Coflows share the
+    bandwidth of its circuits. Every Coflow therefore receives non-zero
+    service on every circuit it needs at least once per [N (T + tau)]
+    seconds. *)
+
+type config = {
+  n_ports : int;  (** N *)
+  t_work : float;  (** T, the priority-scheduling sub-interval *)
+  tau : float;  (** the guard sub-interval, [delta < tau << T] *)
+}
+
+val round_robin_assignment : n_ports:int -> k:int -> (int * int) list
+(** [A_k = { (i, (i + k) mod N) | i }]. [k] is taken modulo [N]. The
+    union of [A_0 .. A_(N-1)] covers all [N^2] circuits; each is a
+    perfect matching. *)
+
+val guaranteed_service_period : config -> float
+(** [N * (T + tau)]: the paper's bound on the time between two service
+    opportunities for any circuit. *)
+
+val check : config -> delta:float -> (unit, string) result
+(** Validate [tau > delta], [t_work >= tau] and [n_ports > 0]. *)
+
+type outcome = {
+  finishes : (int * float) list;
+      (** Coflow id -> drain instant, sorted by id; only Coflows that
+          drained within the horizon appear *)
+  horizon : float;  (** simulated time *)
+}
+
+val run :
+  ?policy:Inter.policy ->
+  delta:float ->
+  bandwidth:float ->
+  horizon:float ->
+  prioritized:Coflow.t list ->
+  starved:Coflow.t list ->
+  config ->
+  outcome
+(** Phase-level simulation of the guard. [prioritized] Coflows are
+    served by the normal {!Inter} scheduler during [T] sub-intervals;
+    [starved] Coflows (e.g. maliciously deprioritised traffic) receive
+    service only during the [tau] sub-intervals, where the round-robin
+    assignment's circuits are shared equally among all Coflows with
+    demand on them. Circuits are re-established in every sub-interval
+    (no carry-over across phase boundaries — a conservative
+    simplification). Raises [Invalid_argument] when {!check} fails,
+    some Coflow uses a port [>= n_ports], or [horizon <= 0.]. *)

@@ -1,0 +1,114 @@
+type result = {
+  reservations : Prt.reservation list;
+  finish : float;
+  setups : int;
+}
+
+(* One pending flow with its remaining processing time. [fresh] tracks
+   whether the flow may still reuse a pre-established circuit (only
+   before its first reservation, and only at the schedule start). *)
+type pending = {
+  src : int;
+  dst : int;
+  mutable remaining : float;
+  mutable fresh : bool;
+}
+
+(* MakeReservation (Algorithm 1 lines 13-23). Returns the reservation
+   made, if any. The paper's guard is [lm < delta -> l = 0]; we also
+   skip the boundary case [lm = setup], where the reservation would be
+   pure reconfiguration transmitting nothing. *)
+let make_reservation prt ~coflow ~now ~delta ~established t p =
+  let in_port = Prt.In p.src and out_port = Prt.Out p.dst in
+  if Prt.free_at prt in_port t && Prt.free_at prt out_port t then begin
+    let tm =
+      Float.min
+        (Prt.next_start_after prt in_port t)
+        (Prt.next_start_after prt out_port t)
+    in
+    let setup =
+      if p.fresh && t = now && established (p.src, p.dst) then 0. else delta
+    in
+    let lm = tm -. t in
+    let ld = setup +. p.remaining in
+    let l = if lm <= setup then 0. else Float.min lm ld in
+    (* rounding of [t +. (tm -. t)] can overshoot [tm] by an ulp and
+       collide with the blocking reservation; shave the length down
+       until the window provably ends at or before [tm] *)
+    let rec fit l = if l <= 0. || t +. l <= tm then l else fit (Float.pred l) in
+    let l = if l = lm then fit l else l in
+    let l = if l <= setup then 0. else l in
+    if l > 0. then begin
+      let r =
+        { Prt.coflow; src = p.src; dst = p.dst; start = t; setup; length = l }
+      in
+      Prt.reserve prt r;
+      p.remaining <- ld -. l;
+      p.fresh <- false;
+      Some r
+    end
+    else None
+  end
+  else None
+
+let no_circuit _ = false
+
+let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
+    ?(established = no_circuit) ?(quantum = 0.) ~delta ~bandwidth coflow =
+  if bandwidth <= 0. then invalid_arg "Sunflow.schedule: bandwidth <= 0";
+  if delta < 0. then invalid_arg "Sunflow.schedule: negative delta";
+  if now < 0. then invalid_arg "Sunflow.schedule: negative start time";
+  let prt = match prt with Some p -> p | None -> Prt.create () in
+  let to_processing bytes =
+    let p = bytes /. bandwidth in
+    if quantum > 0. then quantum *. Float.ceil (p /. quantum) else p
+  in
+  let pending =
+    Order.apply order (Demand.entries coflow.Coflow.demand)
+    |> List.filter_map (fun ((src, dst), bytes) ->
+           let remaining = to_processing bytes in
+           if remaining > 0. then Some { src; dst; remaining; fresh = true }
+           else None)
+  in
+  let made = ref [] in
+  let rec loop t pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      List.iter
+        (fun p ->
+          match
+            make_reservation prt ~coflow:coflow.Coflow.id ~now ~delta
+              ~established t p
+          with
+          | Some r -> made := r :: !made
+          | None -> ())
+        pending;
+      let pending = List.filter (fun p -> p.remaining > 0.) pending in
+      if pending <> [] then begin
+        (* only releases on ports the remaining demand can use matter *)
+        let ports =
+          List.concat_map (fun p -> [ Prt.In p.src; Prt.Out p.dst ]) pending
+          |> List.sort_uniq compare
+        in
+        let t' = Prt.next_release_on_ports prt ports t in
+        if t' = infinity then
+          (* Impossible: a blocked flow implies a reservation releasing
+             after [t] (see the progress argument in the design doc). *)
+          invalid_arg "Sunflow.schedule: stuck with pending demand"
+        else loop t' pending
+      end
+  in
+  loop now pending;
+  let reservations = List.rev !made in
+  let finish =
+    List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) now reservations
+  in
+  let setups =
+    List.fold_left (fun k r -> if r.Prt.setup > 0. then k + 1 else k) 0
+      reservations
+  in
+  { reservations; finish; setups }
+
+let cct ?(delta = 10e-3) ?(bandwidth = 1.25e8) coflow =
+  (schedule ~delta ~bandwidth { coflow with Coflow.arrival = 0. }).finish

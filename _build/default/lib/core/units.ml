@@ -1,0 +1,23 @@
+let gbps x = x *. 1.25e8
+let mbps x = x *. 1.25e5
+let kb x = x *. 1e3
+let mb x = x *. 1e6
+let gb x = x *. 1e9
+let ms x = x *. 1e-3
+let us x = x *. 1e-6
+let to_mb b = b /. 1e6
+let to_gbps r = r /. 1.25e8
+
+let pp_time ppf t =
+  let a = Float.abs t in
+  if a >= 1. || a = 0. then Format.fprintf ppf "%.3gs" t
+  else if a >= 1e-3 then Format.fprintf ppf "%.3gms" (t *. 1e3)
+  else Format.fprintf ppf "%.3gus" (t *. 1e6)
+
+let pp_bytes ppf b =
+  let a = Float.abs b in
+  if a >= 1e12 then Format.fprintf ppf "%.3gTB" (b /. 1e12)
+  else if a >= 1e9 then Format.fprintf ppf "%.3gGB" (b /. 1e9)
+  else if a >= 1e6 then Format.fprintf ppf "%.3gMB" (b /. 1e6)
+  else if a >= 1e3 then Format.fprintf ppf "%.3gKB" (b /. 1e3)
+  else Format.fprintf ppf "%.3gB" b

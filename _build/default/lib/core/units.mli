@@ -1,0 +1,39 @@
+(** Units of measure.
+
+    The whole library uses seconds for time, bytes for data and
+    bytes/second for bandwidth (all floats). These constructors let
+    call sites read like the paper: [Units.gbps 1.], [Units.ms 10.],
+    [Units.mb 5.]. *)
+
+val gbps : float -> float
+(** Gigabits per second, as bytes/second ([1 Gbps = 1.25e8 B/s]). *)
+
+val mbps : float -> float
+(** Megabits per second, as bytes/second. *)
+
+val kb : float -> float
+(** Kilobytes (10^3 bytes). *)
+
+val mb : float -> float
+(** Megabytes (10^6 bytes). *)
+
+val gb : float -> float
+(** Gigabytes (10^9 bytes). *)
+
+val ms : float -> float
+(** Milliseconds, as seconds. *)
+
+val us : float -> float
+(** Microseconds, as seconds. *)
+
+val to_mb : float -> float
+(** Bytes to megabytes. *)
+
+val to_gbps : float -> float
+(** Bytes/second to gigabits/second. *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Human-readable duration: picks s / ms / µs. *)
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Human-readable size: picks B / KB / MB / GB / TB. *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Float Format Hashtbl List Option Sunflow_baselines Sunflow_core Sunflow_packet Sunflow_sim Sunflow_trace

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Format Sunflow_core Sunflow_sim Sunflow_trace

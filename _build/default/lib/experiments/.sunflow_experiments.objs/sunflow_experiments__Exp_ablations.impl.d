@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Common Format List Sunflow_core Sunflow_sim Sunflow_stats Sunflow_trace Sys

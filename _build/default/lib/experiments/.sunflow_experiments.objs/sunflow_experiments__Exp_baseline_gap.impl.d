@@ -1,0 +1,1 @@
+lib/experiments/exp_baseline_gap.ml: Common Format List Sunflow_baselines Sunflow_core Sunflow_stats Sunflow_trace

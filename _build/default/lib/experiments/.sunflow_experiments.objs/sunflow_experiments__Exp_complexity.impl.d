@@ -1,0 +1,1 @@
+lib/experiments/exp_complexity.ml: Common Format List Sunflow_baselines Sunflow_core Sunflow_stats Sys

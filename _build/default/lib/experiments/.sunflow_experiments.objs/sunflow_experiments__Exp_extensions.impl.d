@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Common Format List Sunflow_core Sunflow_jobs Sunflow_packet Sunflow_trace

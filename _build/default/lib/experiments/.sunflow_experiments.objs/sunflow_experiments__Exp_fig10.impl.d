@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Common Exp_fig6 Format Fun List Sunflow_core Sunflow_sim Sunflow_stats Sunflow_trace

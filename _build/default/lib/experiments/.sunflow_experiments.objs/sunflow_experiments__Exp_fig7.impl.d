@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Common Format List Sunflow_core Sunflow_stats Sunflow_trace

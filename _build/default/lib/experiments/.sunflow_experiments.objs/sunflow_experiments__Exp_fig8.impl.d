@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Common Format List Sunflow_core Sunflow_sim Sunflow_trace

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Common Float Format List Sunflow_core Sunflow_sim Sunflow_stats Sunflow_trace

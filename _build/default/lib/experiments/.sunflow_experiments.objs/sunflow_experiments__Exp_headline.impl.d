@@ -1,0 +1,1 @@
+lib/experiments/exp_headline.ml: Common Float List Sunflow_core Sunflow_sim Sunflow_stats Sunflow_trace

@@ -1,0 +1,1 @@
+lib/experiments/exp_headline.mli: Common Format

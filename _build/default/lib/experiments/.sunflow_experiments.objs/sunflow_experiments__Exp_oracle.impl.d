@@ -1,0 +1,1 @@
+lib/experiments/exp_oracle.ml: Common Float List Sunflow_core Sunflow_switch Sunflow_trace

@@ -1,0 +1,1 @@
+lib/experiments/exp_ordering.ml: Common Format List Sunflow_core Sunflow_stats Sunflow_trace

@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Common Format List Sunflow_core Sunflow_trace

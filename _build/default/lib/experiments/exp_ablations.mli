@@ -1,0 +1,26 @@
+(** Ablations of the design choices DESIGN.md calls out, beyond the
+    paper's own evaluation:
+
+    - {b established-circuit reuse}: the not-all-stop model lets a
+      rescheduling event keep mid-transmission circuits alive; turning
+      that off approximates an all-stop controller;
+    - {b inter-Coflow policy}: shortest-Coflow-first vs FIFO on the
+      circuit fabric, and the Coflow-agnostic per-flow-fair packet
+      baseline;
+    - {b quantised reservations}: the §6 approximation hook rounding
+      processing times up to a quantum to prune release events;
+    - {b hybrid fabric}: offloading short Coflows to a small packet
+      network (the REACToR deployment model). *)
+
+type row = { label : string; avg_cct : float; note : string }
+
+type result = {
+  reuse : row list;  (** carry circuits on/off *)
+  policy : row list;  (** scf / fifo / per-flow fair *)
+  quantum : row list;  (** intra avg CCT ratio and planning time *)
+  hybrid : row list;  (** pure circuit / hybrid / pure packet *)
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

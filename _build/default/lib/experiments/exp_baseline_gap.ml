@@ -1,0 +1,87 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Sunflow = Sunflow_core.Sunflow
+module Trace = Sunflow_trace.Trace
+module D = Sunflow_stats.Descriptive
+
+type row = {
+  scheduler : string;
+  avg_ratio_vs_solstice : float;
+  avg_cct : float;
+  avg_ratio_vs_tcl : float;
+}
+
+type result = { rows : row list }
+
+let run ?(settings = Common.default) () =
+  let bandwidth = settings.Common.bandwidth and delta = settings.Common.delta in
+  let coflows =
+    (Common.original_trace settings).Trace.coflows
+    |> List.filter (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+  in
+  let baseline_cct run (c : Coflow.t) =
+    let (o : Sunflow_baselines.Executor.outcome) =
+      run ~delta ~bandwidth { c with Coflow.arrival = 0. }
+    in
+    o.cct
+  in
+  let ccts_of = function
+    | "sunflow" ->
+      List.map
+        (fun (c : Coflow.t) ->
+          (Sunflow.schedule ~delta ~bandwidth { c with Coflow.arrival = 0. })
+            .finish)
+        coflows
+    | "solstice" ->
+      List.map
+        (baseline_cct (fun ~delta ~bandwidth c ->
+             Sunflow_baselines.Solstice.schedule ~delta ~bandwidth c))
+        coflows
+    | "tms" ->
+      List.map
+        (baseline_cct (fun ~delta ~bandwidth c ->
+             Sunflow_baselines.Tms.schedule ~delta ~bandwidth c))
+        coflows
+    | "edmonds" ->
+      List.map
+        (baseline_cct (fun ~delta ~bandwidth c ->
+             Sunflow_baselines.Edmonds.schedule ~delta ~bandwidth c))
+        coflows
+    | s -> invalid_arg s
+  in
+  let solstice = ccts_of "solstice" in
+  let tcls =
+    List.map
+      (fun (c : Coflow.t) -> Bounds.circuit_lower ~bandwidth ~delta c.demand)
+      coflows
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let ccts = if name = "solstice" then solstice else ccts_of name in
+        {
+          scheduler = name;
+          avg_ratio_vs_solstice =
+            D.mean (List.map2 (fun c s -> c /. s) ccts solstice);
+          avg_cct = D.mean ccts;
+          avg_ratio_vs_tcl = D.mean (List.map2 (fun c t -> c /. t) ccts tcls);
+        })
+      [ "sunflow"; "solstice"; "tms"; "edmonds" ]
+  in
+  { rows }
+
+let print ppf r =
+  Format.fprintf ppf "  %-10s %14s %10s %10s@." "scheduler" "vs solstice"
+    "avg cct" "vs TcL";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "  %-10s %13.2fx %9.3gs %9.2fx@." row.scheduler
+        row.avg_ratio_vs_solstice row.avg_cct row.avg_ratio_vs_tcl)
+    r.rows;
+  Common.kv ppf "paper" "%s"
+    "Solstice > 2x faster than TMS, > 6x faster than Edmonds (per-Coflow avg)"
+
+let report ?settings ppf =
+  Common.section ppf "BASELINE GAP: Solstice vs TMS vs Edmonds (paper §5.2)";
+  print ppf (run ?settings ())

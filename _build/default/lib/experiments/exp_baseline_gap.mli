@@ -1,0 +1,21 @@
+(** §5.2's justification for using Solstice as {e the} circuit
+    baseline: "on average, Solstice services a Coflow more than 2x
+    faster than TMS and more than 6x faster than Edmonds."
+
+    This experiment schedules every Coflow of the trace alone under all
+    four circuit schedulers and reports the per-Coflow CCT ratios of
+    the weaker baselines over Solstice, plus everyone's distance to the
+    lower bound. *)
+
+type row = {
+  scheduler : string;
+  avg_ratio_vs_solstice : float;  (** mean of per-Coflow CCT/Solstice-CCT *)
+  avg_cct : float;
+  avg_ratio_vs_tcl : float;
+}
+
+type result = { rows : row list (* sunflow, solstice, tms, edmonds *) }
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,27 @@
+(** Table 3 and §6 "Scheduler latency": asymptotic complexity and
+    measured compute time of the four circuit schedulers.
+
+    Table 3's asymptotics: Edmonds O(N^3), TMS O(N^4.5), Solstice
+    O(N^3 log^2 N), Sunflow O(|C|^2). The measurement schedules one
+    dense many-to-many Coflow of growing width and wall-clocks each
+    scheduler's planning phase (no execution). Expected shape: Sunflow
+    scales with the number of subflows and stays well under the paper's
+    "< 1 s for 3,000 subflows"; the matrix-decomposition baselines grow
+    much faster with port count. *)
+
+type row = {
+  width : int;  (** senders = receivers *)
+  n_subflows : int;
+  sunflow_s : float;
+  solstice_s : float;
+  tms_s : float;
+  edmonds_s : float;
+}
+
+type result = { rows : row list }
+
+val run : ?settings:Common.settings -> ?widths:int list -> unit -> result
+(** [widths] defaults to [5; 10; 20; 40]. *)
+
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,125 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Inter = Sunflow_core.Inter
+module Deadline = Sunflow_core.Deadline
+module Trace = Sunflow_trace.Trace
+module Job = Sunflow_jobs.Job
+module Job_sim = Sunflow_jobs.Job_sim
+
+type job_row = { policy : string; avg_jct : float }
+
+type deadline_row = {
+  slack : float;
+  admitted_pct : float;
+  guarantees_hold : bool;
+}
+
+type result = {
+  n_jobs : int;
+  jobs : job_row list;
+  deadlines : deadline_row list;
+}
+
+(* Group consecutive trace Coflows into pipelines of 1-3 stages: the
+   first Coflow's arrival is the job's, later ones become dependent
+   stages (their own arrivals are dropped, as stage data only exists
+   once the previous stage computed it). *)
+let jobs_of_trace coflows =
+  let rec group id acc = function
+    | [] -> List.rev acc
+    | (c : Coflow.t) :: rest ->
+      let n_stages = 1 + (id mod 3) in
+      let stages_src, rest =
+        let rec take k taken rest =
+          if k = 0 then (List.rev taken, rest)
+          else
+            match rest with
+            | [] -> (List.rev taken, [])
+            | c :: tl -> take (k - 1) (c :: taken) tl
+        in
+        take (n_stages - 1) [] rest
+      in
+      let stages =
+        { Job.demand = c.demand; depends_on = [] }
+        :: List.mapi
+             (fun i (s : Coflow.t) ->
+               { Job.demand = s.demand; depends_on = [ i ] })
+             stages_src
+      in
+      group (id + 1) (Job.make ~id ~arrival:c.arrival stages :: acc) rest
+  in
+  group 0 [] coflows
+
+let run ?(settings = Common.default) () =
+  let bandwidth = settings.Common.bandwidth and delta = settings.Common.delta in
+  let coflows =
+    (Common.original_trace settings).Trace.coflows
+    |> List.filter (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+  in
+  (* keep the job workload light: the experiment is about policy
+     ordering, not scale *)
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  let jobs = jobs_of_trace (take 180 coflows) in
+  let job_rows =
+    List.map
+      (fun (name, fabric) ->
+        let r = Job_sim.run ~fabric ~bandwidth jobs in
+        { policy = name; avg_jct = Job_sim.average_jct r })
+      [
+        ("sunflow, fifo", Job_sim.Circuit { delta; policy = Inter.Fifo });
+        ( "sunflow, shortest-coflow-first",
+          Job_sim.Circuit { delta; policy = Inter.Shortest_first } );
+        ("sunflow, stage-aware", Job_sim.Circuit { delta; policy = Job_sim.stage_policy });
+        ("packet, varys", Job_sim.Packet Sunflow_packet.Varys.allocate);
+      ]
+  in
+  (* deadline admission on a contending batch: all Coflows present at
+     once, deadline proportional to each one's solo circuit bound *)
+  let batch =
+    take 120 coflows
+    |> List.map (fun (c : Coflow.t) -> { c with Coflow.arrival = 0. })
+  in
+  let deadlines =
+    List.map
+      (fun slack ->
+        let deadline_of (c : Coflow.t) =
+          slack *. Bounds.circuit_lower ~bandwidth ~delta c.demand
+        in
+        let a = Deadline.admit ~deadline_of ~delta ~bandwidth batch in
+        let n = List.length batch in
+        {
+          slack;
+          admitted_pct =
+            100. *. float_of_int (List.length a.Deadline.admitted) /. float_of_int n;
+          guarantees_hold =
+            List.for_all
+              (fun (id, finish) ->
+                let c = List.find (fun (c : Coflow.t) -> c.id = id) batch in
+                finish <= deadline_of c +. 1e-9)
+              a.Deadline.admitted;
+        })
+      [ 1.2; 2.; 4.; 8. ]
+  in
+  { n_jobs = List.length jobs; jobs = job_rows; deadlines }
+
+let print ppf r =
+  Format.fprintf ppf "  multi-stage jobs (%d pipelines):@." r.n_jobs;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "    %-32s avg JCT %8.3fs@." row.policy row.avg_jct)
+    r.jobs;
+  Format.fprintf ppf "  deadline admission (EDF, deadline = slack x TcL):@.";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf
+        "    slack %4.1fx  admitted %5.1f%%  guarantees hold: %b@." row.slack
+        row.admitted_pct row.guarantees_hold)
+    r.deadlines
+
+let report ?settings ppf =
+  Common.section ppf "EXTENSIONS: multi-stage jobs and deadline admission";
+  print ppf (run ?settings ())

@@ -1,0 +1,29 @@
+(** Measurements of the extension features built beyond the paper's
+    evaluation:
+
+    - {b multi-stage jobs} (§4.2's third policy scenario): average job
+      completion time of a pipeline workload under FIFO,
+      shortest-Coflow-first and the stage-aware policy, on the
+      Sunflow-scheduled OCS and on a Varys packet fabric;
+    - {b deadline admission} (§2.3's "performance requirement"):
+      admitted fraction and guarantee check of EDF admission control as
+      deadline slack varies. *)
+
+type job_row = { policy : string; avg_jct : float }
+
+type deadline_row = {
+  slack : float;  (** deadline = slack x T_L^c of each Coflow *)
+  admitted_pct : float;
+  guarantees_hold : bool;
+      (** every admitted Coflow's plan meets its deadline *)
+}
+
+type result = {
+  n_jobs : int;
+  jobs : job_row list;
+  deadlines : deadline_row list;
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

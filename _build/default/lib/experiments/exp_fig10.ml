@@ -1,0 +1,54 @@
+module D = Sunflow_stats.Descriptive
+module Units = Sunflow_core.Units
+module Trace = Sunflow_trace.Trace
+module R = Sunflow_sim.Sim_result
+
+type per_delta = { delta : float; avg : float; p95 : float }
+
+type result = { baseline : float; rows : per_delta list }
+
+let run ?(settings = Common.default) ?(deltas = Exp_fig6.default_deltas) () =
+  let baseline = settings.Common.delta in
+  if not (List.mem baseline deltas) then
+    invalid_arg "Exp_fig10.run: baseline delta not in the sweep";
+  let trace = Common.original_trace settings in
+  let bandwidth = settings.Common.bandwidth in
+  let run_at delta = Common.run_sunflow ~delta ~bandwidth trace.Trace.coflows in
+  let base = run_at baseline in
+  let rows =
+    List.map
+      (fun delta ->
+        let r = run_at delta in
+        let normalised =
+          List.map2
+            (fun (id, cct) (id', base_cct) ->
+              assert (id = id');
+              if base_cct > 0. then Some (cct /. base_cct) else None)
+            r.R.ccts base.R.ccts
+          |> List.filter_map Fun.id
+        in
+        {
+          delta;
+          avg = D.mean normalised;
+          p95 = D.percentile 95. normalised;
+        })
+      deltas
+  in
+  { baseline; rows }
+
+let print ppf r =
+  Format.fprintf ppf "  Sunflow inter-Coflow CCT normalised to the %a baseline@."
+    Units.pp_time r.baseline;
+  Format.fprintf ppf "  %-8s %6s %6s@." "delta" "avg" "p95";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "  %-8s %6.2f %6.2f@."
+        (Format.asprintf "%a" Units.pp_time row.delta)
+        row.avg row.p95)
+    r.rows;
+  Common.kv ppf "paper" "%s"
+    "avg 4.91 / 1.00 / 0.65 / 0.61 / 0.61; p95 7.22 / 1.00 / 0.98 / 0.98 / 0.98"
+
+let report ?settings ppf =
+  Common.section ppf "FIGURE 10: inter-Coflow sensitivity to delta";
+  print ppf (run ?settings ())

@@ -1,0 +1,15 @@
+(** Figure 10: sensitivity of inter-Coflow scheduling to the
+    reconfiguration delay delta, on the original (12 % idleness)
+    trace. Per-Coflow CCTs are normalised to the 10 ms baseline.
+
+    Expected shape: as Fig. 6 — severe at 100 ms, mild gain at 1 ms,
+    negligible gain below 100 µs — but flatter, because waiting time
+    between Coflows dilutes the delta penalty. *)
+
+type per_delta = { delta : float; avg : float; p95 : float }
+
+type result = { baseline : float; rows : per_delta list }
+
+val run : ?settings:Common.settings -> ?deltas:float list -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,58 @@
+module D = Sunflow_stats.Descriptive
+module Units = Sunflow_core.Units
+
+type per_rate = {
+  bandwidth : float;
+  sunflow_avg : float;
+  sunflow_p95 : float;
+  sunflow_max : float;
+  solstice_avg : float;
+  solstice_p95 : float;
+  solstice_max : float;
+}
+
+type result = { rates : per_rate list; delta : float }
+
+let default_bandwidths = [ Units.gbps 1.; Units.gbps 10.; Units.gbps 100. ]
+
+let run ?(settings = Common.default) ?(bandwidths = default_bandwidths) () =
+  let rates =
+    List.map
+      (fun bandwidth ->
+        let points = Common.intra_points ~bandwidth settings in
+        let ratio f = List.map (fun p -> f p /. p.Common.tcl) points in
+        let sunflow = ratio (fun p -> p.Common.sunflow_cct) in
+        let solstice = ratio (fun p -> p.Common.solstice_cct) in
+        {
+          bandwidth;
+          sunflow_avg = D.mean sunflow;
+          sunflow_p95 = D.percentile 95. sunflow;
+          sunflow_max = snd (D.min_max sunflow);
+          solstice_avg = D.mean solstice;
+          solstice_p95 = D.percentile 95. solstice;
+          solstice_max = snd (D.min_max solstice);
+        })
+      bandwidths
+  in
+  { rates; delta = settings.Common.delta }
+
+let print ppf r =
+  Format.fprintf ppf
+    "  CCT / T_L^c (delta=%a)@.  %-10s | %21s | %s@.  %-10s | %6s %6s %6s | %6s %6s %6s@."
+    Units.pp_time r.delta "" "Sunflow" "Solstice" "B" "avg" "p95" "max" "avg"
+    "p95" "max";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-10s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f@."
+        (Format.asprintf "%g Gbps" (Units.to_gbps p.bandwidth))
+        p.sunflow_avg p.sunflow_p95 p.sunflow_max p.solstice_avg p.solstice_p95
+        p.solstice_max)
+    r.rates;
+  Common.kv ppf "paper @ 1 Gbps" "%s"
+    "Sunflow 1.03 avg / 1.18 p95; Solstice 1.48 avg / 4.74 p95 / 10.63 max";
+  Common.kv ppf "paper @ 10->100 Gbps" "%s"
+    "Solstice avg 2.30 -> 3.17 (p95 10.06 -> 13.83); Sunflow stays ~1.03/1.24"
+
+let report ?settings ppf =
+  Common.section ppf "FIGURE 3: intra-Coflow CCT vs circuit lower bound";
+  print ppf (run ?settings ())

@@ -1,0 +1,28 @@
+(** Figure 3: intra-Coflow CCT against the circuit-switched lower bound
+    [T_L^c] for Sunflow and Solstice across link rates.
+
+    The paper's scatter plots condense to the statistics quoted in
+    §5.3.1: the average and 95th-percentile of CCT / T_L^c per
+    scheduler per link rate, plus the worst case. Expected shape:
+    Sunflow stays ≈1.0x at every link rate and never exceeds 2x;
+    Solstice is markedly worse and degrades as the link rate grows
+    with delta fixed. *)
+
+type per_rate = {
+  bandwidth : float;
+  sunflow_avg : float;
+  sunflow_p95 : float;
+  sunflow_max : float;
+  solstice_avg : float;
+  solstice_p95 : float;
+  solstice_max : float;
+}
+
+type result = { rates : per_rate list; delta : float }
+
+val run :
+  ?settings:Common.settings -> ?bandwidths:float list -> unit -> result
+(** [bandwidths] defaults to 1, 10 and 100 Gbps. *)
+
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,26 @@
+(** Figure 4: CDF of CCT/[T_L^c] and CCT/[T_L^p] over many-to-many
+    Coflows (which carry over 99 % of the bytes) for Sunflow and
+    Solstice at the default setting.
+
+    Expected shape: Sunflow's CCT/[T_L^c] distribution sits entirely
+    left of 2 (Lemma 1); Solstice's has a long tail. *)
+
+type series = {
+  label : string;
+  deciles : float array;  (** p0, p10, ..., p100 *)
+  avg : float;
+  p95 : float;
+}
+
+type result = {
+  n_m2m : int;
+  series : series list;
+      (** Sunflow /T_L^c, Sunflow /T_L^p, Solstice /T_L^c, Solstice /T_L^p *)
+  chart : string;
+      (** terminal CDF rendering of CCT/T_L^c ([S] Sunflow, [o]
+          Solstice) *)
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,47 @@
+module D = Sunflow_stats.Descriptive
+module Dist = Sunflow_stats.Distribution
+module Corr = Sunflow_stats.Correlation
+module Category = Sunflow_core.Coflow.Category
+
+type result = {
+  n_m2m : int;
+  sunflow_deciles : float array;
+  solstice_deciles : float array;
+  sunflow_always_minimal : bool;
+  solstice_avg : float;
+  solstice_corr_subflows : float;
+}
+
+let run ?(settings = Common.default) () =
+  let m2m =
+    Common.intra_points settings
+    |> List.filter (fun p -> p.Common.category = Category.Many_to_many)
+  in
+  let normalized count p = float_of_int count /. float_of_int p.Common.n_subflows in
+  let sunflow = List.map (fun p -> normalized p.Common.sunflow_setups p) m2m in
+  let solstice =
+    List.map (fun p -> normalized p.Common.solstice_switchings p) m2m
+  in
+  let subflows = List.map (fun p -> float_of_int p.Common.n_subflows) m2m in
+  {
+    n_m2m = List.length m2m;
+    sunflow_deciles = Dist.deciles sunflow;
+    solstice_deciles = Dist.deciles solstice;
+    sunflow_always_minimal = List.for_all (fun x -> x = 1.) sunflow;
+    solstice_avg = D.mean solstice;
+    solstice_corr_subflows = Corr.pearson solstice subflows;
+  }
+
+let print ppf r =
+  Common.kv ppf "many-to-many Coflows" "%d" r.n_m2m;
+  Format.fprintf ppf "  %-10s %a@." "Sunflow" Dist.pp_deciles r.sunflow_deciles;
+  Format.fprintf ppf "  %-10s %a@." "Solstice" Dist.pp_deciles r.solstice_deciles;
+  Common.kv ppf "Sunflow always minimal (=|C|)" "%b" r.sunflow_always_minimal;
+  Common.kv ppf "Solstice avg normalised count" "%.2f" r.solstice_avg;
+  Common.kv ppf "Solstice corr(count, |C|)" "%.2f" r.solstice_corr_subflows;
+  Common.kv ppf "paper" "%s"
+    "Sunflow exactly 1; Solstice up to ~12x, correlation 0.84"
+
+let report ?settings ppf =
+  Common.section ppf "FIGURE 5: switching count over minimum (M2M Coflows)";
+  print ppf (run ?settings ())

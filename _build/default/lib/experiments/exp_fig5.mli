@@ -1,0 +1,22 @@
+(** Figure 5: distribution of circuit switching events, normalised by
+    the minimum necessary count (the number of subflows), over
+    many-to-many Coflows.
+
+    Expected shape: Sunflow's normalised count is exactly 1 for every
+    Coflow; Solstice's is several times larger and grows with the
+    number of subflows (the paper reports a 0.84 linear correlation
+    between Solstice's normalised count and [|C|]). *)
+
+type result = {
+  n_m2m : int;
+  sunflow_deciles : float array;
+  solstice_deciles : float array;
+  sunflow_always_minimal : bool;
+  solstice_avg : float;
+  solstice_corr_subflows : float;
+      (** Pearson correlation of Solstice's normalised count with |C| *)
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,58 @@
+module D = Sunflow_stats.Descriptive
+module Units = Sunflow_core.Units
+
+type per_delta = {
+  delta : float;
+  sunflow_avg : float;
+  sunflow_p95 : float;
+  solstice_avg : float;
+  solstice_p95 : float;
+}
+
+type result = { baseline : float; rows : per_delta list }
+
+let default_deltas =
+  [ Units.ms 100.; Units.ms 10.; Units.ms 1.; Units.us 100.; Units.us 10. ]
+
+let run ?(settings = Common.default) ?(deltas = default_deltas) () =
+  let baseline = settings.Common.delta in
+  if not (List.mem baseline deltas) then
+    invalid_arg "Exp_fig6.run: baseline delta not in the sweep";
+  let base_points = Common.intra_points ~delta:baseline settings in
+  let rows =
+    List.map
+      (fun delta ->
+        let points = Common.intra_points ~delta settings in
+        let normalised f =
+          List.map2 (fun p b -> f p /. f b) points base_points
+        in
+        let sun = normalised (fun p -> p.Common.sunflow_cct) in
+        let sol = normalised (fun p -> p.Common.solstice_cct) in
+        {
+          delta;
+          sunflow_avg = D.mean sun;
+          sunflow_p95 = D.percentile 95. sun;
+          solstice_avg = D.mean sol;
+          solstice_p95 = D.percentile 95. sol;
+        })
+      deltas
+  in
+  { baseline; rows }
+
+let print ppf r =
+  Format.fprintf ppf
+    "  CCT normalised to the %a baseline@.  %-8s | %13s | %s@.  %-8s | %6s %6s | %6s %6s@."
+    Units.pp_time r.baseline "" "Sunflow" "Solstice" "delta" "avg" "p95" "avg"
+    "p95";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "  %-8s | %6.2f %6.2f | %6.2f %6.2f@."
+        (Format.asprintf "%a" Units.pp_time row.delta)
+        row.sunflow_avg row.sunflow_p95 row.solstice_avg row.solstice_p95)
+    r.rows;
+  Common.kv ppf "paper (Sunflow)" "%s"
+    "avg 5.71 / 1.00 / 0.65 / 0.61 / 0.61; p95 13.12 / 1.00 / 0.99 / 0.99 / 0.99"
+
+let report ?settings ppf =
+  Common.section ppf "FIGURE 6: intra-Coflow sensitivity to delta";
+  print ppf (run ?settings ())

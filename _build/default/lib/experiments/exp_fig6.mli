@@ -1,0 +1,27 @@
+(** Figure 6: sensitivity of intra-Coflow scheduling to the circuit
+    reconfiguration delay delta. Every Coflow's CCT is normalised by
+    its own CCT at the 10 ms baseline; the figure reports the average
+    and 95th percentile per delta.
+
+    Expected shape: much worse at 100 ms, mild improvement at 1 ms,
+    negligible improvement below 100 µs. *)
+
+type per_delta = {
+  delta : float;
+  sunflow_avg : float;
+  sunflow_p95 : float;
+  solstice_avg : float;
+  solstice_p95 : float;
+}
+
+type result = { baseline : float; rows : per_delta list }
+
+val default_deltas : float list
+(** 100 ms, 10 ms, 1 ms, 100 µs, 10 µs. *)
+
+val run : ?settings:Common.settings -> ?deltas:float list -> unit -> result
+(** The baseline is the settings' delta (10 ms by default); it must be
+    in [deltas]. *)
+
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,25 @@
+(** Figure 7: Sunflow intra-Coflow CCT against the packet-switched
+    lower bound [T_L^p], split into short and long Coflows (long:
+    average processing time above [40 delta], §5.3.2).
+
+    Expected shape: long Coflows (which carry almost all bytes) sit
+    near 1x; short Coflows have larger ratios but small absolute
+    penalty; every ratio is below the Lemma-2 bound [2 (1 + alpha)];
+    and the ratio is strongly anti-correlated with [p_avg]. *)
+
+type group = { label : string; count : int; avg : float; p95 : float }
+
+type result = {
+  all : group;
+  long_ : group;
+  short : group;
+  long_bytes_pct : float;
+  rank_corr_pavg : float;
+      (** Spearman correlation between p_avg and CCT/T_L^p *)
+  lemma2_bound : float;  (** 2 (1 + alpha_max) over the trace *)
+  max_ratio : float;
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,29 @@
+(** Figure 8: inter-Coflow network efficiency — Sunflow's average CCT
+    normalised over Varys' and over Aalo's, across network idleness
+    levels and link rates.
+
+    Idleness (§5.4) is the fraction of time with no active Coflow,
+    counting a Coflow active during [[arrival, arrival + T_L^p]]. Three
+    traces are used: the original (12 % idleness at 1 Gbps, which
+    becomes ≈81 % at 10 Gbps and ≈98 % at 100 Gbps as transfers
+    shrink), and two byte-scaled variants attaining 20 % and 40 %
+    idleness at each link rate.
+
+    Expected shape: Sunflow comparable to (≈1x of) Varys and Aalo at
+    12–40 % idleness, clearly worse at 81–98 % where Coflows are short
+    and the delta penalty dominates. *)
+
+type cell = {
+  bandwidth : float;
+  idleness_label : string;
+  measured_idleness : float;
+  sunflow_avg_cct : float;
+  varys_avg_cct : float;
+  aalo_avg_cct : float;
+}
+
+type result = { cells : cell list; delta : float }
+
+val run : ?settings:Common.settings -> ?bandwidths:float list -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

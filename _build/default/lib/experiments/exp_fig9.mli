@@ -1,0 +1,32 @@
+(** Figure 9: per-Coflow CCT difference between Sunflow and the packet
+    schedulers under the original (12 % idleness) trace, plus the §5.4
+    pairwise CCT-ratio statistics.
+
+    Expected shape: short Coflows finish slower under Sunflow (the
+    delta penalty dominates), long Coflows comparable or faster
+    (Sunflow keeps circuits saturated while Varys strands bandwidth
+    between events and Aalo mis-shares within a Coflow). *)
+
+type bucket = {
+  tpl_lo : float;
+  tpl_hi : float;
+  count : int;
+  mean_delta_varys : float;  (** mean (Sunflow CCT - Varys CCT), seconds *)
+  mean_delta_aalo : float;
+}
+
+type result = {
+  buckets : bucket list;
+  ratio_varys_avg : float;  (** avg of per-Coflow Sunflow/Varys CCT *)
+  ratio_varys_p95 : float;
+  ratio_aalo_avg : float;
+  ratio_aalo_p95 : float;
+  short_ratio_varys : float;  (** avg ratio over short Coflows *)
+  long_ratio_varys : float;
+  short_ratio_aalo : float;
+  long_ratio_aalo : float;
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,64 @@
+module D = Sunflow_stats.Descriptive
+module Category = Sunflow_core.Coflow.Category
+module Trace = Sunflow_trace.Trace
+module R = Sunflow_sim.Sim_result
+
+type result = {
+  sunflow_avg_ratio : float;
+  sunflow_p95_ratio : float;
+  solstice_avg_ratio : float;
+  solstice_p95_ratio : float;
+  lemma1_holds : bool;
+  single_line_optimal : bool;
+  switching_minimal : bool;
+  inter_avg_cct_vs_varys : float;
+  inter_avg_cct_vs_aalo : float;
+}
+
+let run ?(settings = Common.default) () =
+  let points = Common.intra_points settings in
+  let sun_ratios = List.map (fun p -> p.Common.sunflow_cct /. p.Common.tcl) points in
+  let sol_ratios =
+    List.map (fun p -> p.Common.solstice_cct /. p.Common.tcl) points
+  in
+  (* a hair of tolerance over exact equality for float round-trips *)
+  let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. b in
+  let single_line_optimal =
+    points
+    |> List.filter (fun p -> p.Common.category <> Category.Many_to_many)
+    |> List.for_all (fun p -> close p.Common.sunflow_cct p.Common.tcl)
+  in
+  let trace = Common.original_trace settings in
+  let bandwidth = settings.Common.bandwidth and delta = settings.Common.delta in
+  let sun = Common.run_sunflow ~delta ~bandwidth trace.Trace.coflows in
+  let varys = Common.run_packet ~scheduler:`Varys ~bandwidth trace.Trace.coflows in
+  let aalo = Common.run_packet ~scheduler:`Aalo ~bandwidth trace.Trace.coflows in
+  {
+    sunflow_avg_ratio = D.mean sun_ratios;
+    sunflow_p95_ratio = D.percentile 95. sun_ratios;
+    solstice_avg_ratio = D.mean sol_ratios;
+    solstice_p95_ratio = D.percentile 95. sol_ratios;
+    lemma1_holds = List.for_all (fun x -> x < 2.) sun_ratios;
+    single_line_optimal;
+    switching_minimal =
+      List.for_all (fun p -> p.Common.sunflow_setups = p.Common.n_subflows) points;
+    inter_avg_cct_vs_varys = R.average_cct sun /. R.average_cct varys;
+    inter_avg_cct_vs_aalo = R.average_cct sun /. R.average_cct aalo;
+  }
+
+let print ppf r =
+  Common.kv ppf "Sunflow CCT/TcL (avg, p95)" "%.2f, %.2f  [paper 1.03, 1.18]"
+    r.sunflow_avg_ratio r.sunflow_p95_ratio;
+  Common.kv ppf "Solstice CCT/TcL (avg, p95)" "%.2f, %.2f  [paper 1.48, 4.74]"
+    r.solstice_avg_ratio r.solstice_p95_ratio;
+  Common.kv ppf "Lemma 1 (CCT < 2 TcL everywhere)" "%b" r.lemma1_holds;
+  Common.kv ppf "O2O/O2M/M2O exactly optimal" "%b" r.single_line_optimal;
+  Common.kv ppf "switching count = |C| everywhere" "%b" r.switching_minimal;
+  Common.kv ppf "inter avg CCT vs Varys" "%.2f  [paper 1.01]"
+    r.inter_avg_cct_vs_varys;
+  Common.kv ppf "inter avg CCT vs Aalo" "%.2f  [paper 0.83]"
+    r.inter_avg_cct_vs_aalo
+
+let report ?settings ppf =
+  Common.section ppf "HEADLINE: paper's key claims";
+  print ppf (run ?settings ())

@@ -1,0 +1,26 @@
+(** The paper's headline claims, checked in one place:
+
+    - §1/§5.3.1: Sunflow CCT is within 2x of [T_L^c] for {e every}
+      Coflow (Lemma 1) and ≈1.03x on average;
+    - §5.3.1: Sunflow is exactly optimal (CCT = [T_L^c]) for
+      one-to-one, one-to-many and many-to-one Coflows;
+    - Fig. 5: Sunflow's switching count equals the number of subflows;
+    - §5.4: under shortest-Coflow-first at original load, Sunflow's
+      average CCT is comparable to Varys' and Aalo's. *)
+
+type result = {
+  sunflow_avg_ratio : float;  (** avg CCT/T_L^c, paper: 1.03 *)
+  sunflow_p95_ratio : float;  (** paper: 1.18 *)
+  solstice_avg_ratio : float;  (** paper: 1.48 *)
+  solstice_p95_ratio : float;  (** paper: 4.74 *)
+  lemma1_holds : bool;  (** every Coflow < 2x *)
+  single_line_optimal : bool;
+      (** CCT = T_L^c on every O2O/O2M/M2O Coflow *)
+  switching_minimal : bool;  (** setups = |C| for every Coflow *)
+  inter_avg_cct_vs_varys : float;  (** paper: 1.01 *)
+  inter_avg_cct_vs_aalo : float;  (** paper: 0.83 *)
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,59 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Sunflow = Sunflow_core.Sunflow
+module Trace = Sunflow_trace.Trace
+module Controller = Sunflow_switch.Controller
+
+type result = {
+  n_plans : int;
+  physically_valid : int;
+  cct_matches : int;
+  switching_matches : int;
+}
+
+let run ?(settings = Common.default) () =
+  let bandwidth = settings.Common.bandwidth and delta = settings.Common.delta in
+  let trace = Common.original_trace settings in
+  let coflows =
+    List.filter
+      (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+      trace.Trace.coflows
+  in
+  let n_ports = settings.Common.trace_params.Sunflow_trace.Synthetic.n_ports in
+  let acc = ref { n_plans = 0; physically_valid = 0; cct_matches = 0; switching_matches = 0 } in
+  List.iter
+    (fun (c : Coflow.t) ->
+      let c = { c with Coflow.arrival = 0. } in
+      let plan = Sunflow.schedule ~delta ~bandwidth c in
+      let r = !acc in
+      let r = { r with n_plans = r.n_plans + 1 } in
+      acc :=
+        (match
+           Controller.execute ~delta ~bandwidth ~n_ports ~coflows:[ c ]
+             ~plan:plan.reservations
+         with
+        | Error _ -> r
+        | Ok report ->
+          let r = { r with physically_valid = r.physically_valid + 1 } in
+          let r =
+            match List.assoc_opt c.id report.finish_times with
+            | Some t when Float.abs (t -. plan.finish) <= 1e-9 ->
+              { r with cct_matches = r.cct_matches + 1 }
+            | _ -> r
+          in
+          if report.switch_count = plan.setups then
+            { r with switching_matches = r.switching_matches + 1 }
+          else r))
+    coflows;
+  !acc
+
+let print ppf r =
+  Common.kv ppf "plans executed on the switch model" "%d" r.n_plans;
+  Common.kv ppf "physically valid" "%d / %d" r.physically_valid r.n_plans;
+  Common.kv ppf "physical CCT = planned CCT" "%d / %d" r.cct_matches r.n_plans;
+  Common.kv ppf "physical switchings = planned" "%d / %d" r.switching_matches
+    r.n_plans
+
+let report ?settings ppf =
+  Common.section ppf "ORACLE: plans replayed on the executable switch model";
+  print ppf (run ?settings ())

@@ -1,0 +1,18 @@
+(** Physical self-check: every Sunflow plan of the intra-Coflow
+    evaluation is replayed on the executable switch model
+    ({!Sunflow_switch}) — the analytical completion times the other
+    experiments report must all be physically realisable. *)
+
+type result = {
+  n_plans : int;
+  physically_valid : int;  (** plans with no physical violation *)
+  cct_matches : int;
+      (** plans whose physical drain instant equals the analytical
+          finish within 1 ns *)
+  switching_matches : int;
+      (** plans whose physical switch count equals the planner's *)
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

@@ -1,0 +1,15 @@
+(** §5.3.1 "Sensitivity to reservation ordering": Sunflow's CCT under
+    alternative intra-Coflow reservation orderings, each Coflow
+    normalised to the default OrderedPort schedule.
+
+    Expected shape: all orderings within a few percent of each other
+    (the paper reports Random at 0.94x avg / 1.01x p95 and SortedDemand
+    at 0.95x / 1.01x of OrderedPort). *)
+
+type row = { label : string; avg : float; p95 : float }
+
+type result = { rows : row list }
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+val report : ?settings:Common.settings -> Format.formatter -> unit

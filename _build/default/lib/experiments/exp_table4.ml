@@ -1,0 +1,41 @@
+module Workload = Sunflow_trace.Workload
+module Trace = Sunflow_trace.Trace
+module Category = Sunflow_core.Coflow.Category
+
+type result = {
+  stats : Workload.class_stat list;
+  n_coflows : int;
+  total_bytes : float;
+}
+
+let run ?(settings = Common.default) () =
+  let trace = Common.raw_trace settings in
+  {
+    stats = Workload.classify trace;
+    n_coflows = Trace.n_coflows trace;
+    total_bytes = Trace.total_bytes trace;
+  }
+
+let print ppf r =
+  Format.fprintf ppf "  %-10s" "Category";
+  List.iter
+    (fun (s : Workload.class_stat) ->
+      Format.fprintf ppf " %8s" (Category.to_string s.category))
+    r.stats;
+  Format.fprintf ppf "@.  %-10s" "Coflow%";
+  List.iter
+    (fun (s : Workload.class_stat) -> Format.fprintf ppf " %8.1f" s.coflow_pct)
+    r.stats;
+  Format.fprintf ppf "@.  %-10s" "Bytes%";
+  List.iter
+    (fun (s : Workload.class_stat) -> Format.fprintf ppf " %8.3f" s.bytes_pct)
+    r.stats;
+  Format.fprintf ppf "@.";
+  Common.kv ppf "coflows" "%d" r.n_coflows;
+  Common.kv ppf "total bytes" "%a" Sunflow_core.Units.pp_bytes r.total_bytes;
+  Common.kv ppf "paper (Coflow%%)" "%s" "O2O 23.4 / O2M 9.9 / M2O 40.1 / M2M 26.6";
+  Common.kv ppf "paper (Bytes%%)" "%s" "0.005 / 0.024 / 0.028 / 99.943"
+
+let report ?settings ppf =
+  Common.section ppf "TABLE 4: Coflow categories";
+  print ppf (run ?settings ())

@@ -1,0 +1,14 @@
+(** Table 4: Coflows classified by sender-to-receiver ratio, with the
+    share of Coflows and of bytes per category. *)
+
+type result = {
+  stats : Sunflow_trace.Workload.class_stat list;
+  n_coflows : int;
+  total_bytes : float;
+}
+
+val run : ?settings:Common.settings -> unit -> result
+val print : Format.formatter -> result -> unit
+
+val report : ?settings:Common.settings -> Format.formatter -> unit
+(** [run] then [print] under a section banner. *)

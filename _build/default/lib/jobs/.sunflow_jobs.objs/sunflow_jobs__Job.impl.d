@@ -1,0 +1,1 @@
+lib/jobs/job.ml: Array Float Fun List Sunflow_core

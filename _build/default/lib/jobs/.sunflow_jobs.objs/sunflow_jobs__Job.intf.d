@@ -1,0 +1,1 @@
+lib/jobs/job.mli: Sunflow_core

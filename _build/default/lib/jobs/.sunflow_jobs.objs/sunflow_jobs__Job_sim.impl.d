@@ -1,0 +1,1 @@
+lib/jobs/job_sim.ml: Array Float Hashtbl Job List Sunflow_core Sunflow_packet Sunflow_sim

@@ -1,0 +1,1 @@
+lib/jobs/job_sim.mli: Job Sunflow_core Sunflow_packet Sunflow_sim

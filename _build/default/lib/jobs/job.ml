@@ -1,0 +1,103 @@
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+
+type stage = {
+  demand : Demand.t;
+  depends_on : int list;
+}
+
+type t = {
+  id : int;
+  arrival : float;
+  stages : stage array;
+}
+
+let n_stages t = Array.length t.stages
+
+(* DFS cycle check with colouring. *)
+let check_acyclic stages =
+  let n = Array.length stages in
+  let colour = Array.make n `White in
+  let rec visit i =
+    match colour.(i) with
+    | `Grey -> invalid_arg "Job.make: dependency cycle"
+    | `Black -> ()
+    | `White ->
+      colour.(i) <- `Grey;
+      List.iter visit stages.(i).depends_on;
+      colour.(i) <- `Black
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done
+
+let make ~id ?(arrival = 0.) stages =
+  if arrival < 0. then invalid_arg "Job.make: negative arrival";
+  if stages = [] then invalid_arg "Job.make: a job needs at least one stage";
+  let stages = Array.of_list stages in
+  let n = Array.length stages in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if d < 0 || d >= n then
+            invalid_arg "Job.make: dependency index out of range")
+        s.depends_on)
+    stages;
+  check_acyclic stages;
+  { id; arrival; stages }
+
+let roots t =
+  List.filter
+    (fun i -> t.stages.(i).depends_on = [])
+    (List.init (n_stages t) Fun.id)
+
+let dependants t i =
+  if i < 0 || i >= n_stages t then invalid_arg "Job.dependants: stage out of range";
+  List.filter
+    (fun j -> List.mem i t.stages.(j).depends_on)
+    (List.init (n_stages t) Fun.id)
+
+let ready t ~completed =
+  List.filter
+    (fun i -> List.for_all completed t.stages.(i).depends_on)
+    (List.init (n_stages t) Fun.id)
+
+let depth t i =
+  if i < 0 || i >= n_stages t then invalid_arg "Job.depth: stage out of range";
+  let memo = Array.make (n_stages t) (-1) in
+  let rec go i =
+    if memo.(i) >= 0 then memo.(i)
+    else begin
+      let d =
+        match t.stages.(i).depends_on with
+        | [] -> 0
+        | deps -> 1 + List.fold_left (fun a j -> max a (go j)) 0 deps
+      in
+      memo.(i) <- d;
+      d
+    end
+  in
+  go i
+
+let critical_path ~bandwidth t =
+  let memo = Array.make (n_stages t) (-1.) in
+  let rec go i =
+    if memo.(i) >= 0. then memo.(i)
+    else begin
+      let own = Bounds.packet_lower ~bandwidth t.stages.(i).demand in
+      let before =
+        List.fold_left (fun a j -> Float.max a (go j)) 0. t.stages.(i).depends_on
+      in
+      let v = own +. before in
+      memo.(i) <- v;
+      v
+    end
+  in
+  List.fold_left
+    (fun a i -> Float.max a (go i))
+    0.
+    (List.init (n_stages t) Fun.id)
+
+let total_bytes t =
+  Array.fold_left (fun a s -> a +. Demand.total_bytes s.demand) 0. t.stages

@@ -1,0 +1,51 @@
+(** Multi-stage data-parallel jobs (paper §4.2, third policy example).
+
+    Frameworks like Hive, Tez and Dryad run jobs as DAGs of stages;
+    each inter-stage data movement is one Coflow, and a Coflow only
+    materialises when the stages it depends on have finished. The paper
+    motivates stage-aware inter-Coflow policies with exactly this
+    structure ("later-staged Coflows yield to earlier-staged Coflows to
+    avoid the potential creation of stragglers").
+
+    A job is a list of stages; stage [i] may depend on any stages with
+    indices in [depends_on]. Dependencies must form a DAG. *)
+
+type stage = {
+  demand : Sunflow_core.Demand.t;  (** the stage's Coflow traffic *)
+  depends_on : int list;  (** indices of prerequisite stages *)
+}
+
+type t = private {
+  id : int;
+  arrival : float;  (** when the job (its root stages) is submitted *)
+  stages : stage array;
+}
+
+val make : id:int -> ?arrival:float -> stage list -> t
+(** Validates: at least one stage, dependency indices in range and
+    acyclic, non-negative arrival. Raises [Invalid_argument]
+    otherwise. Stages with empty demand are allowed (barrier-only
+    stages) and complete instantly when released. *)
+
+val n_stages : t -> int
+
+val roots : t -> int list
+(** Stages with no dependencies — released at the job's arrival. *)
+
+val dependants : t -> int -> int list
+(** Stages that list the given stage as a prerequisite. *)
+
+val ready : t -> completed:(int -> bool) -> int list
+(** Stages all of whose prerequisites satisfy [completed], in index
+    order (including already-completed ones; callers filter). *)
+
+val depth : t -> int -> int
+(** Length of the longest dependency chain ending at a stage
+    ([0] for roots) — the "stage number" a stage-aware policy keys
+    on. *)
+
+val critical_path : bandwidth:float -> t -> float
+(** Lower bound on job completion: the largest sum of stage
+    packet-switched lower bounds along any dependency chain. *)
+
+val total_bytes : t -> float

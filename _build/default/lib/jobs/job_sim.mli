@@ -1,0 +1,38 @@
+(** Job-level trace replay: stages become Coflows as their
+    prerequisites finish, the fabric schedules the live Coflows, and a
+    job completes when its last stage drains.
+
+    Built on the {!Sunflow_sim} replay engines through their
+    [on_complete] hooks, so the same code paths measured in the
+    Coflow-level experiments serve the job level. *)
+
+type fabric =
+  | Circuit of { delta : float; policy : Sunflow_core.Inter.policy }
+      (** Sunflow-scheduled optical fabric *)
+  | Packet of Sunflow_packet.Snapshot.scheduler
+      (** packet fabric under the given scheduler *)
+
+val stage_policy : Sunflow_core.Inter.policy
+(** The paper's stage-aware policy: Coflows of earlier stages are
+    served before later-staged ones, FIFO within a stage. The stage
+    number is the stage's index, which equals its dependency depth for
+    the usual topologically-ordered job descriptions. Only meaningful
+    on Coflow ids produced by {!run} (stage metadata is encoded in
+    them). *)
+
+type result = {
+  job_completions : (int * float) list;
+      (** job id -> completion time (last stage finish - job arrival),
+          sorted by id *)
+  stage_finishes : (int * int * float) list;
+      (** (job id, stage index, absolute finish) in finish order *)
+  coflow_result : Sunflow_sim.Sim_result.t;
+      (** the underlying Coflow-level replay *)
+}
+
+val run : fabric:fabric -> bandwidth:float -> Job.t list -> result
+(** Replay the jobs. Raises [Invalid_argument] on duplicate job ids or
+    more than 4096 stages in one job (ids encode (job, stage)). *)
+
+val average_jct : result -> float
+(** Average job completion time; raises on an empty result. *)

@@ -1,0 +1,1 @@
+lib/matching/bvn.ml: Array Bipartite Dense Float Hopcroft_karp List Stuffing

@@ -1,0 +1,1 @@
+lib/matching/dense.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/matching/hopcroft_karp.mli: Bipartite

@@ -1,0 +1,1 @@
+lib/matching/sinkhorn.ml: Array Dense Float

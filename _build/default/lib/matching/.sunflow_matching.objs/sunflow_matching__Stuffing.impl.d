@@ -1,0 +1,1 @@
+lib/matching/stuffing.ml: Array Dense Float

@@ -1,0 +1,67 @@
+type term = { pairs : (int * int) list; weight : float }
+
+let decompose ?eps m =
+  if not (Stuffing.is_balanced m) then
+    invalid_arg "Bvn.decompose: matrix is not balanced";
+  let top = Dense.max_entry m in
+  let eps = match eps with Some e -> e | None -> 1e-9 *. Float.max top 1. in
+  let work = Dense.copy m in
+  (* Ports with no demand at all are matched to themselves implicitly:
+     we decompose over the full n x n index set but only include pairs
+     carrying positive demand in each term. To keep perfect matchings
+     well-defined we restrict to active ports. *)
+  let active_rows = ref [] and active_cols = ref [] in
+  Array.iteri
+    (fun i s -> if s > eps then active_rows := i :: !active_rows)
+    (Dense.row_sums work);
+  Array.iteri
+    (fun j s -> if s > eps then active_cols := j :: !active_cols)
+    (Dense.col_sums work);
+  let rows = Array.of_list (List.rev !active_rows) in
+  let cols = Array.of_list (List.rev !active_cols) in
+  let k = Array.length rows in
+  if k = 0 then []
+  else if Array.length cols <> k then
+    invalid_arg "Bvn.decompose: active row/column counts differ"
+  else begin
+    let terms = ref [] in
+    let remaining = ref (Dense.total work) in
+    let guard = ref (Dense.count_positive work + k + 1) in
+    while !remaining > eps *. float_of_int (k * k) && !guard > 0 do
+      decr guard;
+      let edges = ref [] in
+      Array.iteri
+        (fun ri i ->
+          Array.iteri
+            (fun cj j -> if work.(i).(j) > eps then edges := (ri, cj) :: !edges)
+            cols)
+        rows;
+      let g = Bipartite.create ~n_left:k ~n_right:k !edges in
+      match Hopcroft_karp.perfect g with
+      | None ->
+        (* Should not happen on a balanced matrix; bail out rather than
+           loop forever on numerical noise. *)
+        guard := 0
+      | Some matching ->
+        let pairs = List.map (fun (ri, cj) -> (rows.(ri), cols.(cj))) matching in
+        let weight =
+          List.fold_left (fun w (i, j) -> Float.min w work.(i).(j)) infinity pairs
+        in
+        List.iter
+          (fun (i, j) ->
+            let v = work.(i).(j) -. weight in
+            work.(i).(j) <- (if v < eps then 0. else v))
+          pairs;
+        remaining := Dense.total work;
+        terms := { pairs; weight } :: !terms
+    done;
+    List.rev !terms
+  end
+
+let reconstruct n terms =
+  let m = Dense.make n in
+  List.iter
+    (fun { pairs; weight } ->
+      List.iter (fun (i, j) -> m.(i).(j) <- m.(i).(j) +. weight) pairs)
+    terms;
+  m

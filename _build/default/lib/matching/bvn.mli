@@ -1,0 +1,23 @@
+(** Birkhoff–von-Neumann decomposition.
+
+    A non-negative matrix whose row and column sums are all equal can be
+    written as a weighted sum of (partial) permutation matrices; this is
+    the engine behind the TMS circuit scheduler and the terminal phase
+    of Solstice. Each term becomes one circuit assignment held for a
+    duration proportional to its weight. *)
+
+type term = { pairs : (int * int) list; weight : float }
+(** One permutation-matrix term: the matched (row, column) pairs and the
+    coefficient. *)
+
+val decompose : ?eps:float -> Dense.t -> term list
+(** [decompose m] returns terms whose weighted sum reconstructs [m]
+    within numerical tolerance. [m] must be balanced in the sense of
+    {!Stuffing.is_balanced} (raises [Invalid_argument] otherwise).
+    Entries below [eps] (default: [1e-9] relative to the max entry) are
+    treated as zero. Terminates in at most [count_positive m] steps
+    because every step zeroes at least one entry. *)
+
+val reconstruct : int -> term list -> Dense.t
+(** [reconstruct n terms] rebuilds the [n] x [n] matrix from a
+    decomposition; used in tests to check exactness. *)

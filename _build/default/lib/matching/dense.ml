@@ -1,0 +1,89 @@
+type t = float array array
+
+let make n = Array.make_matrix n n 0.
+
+let size m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Dense.size: ragged matrix")
+    m;
+  n
+
+let copy m = Array.map Array.copy m
+
+let row_sums m = Array.map (Array.fold_left ( +. ) 0.) m
+
+let col_sums m =
+  let n = size m in
+  let s = Array.make n 0. in
+  Array.iter (fun row -> Array.iteri (fun j v -> s.(j) <- s.(j) +. v) row) m;
+  s
+
+let total m =
+  Array.fold_left (fun acc row -> acc +. Array.fold_left ( +. ) 0. row) 0. m
+
+let max_entry m =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0. m
+
+let min_positive_entry m =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun a v -> if v > 0. && v < a then v else a) acc row)
+    infinity m
+
+let max_line_sum m =
+  let rmax = Array.fold_left max 0. (row_sums m) in
+  let cmax = Array.fold_left max 0. (col_sums m) in
+  max rmax cmax
+
+let iter_positive f m =
+  Array.iteri (fun i row -> Array.iteri (fun j v -> if v > 0. then f i j v) row) m
+
+let count_positive m =
+  let k = ref 0 in
+  iter_positive (fun _ _ _ -> incr k) m;
+  !k
+
+let add a b =
+  let n = size a in
+  if size b <> n then invalid_arg "Dense.add: size mismatch";
+  Array.init n (fun i -> Array.init n (fun j -> a.(i).(j) +. b.(i).(j)))
+
+let sub_clamped a b =
+  let n = size a in
+  if size b <> n then invalid_arg "Dense.sub_clamped: size mismatch";
+  Array.init n (fun i -> Array.init n (fun j -> Float.max 0. (a.(i).(j) -. b.(i).(j))))
+
+let equal ?(eps = 1e-9) a b =
+  let n = size a in
+  size b = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Float.abs (a.(i).(j) -. b.(i).(j)) > eps then ok := false
+    done
+  done;
+  !ok
+
+let quantize_up ~quantum m =
+  if quantum <= 0. then copy m
+  else
+    Array.map
+      (fun row ->
+        Array.map
+          (fun v -> if v <= 0. then 0. else quantum *. Float.ceil (v /. quantum))
+          row)
+      m
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Format.pp_print_string ppf " ";
+          Format.fprintf ppf "%8.3g" v)
+        row;
+      Format.pp_print_newline ppf ())
+    m

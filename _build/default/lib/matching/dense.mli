@@ -1,0 +1,53 @@
+(** Small dense float matrices.
+
+    The circuit-scheduling baselines (Solstice, TMS, Edmonds) all reason
+    about a Coflow demand densified over its active ports; this module
+    provides the handful of matrix operations they share. Matrices are
+    [float array array] with [m.(i).(j)] the demand from row (input
+    port) [i] to column (output port) [j]. All matrices are square. *)
+
+type t = float array array
+
+val make : int -> t
+(** [make n] is an [n] x [n] zero matrix. *)
+
+val size : t -> int
+(** Number of rows (= columns). Raises on ragged input. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val row_sums : t -> float array
+val col_sums : t -> float array
+
+val total : t -> float
+(** Sum of all entries. *)
+
+val max_entry : t -> float
+(** Largest entry; [0.] for an empty matrix. *)
+
+val min_positive_entry : t -> float
+(** Smallest entry strictly greater than zero; [infinity] if none. *)
+
+val max_line_sum : t -> float
+(** Largest row or column sum — the bandwidth-feasibility bottleneck. *)
+
+val iter_positive : (int -> int -> float -> unit) -> t -> unit
+(** Iterate over entries strictly greater than zero. *)
+
+val count_positive : t -> int
+
+val add : t -> t -> t
+(** Entry-wise sum; operands must have equal size. *)
+
+val sub_clamped : t -> t -> t
+(** Entry-wise difference, clamped below at [0.]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise equality within [eps] (default [1e-9]). *)
+
+val quantize_up : quantum:float -> t -> t
+(** Round every positive entry up to the next multiple of [quantum].
+    [quantum <= 0.] returns a copy unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type matching = { pair_left : int array; pair_right : int array; size : int }
+
+let inf = max_int
+
+(* Standard Hopcroft-Karp: alternate BFS layering from free left
+   vertices with DFS augmentation along the layered graph. *)
+let solve g =
+  let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+  let pair_left = Array.make (max nl 1) (-1) in
+  let pair_right = Array.make (max nr 1) (-1) in
+  let dist = Array.make (max nl 1) inf in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let reachable_free = ref false in
+    for u = 0 to nl - 1 do
+      if pair_left.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- inf
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          let u' = pair_right.(v) in
+          if u' = -1 then reachable_free := true
+          else if dist.(u') = inf then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' queue
+          end)
+        (Bipartite.neighbours g u)
+    done;
+    !reachable_free
+  in
+  let rec dfs u =
+    let rec try_edges = function
+      | [] ->
+        dist.(u) <- inf;
+        false
+      | v :: rest ->
+        let u' = pair_right.(v) in
+        let ok =
+          if u' = -1 then true
+          else if dist.(u') = dist.(u) + 1 then dfs u'
+          else false
+        in
+        if ok then begin
+          pair_left.(u) <- v;
+          pair_right.(v) <- u;
+          true
+        end
+        else try_edges rest
+    in
+    try_edges (Bipartite.neighbours g u)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to nl - 1 do
+      if pair_left.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { pair_left; pair_right; size = !size }
+
+let is_perfect g m =
+  Bipartite.n_left g = Bipartite.n_right g && m.size = Bipartite.n_left g
+
+let perfect g =
+  if Bipartite.n_left g <> Bipartite.n_right g then None
+  else begin
+    let m = solve g in
+    if is_perfect g m then
+      Some (List.init (Bipartite.n_left g) (fun u -> (u, m.pair_left.(u))))
+    else None
+  end

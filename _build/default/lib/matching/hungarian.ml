@@ -1,0 +1,78 @@
+(* Classic O(n^3) Hungarian algorithm with row/column potentials and
+   shortest augmenting paths (the "e-maxx" formulation), 1-indexed
+   internally with column 0 as the virtual start. *)
+let min_cost_assignment cost =
+  let n = Dense.size cost in
+  if n = 0 then [||]
+  else begin
+    let u = Array.make (n + 1) 0. in
+    let v = Array.make (n + 1) 0. in
+    let p = Array.make (n + 1) 0 in
+    (* p.(j) = row currently assigned to column j, 0 = none *)
+    let way = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (n + 1) infinity in
+      let used = Array.make (n + 1) false in
+      let continue_ = ref true in
+      while !continue_ do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity in
+        let j1 = ref 0 in
+        for j = 1 to n do
+          if not used.(j) then begin
+            let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to n do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue_ := false
+      done;
+      (* augment along the recorded path *)
+      let j0 = ref !j0 in
+      while !j0 <> 0 do
+        let j1 = way.(!j0) in
+        p.(!j0) <- p.(j1);
+        j0 := j1
+      done
+    done;
+    let result = Array.make n (-1) in
+    for j = 1 to n do
+      result.(p.(j) - 1) <- j - 1
+    done;
+    result
+  end
+
+let max_weight_assignment w =
+  let n = Dense.size w in
+  let neg = Array.init n (fun i -> Array.init n (fun j -> -.w.(i).(j))) in
+  min_cost_assignment neg
+
+let max_weight_matching w =
+  let a = max_weight_assignment w in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i j -> if w.(i).(j) > 0. then pairs := (i, j) :: !pairs)
+    a;
+  List.rev !pairs
+
+let assignment_weight w a =
+  let acc = ref 0. in
+  Array.iteri (fun i j -> acc := !acc +. w.(i).(j)) a;
+  !acc

@@ -1,0 +1,36 @@
+let max_line_deviation m =
+  let dev acc s = Float.max acc (Float.abs (s -. 1.)) in
+  let rows = Array.fold_left dev 0. (Dense.row_sums m) in
+  Array.fold_left dev rows (Dense.col_sums m)
+
+let scale ?(max_iterations = 1000) ?(tolerance = 1e-9) m =
+  let n = Dense.size m in
+  if n = 0 then invalid_arg "Sinkhorn.scale: empty matrix";
+  Array.iter
+    (Array.iter (fun v ->
+         if v <= 0. then
+           invalid_arg "Sinkhorn.scale: matrix must be strictly positive"))
+    m;
+  let work = Dense.copy m in
+  let normalise sums get set =
+    Array.iteri
+      (fun a s ->
+        if s > 0. then
+          for b = 0 to n - 1 do
+            set a b (get a b /. s)
+          done)
+      sums
+  in
+  let rec sweep k =
+    if k < max_iterations && max_line_deviation work > tolerance then begin
+      normalise (Dense.row_sums work)
+        (fun i j -> work.(i).(j))
+        (fun i j v -> work.(i).(j) <- v);
+      normalise (Dense.col_sums work)
+        (fun j i -> work.(i).(j))
+        (fun j i v -> work.(i).(j) <- v);
+      sweep (k + 1)
+    end
+  in
+  sweep 0;
+  work

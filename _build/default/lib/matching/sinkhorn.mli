@@ -1,0 +1,20 @@
+(** Sinkhorn–Knopp scaling to a doubly stochastic matrix.
+
+    TMS pre-processes the demand matrix by scaling it into a
+    bandwidth-share matrix whose rows and columns all sum to one, then
+    hands that to the BvN decomposition. Sinkhorn's algorithm —
+    alternately normalising rows and columns — converges for any
+    strictly positive matrix. *)
+
+val scale :
+  ?max_iterations:int -> ?tolerance:float -> Dense.t -> Dense.t
+(** [scale m] returns a doubly stochastic matrix obtained by
+    alternating row and column normalisation, stopping when every line
+    sum is within [tolerance] of [1.] (default [1e-9]) or after
+    [max_iterations] (default [1000]) sweeps. Raises [Invalid_argument]
+    if the matrix is empty or has a non-positive entry (add a small
+    constant first — exactly what TMS does, and what the Sunflow paper
+    means by "heavily modify the original demand matrix"). *)
+
+val max_line_deviation : Dense.t -> float
+(** Largest absolute deviation of a row or column sum from [1.]. *)

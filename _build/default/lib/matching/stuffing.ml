@@ -1,0 +1,45 @@
+(* Greedy equalisation: repeatedly pick a deficient row and a deficient
+   column and pour min(row deficit, col deficit) into their cell. The
+   sum of row deficits always equals the sum of column deficits, so the
+   loop drains both to zero in at most 2n steps. *)
+let stuff m =
+  let n = Dense.size m in
+  let s = Dense.max_line_sum m in
+  let out = Dense.copy m in
+  if n = 0 || s <= 0. then out
+  else begin
+    let rdef = Array.map (fun x -> s -. x) (Dense.row_sums out) in
+    let cdef = Array.map (fun x -> s -. x) (Dense.col_sums out) in
+    let eps = s *. 1e-12 in
+    let find_deficient d =
+      let best = ref (-1) in
+      Array.iteri (fun i v -> if v > eps && !best = -1 then best := i) d;
+      !best
+    in
+    let rec go () =
+      let i = find_deficient rdef in
+      if i >= 0 then begin
+        let j = find_deficient cdef in
+        if j < 0 then () (* numerically drained *)
+        else begin
+          let amount = Float.min rdef.(i) cdef.(j) in
+          out.(i).(j) <- out.(i).(j) +. amount;
+          rdef.(i) <- rdef.(i) -. amount;
+          cdef.(j) <- cdef.(j) -. amount;
+          go ()
+        end
+      end
+    in
+    go ();
+    out
+  end
+
+let dummy_added ~original ~stuffed = Dense.total stuffed -. Dense.total original
+
+let is_balanced ?eps m =
+  let s = Dense.max_line_sum m in
+  let eps = match eps with Some e -> e | None -> 1e-6 *. Float.max s 1. in
+  let ok = ref true in
+  Array.iter (fun r -> if Float.abs (r -. s) > eps then ok := false) (Dense.row_sums m);
+  Array.iter (fun c -> if Float.abs (c -. s) > eps then ok := false) (Dense.col_sums m);
+  !ok

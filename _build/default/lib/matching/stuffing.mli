@@ -1,0 +1,21 @@
+(** Demand-matrix stuffing.
+
+    TMS and Solstice both pre-process the demand matrix by adding dummy
+    demand until every row and column sum equals the largest line sum,
+    which makes the matrix a scaled doubly-stochastic matrix and hence
+    (by Birkhoff's theorem) decomposable into perfect matchings. The
+    Sunflow paper calls out this step as a source of inefficiency: the
+    dummy demand occupies circuit time that serves no real traffic
+    (§3.1.1, Fig. 1b's assignment A5). *)
+
+val stuff : Dense.t -> Dense.t
+(** [stuff m] is [m + dummy] with [dummy >= 0] entry-wise and every row
+    and column sum of the result equal to [Dense.max_line_sum m]. The
+    input is not modified. *)
+
+val dummy_added : original:Dense.t -> stuffed:Dense.t -> float
+(** Total dummy demand, [Dense.total stuffed -. Dense.total original]. *)
+
+val is_balanced : ?eps:float -> Dense.t -> bool
+(** True when all row and column sums agree within [eps] (default
+    [1e-6] relative to the largest line sum). *)

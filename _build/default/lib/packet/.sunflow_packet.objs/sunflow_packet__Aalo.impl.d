@@ -1,0 +1,1 @@
+lib/packet/aalo.ml: Float List Maxmin Rate_alloc Residual Snapshot Sunflow_core

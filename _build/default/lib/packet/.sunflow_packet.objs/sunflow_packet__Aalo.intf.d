@@ -1,0 +1,1 @@
+lib/packet/aalo.mli: Snapshot

@@ -1,0 +1,1 @@
+lib/packet/fair.ml: List Maxmin Rate_alloc Residual Snapshot

@@ -1,0 +1,1 @@
+lib/packet/maxmin.ml: Float Hashtbl List Rate_alloc Residual

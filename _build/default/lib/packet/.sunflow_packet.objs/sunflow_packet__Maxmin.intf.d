@@ -1,0 +1,1 @@
+lib/packet/maxmin.mli: Rate_alloc Residual

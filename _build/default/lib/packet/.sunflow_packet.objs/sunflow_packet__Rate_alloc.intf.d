@@ -1,0 +1,1 @@
+lib/packet/rate_alloc.mli:

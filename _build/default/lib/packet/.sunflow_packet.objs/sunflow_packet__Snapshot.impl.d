@@ -1,0 +1,1 @@
+lib/packet/snapshot.ml: List Rate_alloc Sunflow_core

@@ -1,0 +1,1 @@
+lib/packet/snapshot.mli: Rate_alloc Sunflow_core

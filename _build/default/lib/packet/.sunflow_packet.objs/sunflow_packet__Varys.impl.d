@@ -1,0 +1,1 @@
+lib/packet/varys.ml: Float List Rate_alloc Residual Snapshot Sunflow_core

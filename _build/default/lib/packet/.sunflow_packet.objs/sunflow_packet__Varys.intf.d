@@ -1,0 +1,1 @@
+lib/packet/varys.mli: Snapshot Sunflow_core

@@ -1,0 +1,93 @@
+module Coflow = Sunflow_core.Coflow
+
+type params = {
+  first_threshold : float;
+  multiplier : float;
+  n_queues : int;
+}
+
+let default_params =
+  { first_threshold = 10e6; multiplier = 10.; n_queues = 10 }
+
+let queue_of p ~sent =
+  if sent < 0. then invalid_arg "Aalo.queue_of: negative sent bytes";
+  let rec find k threshold =
+    if k >= p.n_queues - 1 then p.n_queues - 1
+    else if sent < threshold then k
+    else find (k + 1) (threshold *. p.multiplier)
+  in
+  find 0 p.first_threshold
+
+let queue_weight p k =
+  if k < 0 || k >= p.n_queues then invalid_arg "Aalo.queue_weight: bad queue";
+  p.multiplier ** float_of_int (p.n_queues - 1 - k)
+
+let by_queue params snapshots =
+  List.stable_sort
+    (fun (a : Snapshot.t) (b : Snapshot.t) ->
+      let qa = queue_of params ~sent:a.sent in
+      let qb = queue_of params ~sent:b.sent in
+      match compare qa qb with
+      | 0 -> Coflow.compare_arrival a.coflow b.coflow
+      | c -> c)
+    snapshots
+
+(* Serve Coflows in queue order against the residual capacities; each
+   Coflow's flows share max-min fairly (sizes are unknown). *)
+let serve alloc residual ordered =
+  List.iter
+    (fun (s : Snapshot.t) ->
+      let rates = Maxmin.allocate residual (Snapshot.flows s) in
+      List.iter
+        (fun (id, r) -> if r > 0. then Rate_alloc.add alloc id r)
+        rates)
+    ordered
+
+let allocate_strict params ~bandwidth snapshots =
+  let alloc = Rate_alloc.empty () in
+  let residual = Residual.create ~bandwidth in
+  serve alloc residual (by_queue params snapshots);
+  alloc
+
+(* Weighted sharing: pass one grants every flow at most its queue's
+   weight share of the port rate (so lower queues keep a guaranteed
+   sliver even under a busy high-priority queue); pass two is strict
+   max-min and work-conserving over the leftovers. *)
+let allocate_weighted params ~bandwidth snapshots =
+  let alloc = Rate_alloc.empty () in
+  let residual = Residual.create ~bandwidth in
+  let ordered = by_queue params snapshots in
+  let total_weight =
+    List.fold_left ( +. ) 0.
+      (List.init params.n_queues (queue_weight params))
+  in
+  (* pass 1: weighted guarantees, consuming only the capped amount *)
+  List.iter
+    (fun (s : Snapshot.t) ->
+      let cap =
+        bandwidth
+        *. queue_weight params (queue_of params ~sent:s.sent)
+        /. total_weight
+      in
+      List.iter
+        (fun (id : Rate_alloc.flow_id) ->
+          let r =
+            Float.min cap
+              (Residual.circuit_headroom residual ~src:id.src ~dst:id.dst)
+          in
+          if r > 0. then begin
+            Residual.consume residual ~src:id.src ~dst:id.dst r;
+            Rate_alloc.add alloc id r
+          end)
+        (Snapshot.flows s))
+    ordered;
+  (* pass 2: strict, work-conserving *)
+  serve alloc residual ordered;
+  alloc
+
+let allocate_with ?(sharing = `Strict) params ~bandwidth snapshots =
+  match sharing with
+  | `Strict -> allocate_strict params ~bandwidth snapshots
+  | `Weighted -> allocate_weighted params ~bandwidth snapshots
+
+let allocate ~bandwidth snapshots = allocate_with default_params ~bandwidth snapshots

@@ -1,0 +1,44 @@
+(** Aalo (Chowdhury & Stoica, SIGCOMM 2015): non-clairvoyant Coflow
+    scheduling without prior knowledge of flow sizes.
+
+    Aalo's D-CLAS discretises Coflows into priority queues by the bytes
+    they have {e already sent}: a Coflow starts in the highest-priority
+    queue and sinks into lower-priority queues as it crosses
+    exponentially spaced thresholds. Within a queue Coflows are served
+    FIFO; within a Coflow, with sizes unknown, the flows share the
+    Coflow's bandwidth max-min fairly — which is what delays the long
+    subflows of large Coflows and costs Aalo against Varys at the
+    intra-Coflow level (the paper's Fig. 9 discussion).
+
+    Two inter-queue disciplines are provided: strict priority (the
+    default — a good approximation of the deployed system's steep
+    exponential weights) and the weighted sharing of the Aalo paper
+    itself, under which lower-priority queues retain a small guaranteed
+    share instead of starving while higher queues are busy. *)
+
+type params = {
+  first_threshold : float;  (** queue-0 upper bound in bytes (10 MB) *)
+  multiplier : float;  (** exponential spacing E between thresholds (10) *)
+  n_queues : int;  (** K; the last queue is unbounded (10) *)
+}
+
+val default_params : params
+(** 10 MB, x10, 10 queues — the Aalo paper's configuration. *)
+
+val queue_of : params -> sent:float -> int
+(** The queue a Coflow with [sent] bytes already sent belongs to. *)
+
+val queue_weight : params -> int -> float
+(** The weighted discipline's share weight of a queue: queue [k] gets
+    weight [multiplier^(n_queues - 1 - k)], so each priority level
+    outweighs the next by the queue-spacing factor E. *)
+
+val allocate_with :
+  ?sharing:[ `Strict | `Weighted ] -> params -> Snapshot.scheduler
+(** [sharing] defaults to [`Strict]. Under [`Weighted], each pass
+    grants queue [k] at most its weight share of the ports' remaining
+    capacity, then a strict work-conserving pass distributes whatever
+    is left. *)
+
+val allocate : Snapshot.scheduler
+(** [allocate_with default_params] (strict). *)

@@ -1,0 +1,7 @@
+let allocate ~bandwidth snapshots =
+  let alloc = Rate_alloc.empty () in
+  let residual = Residual.create ~bandwidth in
+  let flows = List.concat_map Snapshot.flows snapshots in
+  let rates = Maxmin.allocate residual flows in
+  List.iter (fun (id, r) -> if r > 0. then Rate_alloc.add alloc id r) rates;
+  alloc

@@ -1,0 +1,5 @@
+(** Per-flow max-min fairness, the Coflow-agnostic baseline: every
+    unfinished flow in the fabric shares bandwidth max-min fairly,
+    regardless of which Coflow it belongs to (TCP-like behaviour). *)
+
+val allocate : Snapshot.scheduler

@@ -1,0 +1,70 @@
+let allocate residual flows =
+  let module F = struct
+    type t = { id : Rate_alloc.flow_id; mutable rate : float; mutable live : bool }
+  end in
+  let distinct = List.sort_uniq compare flows in
+  if List.length distinct <> List.length flows then
+    invalid_arg "Maxmin.allocate: duplicate flow";
+  let fs = List.map (fun id -> { F.id; rate = 0.; live = true }) flows in
+  (* Track remaining headroom per port locally; commit to [residual]
+     at the end so intermediate rounding stays internal. *)
+  let head : ([ `In of int | `Out of int ], float) Hashtbl.t = Hashtbl.create 16 in
+  let ports_of (id : Rate_alloc.flow_id) = [ `In id.src; `Out id.dst ] in
+  List.iter
+    (fun (f : F.t) ->
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem head p) then
+            Hashtbl.replace head p
+              (match p with
+              | `In i -> Residual.available_in residual i
+              | `Out j -> Residual.available_out residual j))
+        (ports_of f.id))
+    fs;
+  let live_count p =
+    List.fold_left
+      (fun k (f : F.t) ->
+        if f.live && List.mem p (ports_of f.id) then k + 1 else k)
+      0 fs
+  in
+  let rec fill () =
+    let live = List.filter (fun (f : F.t) -> f.live) fs in
+    if live <> [] then begin
+      (* smallest equal increment that saturates some port *)
+      let inc =
+        Hashtbl.fold
+          (fun p room acc ->
+            let k = live_count p in
+            if k = 0 then acc else Float.min acc (room /. float_of_int k))
+          head infinity
+      in
+      if inc <= 0. || inc = infinity then
+        List.iter (fun (f : F.t) -> f.live <- false) live
+      else begin
+        List.iter
+          (fun (f : F.t) ->
+            f.rate <- f.rate +. inc;
+            List.iter
+              (fun p -> Hashtbl.replace head p (Hashtbl.find head p -. inc))
+              (ports_of f.id))
+          live;
+        (* freeze flows crossing a saturated port *)
+        let tol = 1e-9 *. (1. +. inc) in
+        List.iter
+          (fun (f : F.t) ->
+            if
+              f.live
+              && List.exists (fun p -> Hashtbl.find head p <= tol) (ports_of f.id)
+            then f.live <- false)
+          live;
+        fill ()
+      end
+    end
+  in
+  fill ();
+  List.iter
+    (fun (f : F.t) ->
+      if f.rate > 0. then
+        Residual.consume residual ~src:f.id.src ~dst:f.id.dst f.rate)
+    fs;
+  List.map (fun (f : F.t) -> (f.id, f.rate)) fs

@@ -1,0 +1,14 @@
+(** Max-min fair rate allocation by progressive filling.
+
+    All given flows increase their rates at the same pace; when a port
+    saturates, the flows crossing it freeze at their current rate and
+    the rest keep growing. This is the intra-Coflow sharing Aalo falls
+    back to when flow sizes are unknown, and — applied to all flows at
+    once — the classic per-flow fairness baseline. *)
+
+val allocate :
+  Residual.t -> Rate_alloc.flow_id list -> (Rate_alloc.flow_id * float) list
+(** [allocate residual flows] water-fills the flows into the remaining
+    capacities, consuming them. Flows listed twice raise
+    [Invalid_argument]. Returns the rate of every input flow (possibly
+    [0.] when a port had no headroom). *)

@@ -1,0 +1,52 @@
+type flow_id = { coflow : int; src : int; dst : int }
+
+type t = (flow_id, float) Hashtbl.t
+
+let empty () : t = Hashtbl.create 32
+
+let set (t : t) f r = if r > 0. then Hashtbl.replace t f r else Hashtbl.remove t f
+
+let rate (t : t) f = match Hashtbl.find_opt t f with Some r -> r | None -> 0.
+
+let add t f r = set t f (rate t f +. r)
+
+let to_list (t : t) =
+  Hashtbl.fold (fun f r acc -> (f, r) :: acc) t []
+  |> List.sort (fun ((a : flow_id), _) (b, _) ->
+         compare (a.coflow, a.src, a.dst) (b.coflow, b.src, b.dst))
+
+let port_load (t : t) port =
+  Hashtbl.fold
+    (fun f r acc ->
+      match port with
+      | `In i -> if f.src = i then acc +. r else acc
+      | `Out j -> if f.dst = j then acc +. r else acc)
+    t 0.
+
+let check_feasible ?(eps = 1e-6) ~bandwidth t =
+  let tol = bandwidth *. eps in
+  let in_load : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let out_load : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl k v =
+    let prev = match Hashtbl.find_opt tbl k with Some x -> x | None -> 0. in
+    Hashtbl.replace tbl k (prev +. v)
+  in
+  Hashtbl.iter
+    (fun f r ->
+      bump in_load f.src r;
+      bump out_load f.dst r)
+    t;
+  let violation = ref None in
+  let scan kind tbl =
+    Hashtbl.iter
+      (fun p load ->
+        if load > bandwidth +. tol && !violation = None then
+          violation :=
+            Some
+              (Format.asprintf "%s port %d over capacity: %g > %g" kind p load
+                 bandwidth))
+      tbl
+  in
+  scan "input" in_load;
+  scan "output" out_load;
+  match !violation with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,29 @@
+(** Rate allocations for the packet-switched fabric.
+
+    In the packet switch model (paper §2.1) many virtual output queues
+    are served simultaneously subject to the per-port bandwidth
+    constraints: the allocated rates out of any input port, and into
+    any output port, must each sum to at most [B]. *)
+
+type flow_id = { coflow : int; src : int; dst : int }
+
+type t
+(** A map from flows to rates (bytes/second). Flows absent from the
+    map have rate [0.]. *)
+
+val empty : unit -> t
+val set : t -> flow_id -> float -> unit
+(** Non-positive rates remove the entry. *)
+
+val add : t -> flow_id -> float -> unit
+val rate : t -> flow_id -> float
+val to_list : t -> (flow_id * float) list
+(** Sorted by [(coflow, src, dst)] for determinism. *)
+
+val port_load : t -> [ `In of int | `Out of int ] -> float
+(** Summed rate through one port. *)
+
+val check_feasible : ?eps:float -> bandwidth:float -> t -> (unit, string) result
+(** Verify the bandwidth constraints on every port within a relative
+    tolerance (default [1e-6]); used by tests as an oracle over every
+    packet scheduler. *)

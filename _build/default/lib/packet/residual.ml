@@ -1,0 +1,30 @@
+type t = {
+  bandwidth : float;
+  ins : (int, float) Hashtbl.t;
+  outs : (int, float) Hashtbl.t;
+}
+
+let create ~bandwidth =
+  if bandwidth <= 0. then invalid_arg "Residual.create: bandwidth <= 0";
+  { bandwidth; ins = Hashtbl.create 16; outs = Hashtbl.create 16 }
+
+let get tbl bandwidth p =
+  match Hashtbl.find_opt tbl p with Some v -> v | None -> bandwidth
+
+let available_in t i = get t.ins t.bandwidth i
+let available_out t j = get t.outs t.bandwidth j
+
+let circuit_headroom t ~src ~dst =
+  Float.min (available_in t src) (available_out t dst)
+
+let consume t ~src ~dst r =
+  if r < 0. then invalid_arg "Residual.consume: negative rate";
+  let tol = t.bandwidth *. 1e-6 in
+  let take tbl p =
+    let v = get tbl t.bandwidth p in
+    let v' = v -. r in
+    if v' < -.tol then invalid_arg "Residual.consume: port over capacity";
+    Hashtbl.replace tbl p (Float.max 0. v')
+  in
+  take t.ins src;
+  take t.outs dst

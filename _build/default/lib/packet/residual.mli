@@ -1,0 +1,19 @@
+(** Mutable per-port residual capacities shared by the packet
+    schedulers while they carve up the fabric. *)
+
+type t
+
+val create : bandwidth:float -> t
+(** Every port starts with [bandwidth] available (ports materialise
+    lazily on first touch). *)
+
+val available_in : t -> int -> float
+val available_out : t -> int -> float
+
+val circuit_headroom : t -> src:int -> dst:int -> float
+(** [min (available_in src) (available_out dst)]. *)
+
+val consume : t -> src:int -> dst:int -> float -> unit
+(** Deduct a rate from both ports; clamps tiny negative residues to
+    [0.]. Raises [Invalid_argument] when over-consuming beyond
+    numerical tolerance. *)

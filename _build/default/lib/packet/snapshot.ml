@@ -1,0 +1,10 @@
+type t = { coflow : Sunflow_core.Coflow.t; sent : float }
+
+let fresh coflow = { coflow; sent = 0. }
+
+let flows t =
+  Sunflow_core.Demand.entries t.coflow.Sunflow_core.Coflow.demand
+  |> List.map (fun ((src, dst), _) ->
+         { Rate_alloc.coflow = t.coflow.Sunflow_core.Coflow.id; src; dst })
+
+type scheduler = bandwidth:float -> t list -> Rate_alloc.t

@@ -1,0 +1,19 @@
+(** What a packet scheduler sees at a rescheduling instant: each active
+    Coflow's remaining demand and how many bytes it has already sent
+    (the signal Aalo's priority queues key on). *)
+
+type t = {
+  coflow : Sunflow_core.Coflow.t;  (** demand = bytes still to send *)
+  sent : float;  (** bytes already sent since arrival *)
+}
+
+val fresh : Sunflow_core.Coflow.t -> t
+(** A Coflow that has sent nothing yet. *)
+
+val flows : t -> Rate_alloc.flow_id list
+(** Ids of the unfinished flows, sorted. *)
+
+type scheduler = bandwidth:float -> t list -> Rate_alloc.t
+(** The interface every packet scheduler implements: carve per-flow
+    rates out of an [N]-port fabric of link rate [bandwidth], respecting
+    the port constraints of paper §2.1. *)

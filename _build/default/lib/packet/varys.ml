@@ -1,0 +1,75 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+
+let gamma ~bandwidth demand = Bounds.packet_lower ~bandwidth demand
+
+(* Bottleneck time of a Coflow under the current residual capacities:
+   max over ports of (remaining bytes on the port / residual port
+   bandwidth). Infinite when some needed port has no headroom. *)
+let effective_gamma residual demand =
+  let senders = Demand.senders demand and receivers = Demand.receivers demand in
+  let of_port bytes avail = if bytes <= 0. then 0. else bytes /. avail in
+  let worst =
+    List.fold_left
+      (fun acc i ->
+        let avail = Residual.available_in residual i in
+        if avail <= 0. then infinity
+        else Float.max acc (of_port (Demand.row_sum demand i) avail))
+      0. senders
+  in
+  List.fold_left
+    (fun acc j ->
+      let avail = Residual.available_out residual j in
+      if avail <= 0. then infinity
+      else Float.max acc (of_port (Demand.col_sum demand j) avail))
+    worst receivers
+
+let allocate ~bandwidth snapshots =
+  let alloc = Rate_alloc.empty () in
+  let residual = Residual.create ~bandwidth in
+  let ordered =
+    List.stable_sort
+      (fun (a : Snapshot.t) (b : Snapshot.t) ->
+        let ga = gamma ~bandwidth a.coflow.Coflow.demand in
+        let gb = gamma ~bandwidth b.coflow.Coflow.demand in
+        match compare ga gb with
+        | 0 -> Coflow.compare_arrival a.coflow b.coflow
+        | c -> c)
+      snapshots
+  in
+  (* MADD pass: give each Coflow, in SEBF order, the minimal rates that
+     finish all its flows together at its effective bottleneck time. *)
+  List.iter
+    (fun (s : Snapshot.t) ->
+      let demand = s.coflow.Coflow.demand in
+      let g = effective_gamma residual demand in
+      if g > 0. && g < infinity then
+        List.iter
+          (fun ((src, dst), bytes) ->
+            let r = bytes /. g in
+            let r = Float.min r (Residual.circuit_headroom residual ~src ~dst) in
+            if r > 0. then begin
+              Residual.consume residual ~src ~dst r;
+              Rate_alloc.add alloc
+                { Rate_alloc.coflow = s.coflow.Coflow.id; src; dst }
+                r
+            end)
+          (Demand.entries demand))
+    ordered;
+  (* Work-conserving backfill: leftover capacity goes to flows in the
+     same priority order. *)
+  List.iter
+    (fun (s : Snapshot.t) ->
+      List.iter
+        (fun ((src, dst), _) ->
+          let extra = Residual.circuit_headroom residual ~src ~dst in
+          if extra > 0. then begin
+            Residual.consume residual ~src ~dst extra;
+            Rate_alloc.add alloc
+              { Rate_alloc.coflow = s.coflow.Coflow.id; src; dst }
+              extra
+          end)
+        (Demand.entries s.coflow.Coflow.demand))
+    ordered;
+  alloc

@@ -1,0 +1,1 @@
+lib/sim/circuit_sim.ml: Event_queue Float List Sim_result Sunflow_core

@@ -1,0 +1,1 @@
+lib/sim/circuit_sim.mli: Sim_result Sunflow_core

@@ -1,0 +1,1 @@
+lib/sim/hybrid_sim.ml: Circuit_sim Float List Packet_sim Sim_result Sunflow_core Sunflow_packet

@@ -1,0 +1,1 @@
+lib/sim/hybrid_sim.mli: Sim_result Sunflow_core Sunflow_packet

@@ -1,0 +1,1 @@
+lib/sim/packet_sim.ml: Event_queue Float List Sim_result Sunflow_core Sunflow_packet

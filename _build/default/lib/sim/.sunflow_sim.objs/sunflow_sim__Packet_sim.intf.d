@@ -1,0 +1,1 @@
+lib/sim/packet_sim.mli: Sim_result Sunflow_core Sunflow_packet

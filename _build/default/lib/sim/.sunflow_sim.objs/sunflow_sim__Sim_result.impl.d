@@ -1,0 +1,1 @@
+lib/sim/sim_result.ml: Buffer Format List Printf Sunflow_core

@@ -1,0 +1,137 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Inter = Sunflow_core.Inter
+module Order = Sunflow_core.Order
+module Prt = Sunflow_core.Prt
+module Schedule = Sunflow_core.Schedule
+module Sunflow = Sunflow_core.Sunflow
+
+type active = { orig : Coflow.t; remaining : Demand.t }
+
+let byte_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
+
+let snap_demand ~bandwidth d =
+  let eps = byte_eps bandwidth in
+  List.iter
+    (fun ((i, j), v) -> if v <= eps then Demand.set d i j 0.)
+    (Demand.entries d)
+
+let check_unique_ids coflows =
+  let ids = List.map (fun c -> c.Coflow.id) coflows in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Circuit_sim.run: duplicate Coflow ids"
+
+let no_release _ _ = []
+
+let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
+    ?(carry_circuits = true) ?(on_complete = no_release) ~delta ~bandwidth
+    coflows =
+  if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
+  if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
+  check_unique_ids coflows;
+  let arrivals = Event_queue.create () in
+  List.iter
+    (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
+    (List.sort Coflow.compare_arrival coflows);
+  let active : active list ref = ref [] in
+  let ccts = ref [] and finishes = ref [] in
+  let n_events = ref 0 and setups = ref 0 in
+  let makespan = ref 0. in
+  let admit t =
+    List.iter
+      (fun (_, (c : Coflow.t)) ->
+        if Demand.is_empty c.demand then begin
+          ccts := (c.id, 0.) :: !ccts;
+          finishes := (c.id, c.arrival) :: !finishes
+        end
+        else active := { orig = c; remaining = Demand.copy c.demand } :: !active)
+      (Event_queue.drain_until arrivals t)
+  in
+  let rec loop t ~established =
+    incr n_events;
+    match (!active, Event_queue.peek arrivals) with
+    | [], None -> ()
+    | [], Some (ta, _) ->
+      admit ta;
+      (* an idle gap: no circuit survives it *)
+      loop ta ~established:[]
+    | actives, next_arrival ->
+      let plan =
+        Inter.schedule ~now:t ~order ~established ~policy ~delta ~bandwidth
+          (List.map (fun a -> Coflow.with_demand a.orig a.remaining) actives)
+      in
+      let planned_finish (a : active) =
+        match Inter.finish_of plan a.orig.Coflow.id with
+        | Some f -> f
+        | None -> invalid_arg "Circuit_sim.run: Coflow missing from plan"
+      in
+      let t_done =
+        List.fold_left
+          (fun acc a -> Float.min acc (planned_finish a))
+          infinity actives
+      in
+      let t_next =
+        match next_arrival with
+        | Some (ta, _) -> Float.min ta t_done
+        | None -> t_done
+      in
+      (* execute the plan over [t, t_next) *)
+      let reservations = Prt.all_reservations plan.Inter.prt in
+      List.iter
+        (fun (r : Prt.reservation) ->
+          if r.setup > 0. && r.start >= t && r.start < t_next then incr setups)
+        reservations;
+      let by_id =
+        List.map (fun a -> (a.orig.Coflow.id, a)) actives
+      in
+      List.iter
+        (fun (r : Prt.reservation) ->
+          let seconds = Schedule.transmission_overlap r ~t0:t ~t1:t_next in
+          if seconds > 0. then
+            match List.assoc_opt r.coflow by_id with
+            | Some a -> Demand.drain a.remaining r.src r.dst (seconds *. bandwidth)
+            | None -> invalid_arg "Circuit_sim.run: reservation for unknown Coflow")
+        reservations;
+      List.iter (fun a -> snap_demand ~bandwidth a.remaining) actives;
+      let finished, still =
+        List.partition (fun a -> Demand.is_empty a.remaining) actives
+      in
+      List.iter
+        (fun (a : active) ->
+          ccts := (a.orig.Coflow.id, t_next -. a.orig.Coflow.arrival) :: !ccts;
+          finishes := (a.orig.Coflow.id, t_next) :: !finishes;
+          makespan := Float.max !makespan t_next;
+          List.iter
+            (fun (c : Coflow.t) ->
+              if c.arrival < t_next then
+                invalid_arg "Circuit_sim.run: released Coflow arrives in the past";
+              Event_queue.push arrivals ~time:c.arrival c)
+            (on_complete a.orig.Coflow.id t_next))
+        finished;
+      active := still;
+      admit t_next;
+      if !active <> [] || not (Event_queue.is_empty arrivals) then begin
+        let established =
+          if carry_circuits then Prt.established_at plan.Inter.prt t_next
+          else []
+        in
+        loop t_next ~established
+      end
+  in
+  (match Event_queue.peek arrivals with
+  | None -> ()
+  | Some (t0, _) ->
+    admit t0;
+    loop t0 ~established:[]);
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    Sim_result.ccts = sorted !ccts;
+    finishes = sorted !finishes;
+    makespan = !makespan;
+    n_events = !n_events;
+    total_setups = !setups;
+  }
+
+let intra_cct ?(order = Order.Ordered_port) ~delta ~bandwidth coflow =
+  Sunflow.schedule ~order ~delta ~bandwidth
+    { coflow with Coflow.arrival = 0. }

@@ -1,0 +1,45 @@
+(** Flow-level replay of a Coflow trace through the optical circuit
+    switched fabric under Sunflow inter-Coflow scheduling.
+
+    Like Varys (and like the deployment sketch in paper §6), the
+    scheduler recomputes the circuit plan only on Coflow arrivals and
+    completions. At every rescheduling instant the Port Reservation
+    Table is rebuilt from the remaining demands in policy order;
+    circuits physically established (mid-transmission) at that instant
+    carry over without paying a new reconfiguration delay, while a
+    circuit preempted by a newly arrived higher-priority Coflow costs
+    its owner a fresh delta when it is re-established later — the
+    inter-Coflow preemption semantics of §4.2. *)
+
+val run :
+  ?policy:Sunflow_core.Inter.policy ->
+  ?order:Sunflow_core.Order.t ->
+  ?carry_circuits:bool ->
+  ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
+  delta:float ->
+  bandwidth:float ->
+  Sunflow_core.Coflow.t list ->
+  Sim_result.t
+(** Replay the trace. [policy] defaults to shortest-Coflow-first (the
+    evaluation's setting), [order] to {!Sunflow_core.Order.Ordered_port}.
+    [carry_circuits] (default [true]) keeps circuits that are
+    mid-transmission alive across rescheduling events; set it to
+    [false] to ablate the not-all-stop advantage — every scheduling
+    event then tears the whole fabric down, approximating an all-stop
+    controller. Coflows with empty demand complete instantly at their
+    arrival. Duplicate ids raise [Invalid_argument].
+
+    [on_complete id t] is called once per completed Coflow and may
+    release new Coflows into the fabric (their arrivals must be
+    [>= t]) — the hook multi-stage jobs use to chain dependent
+    Coflows. *)
+
+val intra_cct :
+  ?order:Sunflow_core.Order.t ->
+  delta:float ->
+  bandwidth:float ->
+  Sunflow_core.Coflow.t ->
+  Sunflow_core.Sunflow.result
+(** Intra-Coflow evaluation helper: schedule one Coflow alone on an
+    idle fabric from time [0.] (the paper's back-to-back intra mode,
+    where arrival times are ignored). *)

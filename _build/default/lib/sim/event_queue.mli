@@ -1,0 +1,25 @@
+(** A binary min-heap of timestamped events — the engine of the
+    discrete-event simulators. Pop order is by time; events at equal
+    times pop in insertion order (the heap is made stable with a
+    sequence number), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on a NaN time. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val pop_exn : 'a t -> float * 'a
+(** Like {!pop} but raises [Invalid_argument] when empty. *)
+
+val drain_until : 'a t -> float -> (float * 'a) list
+(** Pop every event with time [<=] the given instant, in order. *)

@@ -1,0 +1,44 @@
+(** Hybrid circuit/packet fabric (paper §2.1, §6).
+
+    Deployed OCS designs (c-Through, Helios, REACToR) pair the optical
+    switch with a small packet-switched network and filter traffic
+    between them; the paper's §6 notes that REACToR's hybrid design can
+    absorb "little leftover traffic". This simulator composes the two
+    pure fabrics of this library: a classifier assigns each Coflow to
+    the circuit fabric (Sunflow-scheduled, full link rate) or to the
+    packet fabric (a fraction of the link rate), and both run
+    independently — the standard parallel-fabric model of those
+    systems.
+
+    The interesting policy is offloading {e short} Coflows, whose CCT
+    on the OCS is dominated by the reconfiguration delay (Figs. 7/9):
+    see {!offload_short}. *)
+
+val best_bound :
+  delta:float ->
+  circuit_bandwidth:float ->
+  packet_bandwidth:float ->
+  Sunflow_core.Coflow.t ->
+  [ `Circuit | `Packet ]
+(** Route each Coflow to the fabric with the smaller lower bound:
+    packet when [T_L^p] at the packet fabric's rate beats [T_L^c] at
+    the circuit fabric's rate. Mice — whose circuit CCT is dominated by
+    one delta per subflow — land on the packet network; anything
+    substantial keeps the full-rate circuits. Empty Coflows go to the
+    packet side. *)
+
+val run :
+  ?policy:Sunflow_core.Inter.policy ->
+  ?packet_scheduler:Sunflow_packet.Snapshot.scheduler ->
+  delta:float ->
+  circuit_bandwidth:float ->
+  packet_bandwidth:float ->
+  classify:(Sunflow_core.Coflow.t -> [ `Circuit | `Packet ]) ->
+  Sunflow_core.Coflow.t list ->
+  Sim_result.t
+(** Partition the trace with [classify] and replay each class through
+    its fabric ([policy] defaults to shortest-Coflow-first on the
+    circuit side, [packet_scheduler] to per-flow max-min fairness — a
+    plain electrical ToR uplink). Results are merged: per-Coflow CCTs
+    union, [total_setups] from the circuit side, [n_events] summed.
+    Raises [Invalid_argument] on non-positive bandwidths. *)

@@ -1,0 +1,41 @@
+(** Flow-level replay of a Coflow trace through a packet-switched
+    fabric (paper §2.1's electrical packet switch model).
+
+    Rates are fluid and constant between scheduling events. Following
+    Varys' deployed behaviour — and the paper's evaluation — the fabric
+    reschedules {e only on Coflow arrivals and completions}: a subflow
+    finishing mid-interval strands its bandwidth until the next event.
+
+    The simulator is scheduler-agnostic: pass any
+    {!Sunflow_packet.Snapshot.scheduler} (Varys, Aalo, per-flow
+    fair, ...). *)
+
+exception Stuck of float
+(** Raised if at some instant no active flow has a positive rate and no
+    arrival is pending — a broken scheduler (a work-conserving one can
+    never trigger this). The payload is the simulation time. *)
+
+val run :
+  ?sent_thresholds:float list ->
+  ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
+  scheduler:Sunflow_packet.Snapshot.scheduler ->
+  bandwidth:float ->
+  Sunflow_core.Coflow.t list ->
+  Sim_result.t
+(** Replay the trace (Coflows may be given in any order; arrivals are
+    honoured). Coflows with empty demand complete instantly at their
+    arrival. Duplicate Coflow ids raise [Invalid_argument].
+
+    [sent_thresholds] adds rescheduling events: whenever a Coflow's
+    cumulative sent bytes cross one of these values, rates are
+    recomputed. Aalo needs this — a Coflow's D-CLAS priority changes
+    exactly at its queue thresholds (use {!aalo_thresholds}); without
+    it a Coflow would keep stale priority until the next arrival or
+    completion.
+
+    [on_complete id t] is called once per completed Coflow and may
+    release new Coflows (arrivals [>= t]) — the hook multi-stage jobs
+    use to chain dependent Coflows. *)
+
+val aalo_thresholds : Sunflow_packet.Aalo.params -> float list
+(** The queue-boundary byte values of a D-CLAS configuration. *)

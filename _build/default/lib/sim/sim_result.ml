@@ -1,0 +1,35 @@
+type t = {
+  ccts : (int * float) list;
+  finishes : (int * float) list;
+  makespan : float;
+  n_events : int;
+  total_setups : int;
+}
+
+let cct_of t id =
+  match List.assoc_opt id t.ccts with Some c -> c | None -> raise Not_found
+
+let cct_list t = List.map snd t.ccts
+
+let average_cct t =
+  match t.ccts with
+  | [] -> invalid_arg "Sim_result.average_cct: empty result"
+  | l -> List.fold_left (fun a (_, c) -> a +. c) 0. l /. float_of_int (List.length l)
+
+let pp ppf t =
+  Format.fprintf ppf "coflows=%d events=%d setups=%d makespan=%a"
+    (List.length t.ccts) t.n_events t.total_setups Sunflow_core.Units.pp_time
+    t.makespan;
+  match t.ccts with
+  | [] -> ()
+  | _ -> Format.fprintf ppf " avg-cct=%a" Sunflow_core.Units.pp_time (average_cct t)
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "coflow_id,cct_seconds,finish_seconds\n";
+  List.iter
+    (fun (id, cct) ->
+      let finish = match List.assoc_opt id t.finishes with Some f -> f | None -> nan in
+      Buffer.add_string buf (Printf.sprintf "%d,%.9g,%.9g\n" id cct finish))
+    t.ccts;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** The outcome of a trace replay, shared by the circuit-switched and
+    packet-switched simulators. *)
+
+type t = {
+  ccts : (int * float) list;
+      (** per-Coflow completion time (finish - arrival), by Coflow id,
+          sorted by id *)
+  finishes : (int * float) list;  (** absolute finish instants, by id *)
+  makespan : float;  (** last finish instant; [0.] for an empty trace *)
+  n_events : int;  (** scheduling events processed *)
+  total_setups : int;
+      (** circuit establishments performed ([0] in a packet fabric) *)
+}
+
+val cct_of : t -> int -> float
+(** Raises [Not_found] for an unknown Coflow id. *)
+
+val average_cct : t -> float
+(** Raises [Invalid_argument] on an empty result. *)
+
+val cct_list : t -> float list
+(** CCTs in Coflow-id order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** One line per Coflow: [id,cct_seconds,finish_seconds], with a header
+    row — the format downstream analysis scripts expect. *)

@@ -1,0 +1,1 @@
+lib/stats/distribution.ml: Array Buffer Bytes Descriptive Float Format List Printf

@@ -1,0 +1,46 @@
+let check xs ys name =
+  let n = List.length xs in
+  if n <> List.length ys then invalid_arg (name ^ ": mismatched lengths");
+  if n < 2 then invalid_arg (name ^ ": need at least two points");
+  n
+
+let pearson xs ys =
+  let n = check xs ys "Correlation.pearson" in
+  let nf = float_of_int n in
+  let mx = List.fold_left ( +. ) 0. xs /. nf in
+  let my = List.fold_left ( +. ) 0. ys /. nf in
+  let sxy, sxx, syy =
+    List.fold_left2
+      (fun (sxy, sxx, syy) x y ->
+        let dx = x -. mx and dy = y -. my in
+        (sxy +. (dx *. dy), sxx +. (dx *. dx), syy +. (dy *. dy)))
+      (0., 0., 0.) xs ys
+  in
+  if sxx = 0. || syy = 0. then
+    invalid_arg "Correlation.pearson: zero-variance sample";
+  sxy /. sqrt (sxx *. syy)
+
+(* Average ranks, ties sharing the mean of the positions they span. *)
+let ranks xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(i) a.(j)) idx;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2. +. 1. in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list r
+
+let spearman xs ys =
+  let _ = check xs ys "Correlation.spearman" in
+  pearson (ranks xs) (ranks ys)

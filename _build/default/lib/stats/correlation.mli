@@ -1,0 +1,16 @@
+(** Correlation coefficients.
+
+    The paper reports a linear (Pearson) correlation of 0.84 between
+    Solstice's normalised switching count and the number of subflows
+    (Fig. 5 discussion), and a rank (Spearman) correlation of -0.96
+    between [p_avg] and CCT/T_L^p (Fig. 7 discussion). *)
+
+val pearson : float list -> float list -> float
+(** Pearson product-moment correlation of two equal-length samples.
+    Raises [Invalid_argument] on mismatched lengths, fewer than two
+    points, or a zero-variance sample. *)
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation: Pearson correlation of the ranks, with
+    ties assigned their average rank. Same error conditions as
+    {!pearson}. *)

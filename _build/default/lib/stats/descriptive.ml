@@ -1,0 +1,89 @@
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | _ -> ()
+
+let mean xs =
+  check_nonempty "Descriptive.mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let mean_array xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.mean_array: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Descriptive.variance" xs;
+  let m = mean xs in
+  let acc = List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+  acc /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  check_nonempty "Descriptive.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Descriptive.percentile: p outside [0, 100]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile 50. xs
+
+let min_max xs =
+  check_nonempty "Descriptive.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (infinity, neg_infinity) xs
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarize xs =
+  check_nonempty "Descriptive.summarize" xs;
+  let lo, hi = min_max xs in
+  {
+    count = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = lo;
+    p25 = percentile 25. xs;
+    p50 = percentile 50. xs;
+    p75 = percentile 75. xs;
+    p95 = percentile 95. xs;
+    max = hi;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g" s.count
+    s.mean s.stddev s.min s.p50 s.p95 s.max
+
+let geometric_mean xs =
+  check_nonempty "Descriptive.geometric_mean" xs;
+  let acc =
+    List.fold_left
+      (fun a x ->
+        if x <= 0. then
+          invalid_arg "Descriptive.geometric_mean: non-positive sample"
+        else a +. log x)
+      0. xs
+  in
+  exp (acc /. float_of_int (List.length xs))

@@ -1,0 +1,51 @@
+(** Descriptive statistics over float samples.
+
+    All functions raise [Invalid_argument] on empty input unless noted.
+    Inputs are arbitrary-order sample arrays or lists; functions never
+    mutate their arguments. *)
+
+val mean : float list -> float
+(** Arithmetic mean. *)
+
+val mean_array : float array -> float
+(** Arithmetic mean of an array. *)
+
+val variance : float list -> float
+(** Population variance (divides by [n]). Returns [0.] on singletons. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile of [xs] with [p] in
+    [0., 100.], using linear interpolation between closest ranks
+    (the same convention as numpy's default). *)
+
+val median : float list -> float
+(** The 50th percentile. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest sample. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+(** A five-number-style summary extended with the 95th percentile, the
+    statistic the paper reports for every experiment. *)
+
+val summarize : float list -> summary
+(** Compute a {!summary}. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render a summary on one line. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean; requires strictly positive samples. *)

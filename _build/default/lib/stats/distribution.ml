@@ -1,0 +1,101 @@
+type cdf = (float * float) list
+
+let cdf xs =
+  match xs with
+  | [] -> invalid_arg "Distribution.cdf: empty sample"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let nf = float_of_int n in
+    let rec build i acc =
+      if i >= n then List.rev acc
+      else begin
+        (* advance over ties so each value appears once *)
+        let j = ref i in
+        while !j + 1 < n && a.(!j + 1) = a.(i) do
+          incr j
+        done;
+        build (!j + 1) ((a.(i), float_of_int (!j + 1) /. nf) :: acc)
+      end
+    in
+    build 0 []
+
+let cdf_at c x =
+  let rec go last = function
+    | [] -> last
+    | (v, f) :: rest -> if v <= x then go f rest else last
+  in
+  go 0. c
+
+let deciles xs =
+  Array.init 11 (fun i -> Descriptive.percentile (float_of_int (i * 10)) xs)
+
+let fraction_below x xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+    let n = List.length xs in
+    let k = List.fold_left (fun k v -> if v <= x then k + 1 else k) 0 xs in
+    float_of_int k /. float_of_int n
+
+type histogram = { edges : float array; counts : int array }
+
+let histogram ~bins xs =
+  if bins < 1 then invalid_arg "Distribution.histogram: bins < 1";
+  match xs with
+  | [] -> invalid_arg "Distribution.histogram: empty sample"
+  | _ ->
+    let lo, hi = Descriptive.min_max xs in
+    let hi = if hi = lo then lo +. 1. else hi in
+    let width = (hi -. lo) /. float_of_int bins in
+    let edges = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. width)) in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+        counts.(i) <- counts.(i) + 1)
+      xs;
+    { edges; counts }
+
+let ascii_cdf_chart ?(width = 60) ?(height = 10) series =
+  if series = [] then invalid_arg "Distribution.ascii_cdf_chart: no series";
+  List.iter
+    (fun (_, xs) ->
+      if xs = [] then invalid_arg "Distribution.ascii_cdf_chart: empty samples")
+    series;
+  let pooled = List.concat_map snd series in
+  let lo, hi = Descriptive.min_max pooled in
+  let hi = if hi = lo then lo +. 1. else hi in
+  let grid = Array.init height (fun _ -> Bytes.make width '.') in
+  List.iter
+    (fun (glyph, xs) ->
+      let c = cdf xs in
+      for col = 0 to width - 1 do
+        let x = lo +. (float_of_int col /. float_of_int (width - 1) *. (hi -. lo)) in
+        let f = cdf_at c x in
+        (* fraction f fills rows from the bottom up to f x height *)
+        let filled = int_of_float (Float.round (f *. float_of_int (height - 1))) in
+        if f > 0. then begin
+          let row = height - 1 - filled in
+          Bytes.set grid.(max 0 (min (height - 1) row)) col glyph
+        end
+      done)
+    series;
+  let buf = Buffer.create ((width + 8) * (height + 2)) in
+  Array.iteri
+    (fun r line ->
+      let level = float_of_int (height - 1 - r) /. float_of_int (height - 1) in
+      Buffer.add_string buf (Printf.sprintf "%4.2f |%s|\n" level (Bytes.to_string line)))
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "      %-8.3g%*s\n" lo (width - 8) (Printf.sprintf "%.3g" hi));
+  Buffer.contents buf
+
+let pp_deciles ppf d =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_string ppf " ";
+      Format.fprintf ppf "p%d=%.3g" (i * 10) v)
+    d

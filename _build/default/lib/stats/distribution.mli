@@ -1,0 +1,41 @@
+(** Empirical distributions: CDFs, deciles and histograms, used to
+    regenerate the CDF figures of the paper (Figs. 4 and 5). *)
+
+type cdf = (float * float) list
+(** A non-decreasing list of [(value, fraction ≤ value)] points with the
+    last fraction equal to [1.]. *)
+
+val cdf : float list -> cdf
+(** Empirical CDF of a sample (one point per distinct value). *)
+
+val cdf_at : cdf -> float -> float
+(** [cdf_at c x] is the fraction of the sample ≤ [x] ([0.] below the
+    smallest value). *)
+
+val deciles : float list -> float array
+(** Eleven points: the 0th, 10th, ..., 100th percentiles. Handy compact
+    rendering of a CDF in a terminal table. *)
+
+val fraction_below : float -> float list -> float
+(** [fraction_below x xs] is the fraction of samples strictly less than
+    or equal to [x]. Returns [0.] on an empty sample. *)
+
+type histogram = { edges : float array; counts : int array }
+(** [edges] has [n+1] entries delimiting [n] bins; [counts.(i)] counts
+    samples in [[edges.(i), edges.(i+1))], the last bin being closed. *)
+
+val histogram : bins:int -> float list -> histogram
+(** Equal-width histogram over the sample range. Raises
+    [Invalid_argument] on an empty sample or [bins < 1]. *)
+
+val pp_deciles : Format.formatter -> float array -> unit
+(** Render decile array as [p0=.. p10=.. ... p100=..]. *)
+
+val ascii_cdf_chart :
+  ?width:int -> ?height:int -> (char * float list) list -> string
+(** A terminal rendering of one or more empirical CDFs (the paper's
+    Figs. 4 and 5 are CDF plots): each series is drawn with its glyph
+    on a [width] x [height] grid (defaults 60 x 10), the x-axis spans
+    the pooled sample range, the y-axis is the cumulative fraction.
+    Overlapping series show the later glyph. Raises [Invalid_argument]
+    on an empty series list or empty samples. *)

@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+(* 53 random bits mapped to [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let float t b =
+  if b <= 0. then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. b
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. unit_float t in
+  -.mean *. log u
+
+let lognormal t ~mu ~sigma =
+  let u1 = 1. -. unit_float t in
+  let u2 = unit_float t in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Rng.pareto: bad parameters";
+  let u = 1. -. unit_float t in
+  scale /. (u ** (1. /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a
+
+let choose_weighted t choices =
+  let sum =
+    List.fold_left
+      (fun acc (w, _) ->
+        if w < 0. then invalid_arg "Rng.choose_weighted: negative weight";
+        acc +. w)
+      0. choices
+  in
+  if sum <= 0. then invalid_arg "Rng.choose_weighted: weights sum to zero";
+  let target = float t sum in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.choose_weighted: empty"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0. choices

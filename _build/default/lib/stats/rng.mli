@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the reproduction — trace synthesis,
+    size perturbation, reservation-order shuffling — draws from this
+    generator so that experiments are reproducible bit-for-bit from a
+    seed, independent of the OCaml stdlib [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of subsequent draws
+    from the parent (the parent advances by one draw). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [[0., b)]. [b] must be positive. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n)]. [n] must be positive. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp (mu + sigma * Z)] with [Z] standard normal (Box–Muller). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto with minimum [scale] and tail index [shape]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+
+val choose_weighted : t -> (float * 'a) list -> 'a
+(** Pick an element with probability proportional to its weight.
+    Weights must be non-negative with a positive sum. *)

@@ -1,0 +1,1 @@
+lib/switch/controller.ml: Float Hashtbl List Ocs Option Printf Sunflow_core Voq

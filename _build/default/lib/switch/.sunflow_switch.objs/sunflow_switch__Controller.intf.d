@@ -1,0 +1,1 @@
+lib/switch/controller.mli: Sunflow_core

@@ -1,0 +1,1 @@
+lib/switch/ocs.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/switch/ocs.mli:

@@ -1,0 +1,1 @@
+lib/switch/voq.ml: Float Hashtbl List Queue

@@ -1,0 +1,175 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Prt = Sunflow_core.Prt
+
+type report = {
+  finish_times : (int * float) list;
+  switch_count : int;
+  leftover : float;
+  final_time : float;
+}
+
+type event_kind = Stop of Prt.reservation | Start of Prt.reservation
+
+let time_of = function
+  | (t, Stop _) | (t, Start _) -> t
+
+(* Stops sort before starts at equal instants so a released circuit
+   frees its ports for the reservation beginning at the same time. *)
+let kind_rank = function Stop _ -> 0 | Start _ -> 1
+
+let compare_events a b =
+  match compare (time_of a) (time_of b) with
+  | 0 -> compare (kind_rank (snd a)) (kind_rank (snd b))
+  | c -> c
+
+let tol = 1e-9
+
+let execute ~delta ~bandwidth ~n_ports ~coflows ~plan =
+  let ocs = Ocs.create ~n_ports ~delta in
+  let voq = Voq.create ~n_ports ~bandwidth in
+  List.iter
+    (fun (c : Coflow.t) ->
+      List.iter
+        (fun ((src, dst), bytes) -> Voq.enqueue voq ~src ~dst ~coflow:c.id bytes)
+        (Demand.entries c.demand))
+    coflows;
+  (* Window boundaries produced by chained float sums land within an
+     ulp of each other; cluster events closer than the tolerance and
+     release circuits (stops) before establishing new ones (starts)
+     inside each cluster, so a port freed "now" is usable "now". *)
+  let cluster events =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | e :: rest ->
+        let te = time_of e in
+        let rec take batch = function
+          | e' :: tl when time_of e' <= te +. tol -> take (e' :: batch) tl
+          | tl -> (List.rev batch, tl)
+        in
+        let batch, rest = take [ e ] rest in
+        let batch =
+          List.stable_sort
+            (fun a b -> compare (kind_rank (snd a)) (kind_rank (snd b)))
+            batch
+        in
+        go (List.rev_append batch acc) rest
+    in
+    go [] events
+  in
+  let events =
+    List.concat_map
+      (fun (r : Prt.reservation) ->
+        [ (r.start, Start r); (Prt.stop r, Stop r) ])
+      plan
+    |> List.sort compare_events |> cluster
+  in
+  (* circuits currently owned by a reservation: (src, dst) -> r *)
+  let active : (int * int, Prt.reservation) Hashtbl.t = Hashtbl.create 16 in
+  let finishes : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* Sub-nanosecond byte residues are float noise, not backlog. *)
+  let byte_eps = bandwidth *. tol in
+  (* Serve every active circuit over [t0, t1): transmission starts at
+     the reservation's own start + setup. A Coflow's completion instant
+     is the latest local drain-finish among this window's circuits, so
+     the result cannot depend on hash-table iteration order. *)
+  let serve_window t0 t1 =
+    if t1 > t0 then begin
+      let local_finish : (int, float) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun (src, dst) (r : Prt.reservation) ->
+          let tx_from = Float.max t0 (r.start +. r.setup) in
+          let seconds = t1 -. tx_from in
+          if seconds > tol then begin
+            let moved = Voq.drain ~coflow:r.coflow voq ~src ~dst ~seconds in
+            let served =
+              List.fold_left (fun a (d : Voq.delivery) -> a +. d.bytes) 0. moved
+            in
+            if served > 0. then begin
+              let at = tx_from +. (served /. bandwidth) in
+              let prev =
+                Option.value ~default:neg_infinity
+                  (Hashtbl.find_opt local_finish r.coflow)
+              in
+              Hashtbl.replace local_finish r.coflow (Float.max prev at)
+            end
+          end)
+        active;
+      Hashtbl.iter
+        (fun coflow at ->
+          if
+            (not (Hashtbl.mem finishes coflow))
+            && Voq.coflow_backlog voq ~coflow <= byte_eps
+          then Hashtbl.replace finishes coflow at)
+        local_finish
+    end
+  in
+  let exception Physical_violation of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Physical_violation s)) fmt in
+  let rec play t = function
+    | [] -> t
+    | ev :: rest ->
+      (* clustering may reorder events within the tolerance; keep the
+         clock monotonic *)
+      let te = Float.max t (time_of ev) in
+      serve_window t te;
+      Ocs.advance ocs te;
+      (match snd ev with
+      | Stop r -> (
+        (* a reservation only releases the circuit it still owns: a
+           continuation that started an ulp before this stop has
+           already taken the binding over *)
+        match Hashtbl.find_opt active (r.src, r.dst) with
+        | Some owner when owner == r ->
+          Hashtbl.remove active (r.src, r.dst);
+          (* keep the light on when the same circuit continues at once
+             (within float tolerance) with no fresh setup *)
+          let continues =
+            List.exists
+              (function
+                | t', Start (r' : Prt.reservation) ->
+                  Float.abs (t' -. te) <= tol
+                  && r'.src = r.src && r'.dst = r.dst && r'.setup <= tol
+                | _ -> false)
+              rest
+          in
+          if not continues then begin
+            match Ocs.disconnect ocs ~src:r.src ~dst:r.dst with
+            | Ok () -> ()
+            | Error e -> fail "stop of [%d -> %d] at %g: %s" r.src r.dst te e
+          end
+        | Some _ | None -> ())
+      | Start r ->
+        if r.setup <= tol then begin
+          if not (Ocs.circuit_up ocs ~src:r.src ~dst:r.dst) then
+            fail
+              "zero-setup reservation [%d -> %d] at %g but the circuit is down"
+              r.src r.dst te
+        end
+        else if r.setup < delta -. tol then
+          fail "reservation [%d -> %d] at %g promises setup %g < switch delay %g"
+            r.src r.dst te r.setup delta
+        else begin
+          match Ocs.connect ocs ~src:r.src ~dst:r.dst with
+          | Ok ready_at ->
+            if ready_at > te +. r.setup +. tol then
+              fail "circuit [%d -> %d] ready at %g, after its reservation setup"
+                r.src r.dst ready_at
+          | Error e -> fail "start of [%d -> %d] at %g: %s" r.src r.dst te e
+        end;
+        Hashtbl.replace active (r.src, r.dst) r;
+        Ocs.assert_consistent ocs);
+      play te rest
+  in
+  match play (match events with [] -> 0. | e :: _ -> time_of e) events with
+  | exception Physical_violation msg -> Error msg
+  | final_time ->
+    Ok
+      {
+        finish_times =
+          Hashtbl.fold (fun c t acc -> (c, t) :: acc) finishes []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
+        switch_count = Ocs.switch_count ocs;
+        leftover = Voq.total_backlog voq;
+        final_time;
+      }

@@ -1,0 +1,41 @@
+(** Physical execution of circuit schedules.
+
+    The analytical schedulers produce reservation plans; this
+    controller plays a plan against the executable switch model
+    ({!Ocs}) and the sender-side queues ({!Voq}), following the
+    deployment sketch of paper §6: each sender agent holds its row of
+    the reservation table and transmits the designated flow at line
+    rate whenever its circuit is up.
+
+    Executing a plan physically validates it end-to-end: every connect
+    must find both ports idle, setups must be long enough for the
+    switch's reconfiguration delay, a zero-setup reservation must find
+    its circuit already carrying light (the carried-over circuits of
+    inter-Coflow rescheduling), and all buffered demand must drain by
+    the end of the plan. Tests use this as the ground-truth oracle for
+    every scheduler in the library. *)
+
+type report = {
+  finish_times : (int * float) list;
+      (** Coflow id -> instant its last byte left the fabric, sorted
+          by id; only Coflows that drained completely appear *)
+  switch_count : int;  (** physical circuit establishments performed *)
+  leftover : float;  (** bytes still buffered when the plan ended *)
+  final_time : float;  (** clock after the last reservation released *)
+}
+
+val execute :
+  delta:float ->
+  bandwidth:float ->
+  n_ports:int ->
+  coflows:Sunflow_core.Coflow.t list ->
+  plan:Sunflow_core.Prt.reservation list ->
+  (report, string) result
+(** Buffer each Coflow's demand in the VOQs, then drive the switch
+    through the plan's connect/disconnect events in time order. A
+    circuit whose reservation is immediately followed by another
+    reservation of the same circuit stays up across the boundary (the
+    not-all-stop continuation). Returns [Error] describing the first
+    physical violation: a connect on a busy port, a reservation whose
+    setup is shorter than the switch's delay, or a zero-setup
+    reservation whose circuit is not already up. *)

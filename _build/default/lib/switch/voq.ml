@@ -1,0 +1,88 @@
+type entry = { coflow : int; mutable bytes : float }
+
+type t = {
+  n_ports : int;
+  bandwidth : float;
+  queues : (int * int, entry Queue.t) Hashtbl.t;
+}
+
+let create ~n_ports ~bandwidth =
+  if n_ports <= 0 then invalid_arg "Voq.create: non-positive port count";
+  if bandwidth <= 0. then invalid_arg "Voq.create: non-positive bandwidth";
+  { n_ports; bandwidth; queues = Hashtbl.create 64 }
+
+let bandwidth t = t.bandwidth
+
+let check_port t p =
+  if p < 0 || p >= t.n_ports then invalid_arg "Voq: port outside the fabric"
+
+let queue t src dst =
+  match Hashtbl.find_opt t.queues (src, dst) with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.queues (src, dst) q;
+    q
+
+let enqueue t ~src ~dst ~coflow bytes =
+  check_port t src;
+  check_port t dst;
+  if bytes <= 0. then invalid_arg "Voq.enqueue: non-positive bytes";
+  Queue.add { coflow; bytes } (queue t src dst)
+
+let backlog t ~src ~dst =
+  match Hashtbl.find_opt t.queues (src, dst) with
+  | None -> 0.
+  | Some q -> Queue.fold (fun acc e -> acc +. e.bytes) 0. q
+
+let coflow_backlog t ~coflow =
+  Hashtbl.fold
+    (fun _ q acc ->
+      Queue.fold (fun acc e -> if e.coflow = coflow then acc +. e.bytes else acc) acc q)
+    t.queues 0.
+
+let total_backlog t =
+  Hashtbl.fold
+    (fun _ q acc -> Queue.fold (fun acc e -> acc +. e.bytes) acc q)
+    t.queues 0.
+
+type delivery = { coflow : int; src : int; dst : int; bytes : float }
+
+let drain ?coflow t ~src ~dst ~seconds =
+  check_port t src;
+  check_port t dst;
+  if seconds < 0. then invalid_arg "Voq.drain: negative duration";
+  match Hashtbl.find_opt t.queues (src, dst) with
+  | None -> []
+  | Some q ->
+    let eligible (e : entry) =
+      match coflow with None -> true | Some c -> e.coflow = c
+    in
+    let budget = ref (seconds *. t.bandwidth) in
+    let moved = ref [] in
+    let skipped = Queue.create () in
+    let rec serve () =
+      match Queue.pop q with
+      | exception Queue.Empty -> ()
+      | head when not (eligible head) ->
+        Queue.add head skipped;
+        serve ()
+      | head ->
+        if !budget > 0. then begin
+          let take = Float.min head.bytes !budget in
+          budget := !budget -. take;
+          head.bytes <- head.bytes -. take;
+          if take > 0. then
+            moved := { coflow = head.coflow; src; dst; bytes = take } :: !moved;
+          if head.bytes > 0. then Queue.add head skipped;
+          serve ()
+        end
+        else Queue.add head skipped
+    in
+    serve ();
+    (* rebuild the queue with un-served entries in their original order *)
+    Queue.transfer q skipped;
+    Queue.transfer skipped q;
+    List.rev !moved
+
+let is_empty t = total_backlog t = 0.

@@ -1,0 +1,43 @@
+(** Sender-side virtual output queues (paper §2.1).
+
+    "Flows are buffered at the sender machines. Each input port of the
+    switch is to serve flows from sender machines to various output
+    ports. The flows are aggregated and organized into logical virtual
+    output queues (VOQs) associated with each input port. At any time
+    for an input port, at most one VOQ is served, and it is served with
+    the full link bandwidth."
+
+    Each (input port, output port) pair holds one FIFO of per-Coflow
+    backlogs. Draining a VOQ models the port transmitting at line rate
+    while its circuit is up. *)
+
+type t
+
+val create : n_ports:int -> bandwidth:float -> t
+(** Empty queues. Raises [Invalid_argument] on non-positive sizes. *)
+
+val bandwidth : t -> float
+
+val enqueue : t -> src:int -> dst:int -> coflow:int -> float -> unit
+(** Buffer bytes for a Coflow, appended FIFO. Non-positive byte counts
+    raise [Invalid_argument]. *)
+
+val backlog : t -> src:int -> dst:int -> float
+(** Bytes waiting in one VOQ. *)
+
+val coflow_backlog : t -> coflow:int -> float
+(** Bytes waiting for one Coflow across all queues. *)
+
+val total_backlog : t -> float
+
+type delivery = { coflow : int; src : int; dst : int; bytes : float }
+
+val drain : ?coflow:int -> t -> src:int -> dst:int -> seconds:float -> delivery list
+(** Serve one VOQ at line rate for a duration: removes up to
+    [seconds * bandwidth] bytes FIFO and reports what moved, per
+    Coflow, in service order. With [coflow], only that Coflow's
+    buffered bytes are served (the scheduler-directed service of §6:
+    the sender agent transmits the flow its circuit was set up for),
+    other Coflows' entries keeping their queue positions. *)
+
+val is_empty : t -> bool

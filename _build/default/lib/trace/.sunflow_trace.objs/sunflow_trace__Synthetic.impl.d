@@ -1,0 +1,1 @@
+lib/trace/synthetic.ml: Float Hashtbl List Sunflow_core Sunflow_stats Trace

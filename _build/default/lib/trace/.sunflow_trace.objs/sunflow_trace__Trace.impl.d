@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Buffer Format List Printf String Sunflow_core

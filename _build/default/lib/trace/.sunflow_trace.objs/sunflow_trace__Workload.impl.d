@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Float List Sunflow_core Sunflow_stats Trace

@@ -1,0 +1,130 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+module Rng = Sunflow_stats.Rng
+
+type params = {
+  seed : int;
+  n_ports : int;
+  n_coflows : int;
+  span : float;
+  category_weights : (float * Coflow.Category.t) list;
+  fanout_max : int;
+  width_max : int;
+  small_flow_mb : float * float;
+  m2m_reducer_mb : float * float;
+}
+
+let default_params =
+  {
+    seed = 46;
+    n_ports = 150;
+    n_coflows = 526;
+    span = 3600.;
+    category_weights =
+      [
+        (23.4, Coflow.Category.One_to_one);
+        (9.9, Coflow.Category.One_to_many);
+        (40.1, Coflow.Category.Many_to_one);
+        (26.6, Coflow.Category.Many_to_many);
+      ];
+    fanout_max = 10;
+    width_max = 35;
+    small_flow_mb = (1.0, 0.5);
+    m2m_reducer_mb = (80., 2.5);
+  }
+
+(* Whole megabytes with a 1 MB floor, like the original trace. *)
+let round_mb bytes = Units.mb (Float.max 1. (Float.round (Units.to_mb bytes)))
+
+let lognormal_mb rng (median, sigma) =
+  Units.mb (Rng.lognormal rng ~mu:(log median) ~sigma)
+
+(* Heavy-tailed width in [2, cap]: most shuffles are narrow, a few are
+   fabric-wide. *)
+let heavy_width rng cap =
+  let w = int_of_float (Rng.pareto rng ~shape:1.2 ~scale:3.) in
+  max 2 (min cap w)
+
+let distinct_ports rng ~n_ports ~count ~avoid =
+  let chosen = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace chosen p ()) avoid;
+  let picked = ref [] in
+  while List.length !picked < count do
+    let p = Rng.int rng n_ports in
+    if not (Hashtbl.mem chosen p) then begin
+      Hashtbl.replace chosen p ();
+      picked := p :: !picked
+    end
+  done;
+  List.rev !picked
+
+let generate p =
+  if p.n_ports <= 0 || p.n_coflows < 0 then
+    invalid_arg "Synthetic.generate: non-positive sizes";
+  if p.width_max * 2 > p.n_ports then
+    invalid_arg "Synthetic.generate: width_max too large for the fabric";
+  if p.fanout_max + 1 > p.n_ports then
+    invalid_arg "Synthetic.generate: fanout_max too large for the fabric";
+  if p.span <= 0. then invalid_arg "Synthetic.generate: non-positive span";
+  let rng = Rng.create p.seed in
+  let mean_gap = p.span /. float_of_int (max 1 p.n_coflows) in
+  let make_coflow id arrival =
+    let demand = Demand.create () in
+    let category =
+      Rng.choose_weighted rng p.category_weights
+    in
+    (match category with
+    | Coflow.Category.One_to_one ->
+      let ports = distinct_ports rng ~n_ports:p.n_ports ~count:2 ~avoid:[] in
+      (match ports with
+      | [ s; r ] -> Demand.set demand s r (round_mb (lognormal_mb rng p.small_flow_mb))
+      | _ -> assert false)
+    | Coflow.Category.One_to_many ->
+      let width = 2 + Rng.int rng (p.fanout_max - 1) in
+      let sender = Rng.int rng p.n_ports in
+      let receivers =
+        distinct_ports rng ~n_ports:p.n_ports ~count:width ~avoid:[ sender ]
+      in
+      List.iter
+        (fun r ->
+          Demand.set demand sender r (round_mb (lognormal_mb rng p.small_flow_mb)))
+        receivers
+    | Coflow.Category.Many_to_one ->
+      let width = 2 + Rng.int rng (p.fanout_max - 1) in
+      let receiver = Rng.int rng p.n_ports in
+      let senders =
+        distinct_ports rng ~n_ports:p.n_ports ~count:width ~avoid:[ receiver ]
+      in
+      List.iter
+        (fun s ->
+          Demand.set demand s receiver (round_mb (lognormal_mb rng p.small_flow_mb)))
+        senders
+    | Coflow.Category.Many_to_many ->
+      let n_senders = heavy_width rng p.width_max in
+      let n_receivers = heavy_width rng p.width_max in
+      let senders =
+        distinct_ports rng ~n_ports:p.n_ports ~count:n_senders ~avoid:[]
+      in
+      let receivers =
+        distinct_ports rng ~n_ports:p.n_ports ~count:n_receivers ~avoid:senders
+      in
+      (* full shuffle with the real trace's structure: each reducer's
+         heavy-tailed total is split evenly across the mappers (the
+         benchmark format stores per-reducer totals only) *)
+      List.iter
+        (fun r ->
+          let total = lognormal_mb rng p.m2m_reducer_mb in
+          let share = total /. float_of_int n_senders in
+          List.iter (fun s -> Demand.set demand s r (round_mb share)) senders)
+        receivers);
+    Coflow.make ~id ~arrival demand
+  in
+  let rec arrivals k t acc =
+    if k = 0 then List.rev acc
+    else
+      let t = t +. Rng.exponential rng ~mean:mean_gap in
+      arrivals (k - 1) t (t :: acc)
+  in
+  let coflows = List.mapi make_coflow (arrivals p.n_coflows 0. []) in
+  { Trace.n_ports = p.n_ports; coflows }

@@ -1,0 +1,134 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+type t = { n_ports : int; coflows : Coflow.t list }
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokens_of_line s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let int_tok line tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" tok
+
+let float_tok line tok =
+  match float_of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "expected a number, got %S" tok
+
+let parse_coflow ~n_ports ~line toks =
+  let check_rack r =
+    if r < 0 || r >= n_ports then fail line "rack %d out of range [0, %d)" r n_ports
+  in
+  match toks with
+  | id :: arrival_ms :: n_mappers :: rest ->
+    let id = int_tok line id in
+    let arrival = float_tok line arrival_ms /. 1e3 in
+    if arrival < 0. then fail line "negative arrival time";
+    let n_mappers = int_tok line n_mappers in
+    if n_mappers <= 0 then fail line "coflow %d has no mappers" id;
+    if List.length rest < n_mappers + 1 then
+      fail line "coflow %d: truncated mapper list" id;
+    let rec split k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | tok :: rest -> split (k - 1) (int_tok line tok :: acc) rest
+        | [] -> fail line "coflow %d: truncated mapper list" id
+    in
+    let mappers, rest = split n_mappers [] rest in
+    List.iter check_rack mappers;
+    (match rest with
+    | n_reducers :: rest ->
+      let n_reducers = int_tok line n_reducers in
+      if n_reducers <= 0 then fail line "coflow %d has no reducers" id;
+      if List.length rest <> n_reducers then
+        fail line "coflow %d: expected %d reducers, found %d" id n_reducers
+          (List.length rest);
+      let demand = Demand.create () in
+      List.iter
+        (fun tok ->
+          match String.split_on_char ':' tok with
+          | [ rack; size_mb ] ->
+            let rack = int_tok line rack in
+            check_rack rack;
+            let size = Units.mb (float_tok line size_mb) in
+            if size <= 0. then fail line "coflow %d: non-positive size %S" id tok;
+            let share = size /. float_of_int n_mappers in
+            List.iter (fun m -> Demand.add demand m rack share) mappers
+          | _ -> fail line "coflow %d: malformed reducer %S" id tok)
+        rest;
+      Coflow.make ~id ~arrival demand
+    | [] -> fail line "coflow %d: missing reducer count" id)
+  | _ -> fail line "coflow line needs at least id, arrival and mapper count"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let meaningful =
+    List.mapi (fun i l -> (i + 1, String.trim l)) lines
+    |> List.filter (fun (_, l) -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match meaningful with
+  | [] -> raise (Parse_error { line = 1; message = "empty trace" })
+  | (line0, header) :: rest ->
+    (match tokens_of_line header with
+    | [ n_ports; n_coflows ] ->
+      let n_ports = int_tok line0 n_ports in
+      let n_coflows = int_tok line0 n_coflows in
+      if n_ports <= 0 then fail line0 "non-positive port count";
+      if List.length rest <> n_coflows then
+        fail line0 "header promises %d coflows, file has %d" n_coflows
+          (List.length rest);
+      let coflows =
+        List.map
+          (fun (line, l) -> parse_coflow ~n_ports ~line (tokens_of_line l))
+          rest
+      in
+      { n_ports; coflows }
+    | _ -> fail line0 "header must be: <num_racks> <num_coflows>")
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let coflow_line buf (c : Coflow.t) =
+  let senders = Demand.senders c.demand in
+  let receivers = Demand.receivers c.demand in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %.0f %d" c.id (c.arrival *. 1e3) (List.length senders));
+  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf " %d" m)) senders;
+  Buffer.add_string buf (Printf.sprintf " %d" (List.length receivers));
+  List.iter
+    (fun r ->
+      let mb = Units.to_mb (Demand.col_sum c.demand r) in
+      Buffer.add_string buf (Printf.sprintf " %d:%.6g" r mb))
+    receivers;
+  Buffer.add_char buf '\n'
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" t.n_ports (List.length t.coflows));
+  List.iter (coflow_line buf) t.coflows;
+  Buffer.contents buf
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let total_bytes t =
+  List.fold_left (fun acc c -> acc +. Coflow.total_bytes c) 0. t.coflows
+
+let n_coflows t = List.length t.coflows

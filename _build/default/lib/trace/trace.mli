@@ -1,0 +1,42 @@
+(** The coflow-benchmark trace format.
+
+    The paper's workload is a one-hour Facebook Hive/MapReduce trace
+    distributed as [github.com/coflow/coflow-benchmark] in a simple
+    text format, which this module reads and writes:
+
+    {v
+    <num_racks> <num_coflows>
+    <id> <arrival_ms> <num_mappers> <rack>... <num_reducers> <rack>:<MB>...
+    v}
+
+    Each mapper rack sends an equal share of each reducer's total to
+    that reducer; rack numbers double as switch port ids. The format
+    stores only per-reducer totals, so writing a Coflow whose flows are
+    uneven and re-reading it yields the evenly-split approximation
+    (exact round-trip for shuffle-shaped Coflows).
+
+    A user with the real trace file can load it directly; the synthetic
+    generator ({!Synthetic}) produces traces in the same representation
+    otherwise. *)
+
+type t = { n_ports : int; coflows : Sunflow_core.Coflow.t list }
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> t
+(** Parse the format from a string. Raises {!Parse_error} with a
+    1-based line number on malformed input (bad counts, rack out of
+    range, non-positive size, negative arrival). Blank lines and lines
+    starting with [#] are skipped. *)
+
+val load : string -> t
+(** [parse] the contents of a file. *)
+
+val to_string : t -> string
+(** Serialise. Senders become the mapper list; each receiver's column
+    sum becomes its reducer total (in MB, 6 significant digits). *)
+
+val save : string -> t -> unit
+
+val total_bytes : t -> float
+val n_coflows : t -> int

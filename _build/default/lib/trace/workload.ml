@@ -1,0 +1,124 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Units = Sunflow_core.Units
+module Rng = Sunflow_stats.Rng
+
+let perturb ?(fraction = 0.05) ?(floor = Units.mb 1.) ~seed (t : Trace.t) =
+  if fraction < 0. || fraction >= 1. then
+    invalid_arg "Workload.perturb: fraction outside [0, 1)";
+  let rng = Rng.create seed in
+  let coflows =
+    List.map
+      (fun (c : Coflow.t) ->
+        let demand =
+          Demand.map
+            (fun _ _ bytes ->
+              let f = Rng.uniform rng ~lo:(1. -. fraction) ~hi:(1. +. fraction) in
+              Float.max floor (bytes *. f))
+            c.demand
+        in
+        Coflow.with_demand c demand)
+      t.coflows
+  in
+  { t with coflows }
+
+type class_stat = {
+  category : Coflow.Category.t;
+  count : int;
+  coflow_pct : float;
+  bytes : float;
+  bytes_pct : float;
+}
+
+let classify (t : Trace.t) =
+  let total_count = List.length t.coflows in
+  let total_bytes = Trace.total_bytes t in
+  List.map
+    (fun category ->
+      let members =
+        List.filter (fun c -> Coflow.category c = category) t.coflows
+      in
+      let count = List.length members in
+      let bytes =
+        List.fold_left (fun a c -> a +. Coflow.total_bytes c) 0. members
+      in
+      {
+        category;
+        count;
+        coflow_pct =
+          (if total_count = 0 then 0.
+           else 100. *. float_of_int count /. float_of_int total_count);
+        bytes;
+        bytes_pct = (if total_bytes = 0. then 0. else 100. *. bytes /. total_bytes);
+      })
+    Coflow.Category.all
+
+let alpha_max ~bandwidth ~delta (t : Trace.t) =
+  List.fold_left
+    (fun acc (c : Coflow.t) ->
+      if Demand.is_empty c.demand then acc
+      else Float.max acc (Bounds.alpha ~bandwidth ~delta c.demand))
+    0. t.coflows
+
+let active_intervals ~bandwidth (t : Trace.t) =
+  List.filter_map
+    (fun (c : Coflow.t) ->
+      if Demand.is_empty c.demand then None
+      else
+        Some (c.arrival, c.arrival +. Bounds.packet_lower ~bandwidth c.demand))
+    t.coflows
+  |> List.sort compare
+
+let idleness ~bandwidth (t : Trace.t) =
+  match active_intervals ~bandwidth t with
+  | [] -> 1.
+  | intervals ->
+    let first = List.fold_left (fun a (s, _) -> Float.min a s) infinity intervals in
+    let last = List.fold_left (fun a (_, e) -> Float.max a e) 0. intervals in
+    let span = last -. first in
+    if span <= 0. then 0.
+    else begin
+      (* union of sorted intervals *)
+      let covered, _ =
+        List.fold_left
+          (fun (acc, frontier) (s, e) ->
+            let s = Float.max s frontier in
+            if e > s then (acc +. (e -. s), e) else (acc, frontier))
+          (0., first) intervals
+      in
+      1. -. (covered /. span)
+    end
+
+let scale_bytes factor (t : Trace.t) =
+  let coflows =
+    List.map
+      (fun (c : Coflow.t) -> Coflow.with_demand c (Demand.scale factor c.demand))
+      t.coflows
+  in
+  { t with coflows }
+
+let scale_to_idleness ?(tolerance = 0.002) ~bandwidth ~target (t : Trace.t) =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Workload.scale_to_idleness: target outside (0, 1)";
+  let measure k = idleness ~bandwidth (scale_bytes k t) in
+  (* idleness decreases as bytes grow *)
+  let lo = ref 1e-8 and hi = ref 1e8 in
+  if measure !lo < target || measure !hi > target then
+    invalid_arg "Workload.scale_to_idleness: target unattainable";
+  let best = ref 1. in
+  for _ = 1 to 60 do
+    let mid = sqrt (!lo *. !hi) in
+    best := mid;
+    if measure mid > target then lo := mid else hi := mid
+  done;
+  let k = !best in
+  if Float.abs (measure k -. target) > tolerance then
+    invalid_arg "Workload.scale_to_idleness: did not converge";
+  (scale_bytes k t, k)
+
+let long_short_split ~bandwidth ~delta (t : Trace.t) =
+  List.partition
+    (fun (c : Coflow.t) ->
+      (not (Demand.is_empty c.demand)) && Coflow.is_long ~bandwidth ~delta c)
+    t.coflows

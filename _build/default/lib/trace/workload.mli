@@ -1,0 +1,59 @@
+(** Workload preparation and measurement (paper §5.1, §5.4).
+
+    The evaluation pipeline is: (real or synthetic) trace → ±5 % size
+    perturbation with a 1 MB floor → optionally scale bytes to a target
+    network idleness. This module implements each step plus the
+    classification and idleness metrics the paper reports. *)
+
+val perturb :
+  ?fraction:float ->
+  ?floor:float ->
+  seed:int ->
+  Trace.t ->
+  Trace.t
+(** Multiply every flow size by a uniform factor in
+    [[1 - fraction, 1 + fraction]] (default [0.05]), lower-bounding the
+    result at [floor] (default 1 MB, the smallest flow in the paper's
+    trace). Deterministic in [seed]. *)
+
+type class_stat = {
+  category : Sunflow_core.Coflow.Category.t;
+  count : int;
+  coflow_pct : float;
+  bytes : float;
+  bytes_pct : float;
+}
+
+val classify : Trace.t -> class_stat list
+(** Table 4: Coflows and bytes by sender-to-receiver category, in
+    {!Sunflow_core.Coflow.Category.all} order. Percentages are [0.] on
+    an empty trace. *)
+
+val alpha_max : bandwidth:float -> delta:float -> Trace.t -> float
+(** Largest Lemma-2 [alpha] over the trace — the paper's trace yields
+    1.25 at 1 Gbps and 10 ms (so CCT/T_L^p <= 4.5 for every Coflow). *)
+
+val idleness : bandwidth:float -> Trace.t -> float
+(** Fraction of the observation window with no active Coflow, a Coflow
+    being active during [[arrival, arrival + T_L^p]] (§5.4). The window
+    runs from the first arrival to the last such deadline. [1.] for an
+    empty trace. *)
+
+val scale_to_idleness :
+  ?tolerance:float ->
+  bandwidth:float ->
+  target:float ->
+  Trace.t ->
+  Trace.t * float
+(** Scale every Coflow's bytes by one global factor so the trace
+    attains the target idleness at the given bandwidth, preserving
+    structural characteristics (§5.4). Returns the scaled trace and the
+    factor. Binary search to [tolerance] (default [0.002] absolute
+    idleness). Raises [Invalid_argument] when the target is outside
+    [(0, 1)] or unattainable within a factor of [1e-8 .. 1e8]. *)
+
+val long_short_split :
+  bandwidth:float -> delta:float -> Trace.t ->
+  Sunflow_core.Coflow.t list * Sunflow_core.Coflow.t list
+(** [(long, short)] Coflows under the paper's [p_avg > 40 delta]
+    criterion (§5.3.2). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hashtbl List Option QCheck2 QCheck_alcotest Sunflow_baselines Sunflow_core Util

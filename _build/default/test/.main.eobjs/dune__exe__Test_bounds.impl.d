@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest QCheck2 QCheck_alcotest Sunflow_core Util

@@ -1,0 +1,1 @@
+test/test_bvn.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_baselines Sunflow_matching Util

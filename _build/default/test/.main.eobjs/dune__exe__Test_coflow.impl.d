@@ -1,0 +1,1 @@
+test/test_coflow.ml: Alcotest Sunflow_core Util

@@ -1,0 +1,1 @@
+test/test_correlation.ml: Alcotest List Sunflow_stats

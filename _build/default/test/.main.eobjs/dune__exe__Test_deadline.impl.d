@@ -1,0 +1,1 @@
+test/test_deadline.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Util

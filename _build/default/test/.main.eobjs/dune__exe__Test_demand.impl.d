@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Array List QCheck2 QCheck_alcotest Sunflow_core Sunflow_matching Util

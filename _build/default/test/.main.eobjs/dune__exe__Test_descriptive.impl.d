@@ -1,0 +1,1 @@
+test/test_descriptive.ml: Alcotest Format Sunflow_stats Util

@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array List QCheck2 QCheck_alcotest String Sunflow_stats Util

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Float List QCheck2 QCheck_alcotest Sunflow_sim

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Sunflow_baselines Sunflow_core Util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Sunflow_core Sunflow_experiments Sunflow_trace Util

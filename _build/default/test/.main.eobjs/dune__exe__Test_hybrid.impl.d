@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest List Sunflow_core Sunflow_sim Util

@@ -1,0 +1,1 @@
+test/test_inter.ml: Alcotest List Option QCheck2 QCheck_alcotest Sunflow_core Util

@@ -1,0 +1,1 @@
+test/test_jobs.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Sunflow_jobs Sunflow_packet Util

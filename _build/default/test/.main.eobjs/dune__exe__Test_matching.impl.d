@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Fun Hashtbl List QCheck2 QCheck_alcotest Sunflow_matching Util

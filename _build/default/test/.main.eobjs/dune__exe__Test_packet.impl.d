@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Sunflow_packet Util

@@ -1,0 +1,1 @@
+test/test_prt.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Util

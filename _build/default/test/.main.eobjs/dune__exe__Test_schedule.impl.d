@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Format List Sunflow_core Util

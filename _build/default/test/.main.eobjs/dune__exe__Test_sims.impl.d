@@ -1,0 +1,1 @@
+test/test_sims.ml: Alcotest Format List QCheck2 QCheck_alcotest Sunflow_core Sunflow_packet Sunflow_sim Util

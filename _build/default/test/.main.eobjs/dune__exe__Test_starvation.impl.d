@@ -1,0 +1,1 @@
+test/test_starvation.ml: Alcotest Fun List Printf Sunflow_baselines Sunflow_core Util

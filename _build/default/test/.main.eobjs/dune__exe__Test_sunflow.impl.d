@@ -1,0 +1,1 @@
+test/test_sunflow.ml: Alcotest Hashtbl List Option QCheck2 QCheck_alcotest Sunflow_core Util

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Float List QCheck2 QCheck_alcotest Sunflow_baselines Sunflow_core Sunflow_switch Util

@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Float Lazy List Printf Sunflow_core Sunflow_trace

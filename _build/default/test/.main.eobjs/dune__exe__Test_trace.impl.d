@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename List Printf Sunflow_core Sunflow_trace Sys Util

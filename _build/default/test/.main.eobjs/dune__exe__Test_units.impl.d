@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Format Sunflow_core

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Sunflow_trace Util

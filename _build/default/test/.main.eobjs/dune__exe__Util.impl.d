@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Float List QCheck2 String Sunflow_core Sunflow_matching

@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "sunflow"
+    [
+      ("stats.descriptive", Test_descriptive.suite);
+      ("stats.correlation", Test_correlation.suite);
+      ("stats.distribution", Test_distribution.suite);
+      ("stats.rng", Test_rng.suite);
+      ("matching", Test_matching.suite);
+      ("matching.bvn", Test_bvn.suite);
+      ("core.units", Test_units.suite);
+      ("core.demand", Test_demand.suite);
+      ("core.coflow", Test_coflow.suite);
+      ("core.bounds", Test_bounds.suite);
+      ("core.prt", Test_prt.suite);
+      ("core.order", Test_order.suite);
+      ("core.schedule", Test_schedule.suite);
+      ("core.sunflow", Test_sunflow.suite);
+      ("core.inter", Test_inter.suite);
+      ("core.starvation", Test_starvation.suite);
+      ("core.deadline", Test_deadline.suite);
+      ("baselines.executor", Test_executor.suite);
+      ("baselines.schedulers", Test_baselines.suite);
+      ("packet", Test_packet.suite);
+      ("sim.event_queue", Test_event_queue.suite);
+      ("sim.replay", Test_sims.suite);
+      ("sim.hybrid", Test_hybrid.suite);
+      ("switch.physical", Test_switch.suite);
+      ("jobs", Test_jobs.suite);
+      ("trace.format", Test_trace.suite);
+      ("trace.synthetic", Test_synthetic.suite);
+      ("trace.workload", Test_workload.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("experiments", Test_experiments.suite);
+    ]

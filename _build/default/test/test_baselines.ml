@@ -1,0 +1,203 @@
+(* Solstice, TMS and Edmonds: every schedule must be a sequence of
+   valid matchings that covers the demand, drains it under the
+   executor, and respects the circuit-switched physics. *)
+
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Units = Sunflow_core.Units
+module Schedule = Sunflow_core.Schedule
+module Assignment = Sunflow_baselines.Assignment
+module Solstice = Sunflow_baselines.Solstice
+module Tms = Sunflow_baselines.Tms
+module Edmonds = Sunflow_baselines.Edmonds
+
+let b = Units.gbps 1.
+let delta = Units.ms 10.
+
+let schedulers =
+  [
+    ("solstice", fun ~delta ~bandwidth c -> Solstice.schedule ~delta ~bandwidth c);
+    ("tms", fun ~delta ~bandwidth c -> Tms.schedule ~delta ~bandwidth c);
+    ("edmonds", fun ~delta ~bandwidth c -> Edmonds.schedule ~delta ~bandwidth c);
+  ]
+
+let assignments_of =
+  [
+    ("solstice", fun ~bandwidth d -> Solstice.assignments ~bandwidth d);
+    ("tms", fun ~bandwidth d -> Tms.assignments ~bandwidth d);
+    ("edmonds", fun ~bandwidth d -> Edmonds.assignments ~bandwidth d);
+  ]
+
+(* coverage: scheduled circuit time per pair must be at least the
+   demand's processing time (stuffing may only add) *)
+let covers ~bandwidth demand plan =
+  let scheduled : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Assignment.t) ->
+      List.iter
+        (fun pair ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt scheduled pair) in
+          Hashtbl.replace scheduled pair (prev +. a.duration))
+        a.pairs)
+    plan;
+  List.for_all
+    (fun ((i, j), bytes) ->
+      let got = Option.value ~default:0. (Hashtbl.find_opt scheduled (i, j)) in
+      got >= (bytes /. bandwidth) -. 1e-9)
+    (Demand.entries demand)
+
+let prop_plan_is_sound name assignments =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:(name ^ ": assignments are matchings covering the demand")
+       ~count:100
+       (Util.Gen.nonempty_demand ~n_ports:6 ~max_flows:10 ())
+       (fun d ->
+         let plan = assignments ~bandwidth:b d in
+         List.for_all
+           (fun (a : Assignment.t) ->
+             Assignment.is_matching a.pairs && a.duration > 0.)
+           plan
+         && covers ~bandwidth:b d plan))
+
+let prop_executor_drains name schedule =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:(name ^ ": executor drains all real demand")
+       ~count:100
+       (Util.Gen.coflow ~n_ports:6 ~max_flows:10 ())
+       (fun c ->
+         let (o : Sunflow_baselines.Executor.outcome) =
+           schedule ~delta ~bandwidth:b c
+         in
+         Util.close ~eps:1e-6 0. o.leftover
+         &&
+         match Schedule.check_port_constraints o.reservations with
+         | Ok _ -> true
+         | Error _ -> false))
+
+let prop_cct_at_least_tpl name schedule =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:(name ^ ": CCT is at least the packet lower bound") ~count:100
+       (Util.Gen.coflow ~n_ports:6 ~max_flows:10 ())
+       (fun c ->
+         let (o : Sunflow_baselines.Executor.outcome) =
+           schedule ~delta ~bandwidth:b c
+         in
+         o.cct >= Bounds.packet_lower ~bandwidth:b c.demand -. 1e-9))
+
+let test_empty () =
+  List.iter
+    (fun (name, assignments) ->
+      Alcotest.(check int)
+        (name ^ " empty") 0
+        (List.length (assignments ~bandwidth:b (Demand.create ()))))
+    assignments_of
+
+let test_single_flow_each () =
+  let c = Coflow.make ~id:0 (Demand.of_list [ ((0, 1), Units.mb 10.) ]) in
+  List.iter
+    (fun (name, schedule) ->
+      let (o : Sunflow_baselines.Executor.outcome) = schedule ~delta ~bandwidth:b c in
+      Util.check_close (name ^ " single flow optimal") 0.09 o.cct)
+    schedulers
+
+let test_edmonds_slot_respected () =
+  let d = Demand.of_list [ ((0, 1), Units.mb 100.) ] in
+  let plan = Edmonds.assignments ~slot:0.3 ~bandwidth:b d in
+  Alcotest.(check bool) "durations within slot" true
+    (List.for_all (fun (a : Assignment.t) -> a.duration <= 0.3 +. 1e-9) plan);
+  (* 0.8 s of demand in 0.3 s slots: 3 assignments *)
+  Alcotest.(check int) "slot count" 3 (List.length plan)
+
+let test_edmonds_prefers_heavy () =
+  (* the first matching must take the heavy pair over the two light
+     ones when they conflict *)
+  let d =
+    Demand.of_list
+      [ ((0, 1), Units.mb 100.); ((0, 2), Units.mb 1.); ((1, 1), Units.mb 1.) ]
+  in
+  match Edmonds.assignments ~slot:10. ~bandwidth:b d with
+  | first :: _ ->
+    Alcotest.(check bool) "heavy pair matched" true
+      (Assignment.mem first (0, 1))
+  | [] -> Alcotest.fail "no assignments"
+
+let test_solstice_quantisation_bounded () =
+  (* quantisation may round demand up but never by more than one
+     quantum per entry *)
+  let d = Demand.of_list [ ((0, 1), Units.mb 17.3); ((1, 0), Units.mb 3.1) ] in
+  let plan = Solstice.assignments ~bandwidth:b d in
+  let total =
+    List.fold_left
+      (fun acc (a : Assignment.t) ->
+        acc +. (a.duration *. float_of_int (List.length a.pairs)))
+      0. plan
+  in
+  let demand_time = Demand.total_bytes d /. b in
+  let quantum =
+    Units.mb 17.3 /. b /. float_of_int Solstice.quantization_steps
+  in
+  (* scheduled time covers the stuffed matrix: for this 2-port demand
+     stuffing adds at most the line-sum imbalance *)
+  Alcotest.(check bool) "covers demand" true (total >= demand_time -. 1e-9);
+  Alcotest.(check bool) "bounded blow-up" true
+    (total <= (2. *. demand_time) +. (8. *. quantum))
+
+let test_tms_ideal_variant () =
+  (* the idealised variant also covers and drains, with fewer (or
+     equal) assignments than the Mordia pipeline *)
+  let d =
+    Demand.of_list
+      [ ((0, 1), Units.mb 40.); ((0, 2), Units.mb 5.); ((3, 1), Units.mb 12.) ]
+  in
+  let ideal = Tms.assignments ~ideal:true ~bandwidth:b d in
+  let mordia = Tms.assignments ~bandwidth:b d in
+  Alcotest.(check bool) "ideal covers" true (covers ~bandwidth:b d ideal);
+  Alcotest.(check bool) "mordia covers" true (covers ~bandwidth:b d mordia);
+  Alcotest.(check bool) "ideal not longer" true
+    (List.length ideal <= List.length mordia)
+
+let test_edmonds_adaptive_variant () =
+  let c =
+    Coflow.make ~id:0
+      (Demand.of_list [ ((0, 1), Units.mb 10.); ((2, 3), Units.mb 1.) ])
+  in
+  let fixed = Edmonds.schedule ~delta ~bandwidth:b c in
+  let adaptive = Edmonds.schedule ~adaptive:true ~delta ~bandwidth:b c in
+  Alcotest.(check bool) "adaptive at least as fast" true
+    (adaptive.cct <= fixed.cct +. 1e-9);
+  Util.check_close "both drain (fixed)" 0. fixed.leftover;
+  Util.check_close "both drain (adaptive)" 0. adaptive.leftover
+
+let test_validation () =
+  List.iter
+    (fun (name, assignments) ->
+      try
+        ignore (assignments ~bandwidth:0. (Demand.of_list [ ((0, 1), 1.) ]));
+        Alcotest.failf "%s accepted zero bandwidth" name
+      with Invalid_argument _ -> ())
+    assignments_of
+
+let suite =
+  List.concat
+    [
+      List.map (fun (n, a) -> prop_plan_is_sound n a) assignments_of;
+      List.map (fun (n, s) -> prop_executor_drains n s) schedulers;
+      List.map (fun (n, s) -> prop_cct_at_least_tpl n s) schedulers;
+      [
+        Alcotest.test_case "empty demands" `Quick test_empty;
+        Alcotest.test_case "single flow optimal" `Quick test_single_flow_each;
+        Alcotest.test_case "edmonds slot respected" `Quick
+          test_edmonds_slot_respected;
+        Alcotest.test_case "edmonds prefers heavy pair" `Quick
+          test_edmonds_prefers_heavy;
+        Alcotest.test_case "solstice quantisation bounded" `Quick
+          test_solstice_quantisation_bounded;
+        Alcotest.test_case "tms ideal variant" `Quick test_tms_ideal_variant;
+        Alcotest.test_case "edmonds adaptive variant" `Quick
+          test_edmonds_adaptive_variant;
+        Alcotest.test_case "validation" `Quick test_validation;
+      ];
+    ]

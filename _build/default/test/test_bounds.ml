@@ -1,0 +1,94 @@
+module Bounds = Sunflow_core.Bounds
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let b = Units.gbps 1.
+let delta = Units.ms 10.
+
+let test_packet_lower_by_hand () =
+  (* Equation 2: max over port sums of processing time.
+     in.0 sends 30 MB (0.24 s), out.5 receives 15 MB (0.12 s),
+     out.6 receives 20 MB (0.16 s): bottleneck is in.0. *)
+  let d =
+    Demand.of_list
+      [
+        ((0, 5), Units.mb 10.);
+        ((0, 6), Units.mb 20.);
+        ((1, 5), Units.mb 5.);
+      ]
+  in
+  Util.check_close "TpL" 0.24 (Bounds.packet_lower ~bandwidth:b d)
+
+let test_circuit_lower_by_hand () =
+  (* Equations 3-4: each flow charged one delta on its ports.
+     in.0: 0.24 + 2 deltas = 0.26; out.6: 0.16 + delta = 0.17. *)
+  let d =
+    Demand.of_list
+      [
+        ((0, 5), Units.mb 10.);
+        ((0, 6), Units.mb 20.);
+        ((1, 5), Units.mb 5.);
+      ]
+  in
+  Util.check_close "TcL" 0.26 (Bounds.circuit_lower ~bandwidth:b ~delta d)
+
+let test_empty_demand () =
+  let d = Demand.create () in
+  Util.check_close "TpL empty" 0. (Bounds.packet_lower ~bandwidth:b d);
+  Util.check_close "TcL empty" 0. (Bounds.circuit_lower ~bandwidth:b ~delta d)
+
+let test_flow_time () =
+  Util.check_close "zero demand no delta" 0. (Bounds.flow_time ~delta 0.);
+  Util.check_close "positive adds delta" 0.11 (Bounds.flow_time ~delta 0.1)
+
+let test_alpha () =
+  (* alpha = delta / min processing time; min flow 1 MB -> 8 ms *)
+  let d = Demand.of_list [ ((0, 1), Units.mb 1.); ((2, 3), Units.mb 100.) ] in
+  Util.check_close "alpha = 1.25" 1.25 (Bounds.alpha ~bandwidth:b ~delta d);
+  Alcotest.check_raises "empty" (Invalid_argument "Bounds.alpha: empty demand")
+    (fun () -> ignore (Bounds.alpha ~bandwidth:b ~delta (Demand.create ())))
+
+let test_validation () =
+  let d = Demand.of_list [ ((0, 1), 1.) ] in
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Bounds.packet_lower: bandwidth <= 0") (fun () ->
+      ignore (Bounds.packet_lower ~bandwidth:0. d));
+  Alcotest.check_raises "bad delta"
+    (Invalid_argument "Bounds.circuit_lower: negative delta") (fun () ->
+      ignore (Bounds.circuit_lower ~bandwidth:b ~delta:(-1.) d))
+
+let prop_ordering =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"TpL <= TcL <= TpL + |C| deltas, and delta-monotone" ~count:300
+       (Util.Gen.nonempty_demand ())
+       (fun d ->
+         let tpl = Bounds.packet_lower ~bandwidth:b d in
+         let tcl = Bounds.circuit_lower ~bandwidth:b ~delta d in
+         let tcl_big = Bounds.circuit_lower ~bandwidth:b ~delta:(2. *. delta) d in
+         tpl <= tcl +. 1e-9
+         && tcl <= tpl +. (float_of_int (Demand.n_flows d) *. delta) +. 1e-9
+         && tcl <= tcl_big +. 1e-9))
+
+let prop_bandwidth_scaling =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"doubling bandwidth halves TpL" ~count:200
+       (Util.Gen.nonempty_demand ())
+       (fun d ->
+         let t1 = Bounds.packet_lower ~bandwidth:b d in
+         let t2 = Bounds.packet_lower ~bandwidth:(2. *. b) d in
+         Util.close ~eps:1e-9 t1 (2. *. t2)))
+
+let suite =
+  [
+    Alcotest.test_case "packet lower bound by hand" `Quick
+      test_packet_lower_by_hand;
+    Alcotest.test_case "circuit lower bound by hand" `Quick
+      test_circuit_lower_by_hand;
+    Alcotest.test_case "empty demand" `Quick test_empty_demand;
+    Alcotest.test_case "flow time" `Quick test_flow_time;
+    Alcotest.test_case "alpha" `Quick test_alpha;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_ordering;
+    prop_bandwidth_scaling;
+  ]

@@ -1,0 +1,63 @@
+module Dense = Sunflow_matching.Dense
+module Stuffing = Sunflow_matching.Stuffing
+module Bvn = Sunflow_matching.Bvn
+module Assignment = Sunflow_baselines.Assignment
+
+let test_identity () =
+  (* a permutation matrix decomposes into exactly itself *)
+  let m = [| [| 0.; 2.; 0. |]; [| 2.; 0.; 0. |]; [| 0.; 0.; 2. |] |] in
+  match Bvn.decompose m with
+  | [ t ] ->
+    Alcotest.(check (float 1e-9)) "weight" 2. t.weight;
+    Alcotest.(check (list (pair int int)))
+      "pairs" [ (0, 1); (1, 0); (2, 2) ]
+      (List.sort compare t.pairs)
+  | ts -> Alcotest.failf "expected one term, got %d" (List.length ts)
+
+let test_unbalanced_rejected () =
+  let m = [| [| 1.; 0. |]; [| 0.; 2. |] |] in
+  Alcotest.check_raises "unbalanced"
+    (Invalid_argument "Bvn.decompose: matrix is not balanced") (fun () ->
+      ignore (Bvn.decompose m))
+
+let test_empty () =
+  Alcotest.(check int) "no terms" 0 (List.length (Bvn.decompose (Dense.make 3)))
+
+let prop_reconstruct =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"decomposition reconstructs the matrix"
+       ~count:150
+       (Util.Gen.balanced_dense ~n:5 ())
+       (fun m ->
+         let terms = Bvn.decompose m in
+         let back = Bvn.reconstruct 5 terms in
+         Dense.equal ~eps:1e-6 m back))
+
+let prop_terms_are_matchings =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"every term is a matching with positive weight"
+       ~count:150
+       (Util.Gen.balanced_dense ~n:4 ())
+       (fun m ->
+         List.for_all
+           (fun (t : Bvn.term) ->
+             t.weight > 0. && Assignment.is_matching t.pairs)
+           (Bvn.decompose m)))
+
+let prop_term_count_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"term count bounded by positive entries (Birkhoff)" ~count:100
+       (Util.Gen.balanced_dense ~n:5 ())
+       (fun m ->
+         List.length (Bvn.decompose m) <= max 1 (Dense.count_positive m)))
+
+let suite =
+  [
+    Alcotest.test_case "permutation identity" `Quick test_identity;
+    Alcotest.test_case "unbalanced rejected" `Quick test_unbalanced_rejected;
+    Alcotest.test_case "empty matrix" `Quick test_empty;
+    prop_reconstruct;
+    prop_terms_are_matchings;
+    prop_term_count_bounded;
+  ]

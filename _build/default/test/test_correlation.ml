@@ -1,0 +1,54 @@
+module C = Sunflow_stats.Correlation
+
+let check = Alcotest.(check (float 1e-9))
+
+let test_pearson_exact () =
+  check "perfect positive" 1. (C.pearson [ 1.; 2.; 3. ] [ 10.; 20.; 30. ]);
+  check "perfect negative" (-1.) (C.pearson [ 1.; 2.; 3. ] [ 3.; 2.; 1. ]);
+  (* hand-computed: cov=2, sx=sqrt 2, sy=sqrt 8 -> r = 2/4 ... *)
+  check "affine" 1. (C.pearson [ 0.; 1.; 2.; 3. ] [ 5.; 7.; 9.; 11. ])
+
+let test_pearson_uncorrelated () =
+  let r = C.pearson [ 1.; 2.; 3.; 4. ] [ 1.; -1.; -1.; 1. ] in
+  check "symmetric pattern" 0. r
+
+let test_pearson_errors () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Correlation.pearson: mismatched lengths") (fun () ->
+      ignore (C.pearson [ 1. ] [ 1.; 2. ]));
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Correlation.pearson: need at least two points")
+    (fun () -> ignore (C.pearson [ 1. ] [ 1. ]));
+  Alcotest.check_raises "zero variance"
+    (Invalid_argument "Correlation.pearson: zero-variance sample") (fun () ->
+      ignore (C.pearson [ 1.; 1. ] [ 1.; 2. ]))
+
+let test_spearman_monotone () =
+  (* any monotone transform gives rank correlation 1 *)
+  let xs = [ 1.; 2.; 5.; 9.; 12. ] in
+  let ys = List.map (fun x -> exp x) xs in
+  check "monotone" 1. (C.spearman xs ys);
+  check "anti-monotone" (-1.) (C.spearman xs (List.map (fun x -> -.x) ys))
+
+let test_spearman_ties () =
+  (* ties get average ranks; a tied pair should not break symmetry *)
+  let r = C.spearman [ 1.; 1.; 2.; 3. ] [ 1.; 1.; 2.; 3. ] in
+  check "self with ties" 1. r
+
+let test_spearman_vs_pearson_outlier () =
+  (* an outlier distorts Pearson but not Spearman *)
+  let xs = [ 1.; 2.; 3.; 4.; 1000. ] in
+  let ys = [ 1.; 2.; 3.; 4.; 5. ] in
+  check "spearman robust" 1. (C.spearman xs ys);
+  Alcotest.(check bool) "pearson below 1" true (C.pearson xs ys < 1.)
+
+let suite =
+  [
+    Alcotest.test_case "pearson exact" `Quick test_pearson_exact;
+    Alcotest.test_case "pearson uncorrelated" `Quick test_pearson_uncorrelated;
+    Alcotest.test_case "pearson errors" `Quick test_pearson_errors;
+    Alcotest.test_case "spearman monotone" `Quick test_spearman_monotone;
+    Alcotest.test_case "spearman ties" `Quick test_spearman_ties;
+    Alcotest.test_case "spearman vs pearson outlier" `Quick
+      test_spearman_vs_pearson_outlier;
+  ]

@@ -1,0 +1,92 @@
+module Deadline = Sunflow_core.Deadline
+module Inter = Sunflow_core.Inter
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let b = Units.gbps 1.
+let delta = Units.ms 10.
+
+let mk id ?(arrival = 0.) flows = Coflow.make ~id ~arrival (Demand.of_list flows)
+
+(* 10 MB on one circuit: 90 ms alone *)
+let c1 = mk 1 [ ((0, 5), Units.mb 10.) ]
+let c2 = mk 2 [ ((0, 6), Units.mb 10.) ]
+let c3 = mk 3 [ ((0, 7), Units.mb 10.) ]
+
+let deadline_table table (c : Coflow.t) = List.assoc c.Coflow.id table
+
+let test_edf_ordering () =
+  let deadline_of = deadline_table [ (1, 3.); (2, 1.); (3, 2.) ] in
+  let sorted = Inter.sort (Deadline.edf ~deadline_of) ~bandwidth:b [ c1; c2; c3 ] in
+  Alcotest.(check (list int)) "by deadline" [ 2; 3; 1 ]
+    (List.map (fun c -> c.Coflow.id) sorted)
+
+let test_admit_all_when_loose () =
+  let deadline_of = deadline_table [ (1, 10.); (2, 10.); (3, 10.) ] in
+  let a = Deadline.admit ~deadline_of ~delta ~bandwidth:b [ c1; c2; c3 ] in
+  Alcotest.(check int) "all admitted" 3 (List.length a.Deadline.admitted);
+  Alcotest.(check int) "none rejected" 0 (List.length a.Deadline.rejected);
+  List.iter
+    (fun (id, finish) ->
+      if finish > deadline_of (mk id []) then
+        Alcotest.failf "coflow %d misses its deadline" id)
+    a.Deadline.admitted
+
+let test_admission_rejects_overload () =
+  (* all three share In 0; each needs 90 ms alone, so only the first
+     two can fit a 200 ms deadline *)
+  let deadline_of = deadline_table [ (1, 0.2); (2, 0.2); (3, 0.2) ] in
+  let a = Deadline.admit ~deadline_of ~delta ~bandwidth:b [ c1; c2; c3 ] in
+  Alcotest.(check int) "two admitted" 2 (List.length a.Deadline.admitted);
+  (match a.Deadline.rejected with
+  | [ (_, would_finish) ] ->
+    Alcotest.(check bool) "rejection justified" true (would_finish > 0.2)
+  | _ -> Alcotest.fail "exactly one rejection expected");
+  (* admitted finishes hold *)
+  List.iter
+    (fun (_, finish) ->
+      Alcotest.(check bool) "meets deadline" true (finish <= 0.2))
+    a.Deadline.admitted
+
+let test_rejection_leaves_no_trace () =
+  (* a hopeless Coflow between two feasible ones must not consume
+     port time *)
+  let big = mk 9 [ ((0, 5), Units.gb 10.) ] in
+  let deadline_of =
+    deadline_table [ (1, 0.1); (9, 0.15); (2, 10.) ]
+  in
+  let a = Deadline.admit ~deadline_of ~delta ~bandwidth:b [ c1; big; c2 ] in
+  Alcotest.(check (list int)) "big rejected" [ 9 ]
+    (List.map fst a.Deadline.rejected);
+  (* c2 gets the fabric right after c1, as if 'big' never existed *)
+  Alcotest.(check bool) "c2 unharmed" true (List.assoc 2 a.Deadline.admitted <= 10.)
+
+let prop_admitted_meet_deadlines =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"every admitted Coflow's plan meets its deadline" ~count:150
+       QCheck2.Gen.(
+         list_size (int_range 1 6)
+           (pair (Util.Gen.coflow ~n_ports:5 ()) (float_range 0.05 2.)))
+       (fun entries ->
+         let coflows = List.mapi (fun i (c, _) -> { c with Coflow.id = i }) entries in
+         let deadlines = List.mapi (fun i (_, d) -> (i, d)) entries in
+         let deadline_of (c : Coflow.t) = List.assoc c.id deadlines in
+         let a = Deadline.admit ~deadline_of ~delta ~bandwidth:b coflows in
+         List.for_all
+           (fun (id, finish) -> finish <= List.assoc id deadlines +. 1e-12)
+           a.Deadline.admitted
+         && List.length a.Deadline.admitted + List.length a.Deadline.rejected
+            = List.length coflows))
+
+let suite =
+  [
+    Alcotest.test_case "edf ordering" `Quick test_edf_ordering;
+    Alcotest.test_case "admit all when loose" `Quick test_admit_all_when_loose;
+    Alcotest.test_case "admission rejects overload" `Quick
+      test_admission_rejects_overload;
+    Alcotest.test_case "rejection leaves no trace" `Quick
+      test_rejection_leaves_no_trace;
+    prop_admitted_meet_deadlines;
+  ]

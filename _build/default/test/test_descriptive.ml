@@ -1,0 +1,64 @@
+module D = Sunflow_stats.Descriptive
+
+let check = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  check "mean" 2. (D.mean [ 1.; 2.; 3. ]);
+  check "singleton" 5. (D.mean [ 5. ]);
+  check "array" 2.5 (D.mean_array [| 1.; 2.; 3.; 4. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (D.mean []))
+
+let test_variance_stddev () =
+  check "variance" 2. (D.variance [ 1.; 2.; 3.; 4.; 5. ]);
+  check "stddev" (sqrt 2.) (D.stddev [ 1.; 2.; 3.; 4.; 5. ]);
+  check "constant" 0. (D.variance [ 4.; 4.; 4. ])
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  check "p0" 1. (D.percentile 0. xs);
+  check "p100" 4. (D.percentile 100. xs);
+  check "p50 interp" 2.5 (D.percentile 50. xs);
+  check "p25" 1.75 (D.percentile 25. xs);
+  check "median odd" 2. (D.median [ 3.; 1.; 2. ]);
+  check "unsorted input" 4. (D.percentile 100. [ 4.; 1.; 3. ])
+
+let test_percentile_errors () =
+  Alcotest.check_raises "p>100"
+    (Invalid_argument "Descriptive.percentile: p outside [0, 100]") (fun () ->
+      ignore (D.percentile 101. [ 1. ]))
+
+let test_min_max () =
+  let lo, hi = D.min_max [ 3.; -1.; 7.; 2. ] in
+  check "min" (-1.) lo;
+  check "max" 7. hi
+
+let test_summary () =
+  let s = D.summarize [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  Alcotest.(check int) "count" 10 s.count;
+  check "mean" 5.5 s.mean;
+  check "p50" 5.5 s.p50;
+  check "min" 1. s.min;
+  check "max" 10. s.max;
+  let rendered = Format.asprintf "%a" D.pp_summary s in
+  Alcotest.(check bool) "pp mentions count" true (Util.contains rendered "n=10")
+
+let test_geometric_mean () =
+  check "geo" 2. (D.geometric_mean [ 1.; 2.; 4. ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Descriptive.geometric_mean: non-positive sample")
+    (fun () -> ignore (D.geometric_mean [ 1.; 0. ]))
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance and stddev" `Quick test_variance_stddev;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile;
+    Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+  ]

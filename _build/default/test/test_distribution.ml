@@ -1,0 +1,70 @@
+module Dist = Sunflow_stats.Distribution
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_cdf () =
+  let c = Dist.cdf [ 3.; 1.; 2.; 2. ] in
+  Alcotest.(check int) "distinct points" 3 (List.length c);
+  checkf "at 1" 0.25 (Dist.cdf_at c 1.);
+  checkf "at 2 (ties)" 0.75 (Dist.cdf_at c 2.);
+  checkf "at 3" 1. (Dist.cdf_at c 3.);
+  checkf "below" 0. (Dist.cdf_at c 0.5);
+  checkf "beyond" 1. (Dist.cdf_at c 10.)
+
+let test_cdf_monotone () =
+  let c = Dist.cdf [ 5.; 1.; 9.; 4.; 4.; 2. ] in
+  let fracs = List.map snd c in
+  Alcotest.(check bool) "non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b) fracs (List.tl fracs @ [ 1. ]));
+  checkf "last is 1" 1. (List.nth fracs (List.length fracs - 1))
+
+let test_deciles () =
+  let d = Dist.deciles [ 0.; 10. ] in
+  Alcotest.(check int) "eleven points" 11 (Array.length d);
+  checkf "p0" 0. d.(0);
+  checkf "p50" 5. d.(5);
+  checkf "p100" 10. d.(10)
+
+let test_fraction_below () =
+  checkf "half" 0.5 (Dist.fraction_below 2. [ 1.; 2.; 3.; 4. ]);
+  checkf "empty" 0. (Dist.fraction_below 1. [])
+
+let test_histogram () =
+  let h = Dist.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check int) "edges" 3 (Array.length h.edges);
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] (Array.to_list h.counts);
+  Alcotest.check_raises "no bins"
+    (Invalid_argument "Distribution.histogram: bins < 1") (fun () ->
+      ignore (Dist.histogram ~bins:0 [ 1. ]))
+
+let test_histogram_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"histogram counts sum to sample size" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 50) (float_range (-5.) 5.))
+       (fun xs ->
+         let h = Dist.histogram ~bins:7 xs in
+         Array.fold_left ( + ) 0 h.counts = List.length xs))
+
+let test_ascii_chart () =
+  let chart = Dist.ascii_cdf_chart ~width:20 ~height:4 [ ('x', [ 1.; 2.; 3. ]) ] in
+  let lines = String.split_on_char '\n' chart in
+  Alcotest.(check int) "rows + axis" 5 (List.length (List.filter (( <> ) "") lines));
+  Alcotest.(check bool) "has glyph" true (Util.contains chart "x");
+  Alcotest.(check bool) "axis shows range" true (Util.contains chart "1");
+  Alcotest.check_raises "no series"
+    (Invalid_argument "Distribution.ascii_cdf_chart: no series") (fun () ->
+      ignore (Dist.ascii_cdf_chart []));
+  Alcotest.check_raises "empty samples"
+    (Invalid_argument "Distribution.ascii_cdf_chart: empty samples") (fun () ->
+      ignore (Dist.ascii_cdf_chart [ ('x', []) ]))
+
+let suite =
+  [
+    Alcotest.test_case "cdf" `Quick test_cdf;
+    Alcotest.test_case "cdf monotone" `Quick test_cdf_monotone;
+    Alcotest.test_case "deciles" `Quick test_deciles;
+    Alcotest.test_case "fraction below" `Quick test_fraction_below;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    test_histogram_total;
+    Alcotest.test_case "ascii cdf chart" `Quick test_ascii_chart;
+  ]

@@ -1,0 +1,65 @@
+module Q = Sunflow_sim.Event_queue
+
+let test_ordering () =
+  let q = Q.create () in
+  Q.push q ~time:3. "c";
+  Q.push q ~time:1. "a";
+  Q.push q ~time:2. "b";
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "a")) (Q.peek q);
+  Alcotest.(check (pair (float 0.) string)) "pop a" (1., "a") (Q.pop_exn q);
+  Alcotest.(check (pair (float 0.) string)) "pop b" (2., "b") (Q.pop_exn q);
+  Alcotest.(check (pair (float 0.) string)) "pop c" (3., "c") (Q.pop_exn q);
+  Alcotest.(check bool) "empty" true (Q.is_empty q)
+
+let test_stability () =
+  let q = Q.create () in
+  Q.push q ~time:1. "first";
+  Q.push q ~time:1. "second";
+  Q.push q ~time:1. "third";
+  Alcotest.(check string) "insertion order" "first" (snd (Q.pop_exn q));
+  Alcotest.(check string) "kept" "second" (snd (Q.pop_exn q));
+  Alcotest.(check string) "kept" "third" (snd (Q.pop_exn q))
+
+let test_drain_until () =
+  let q = Q.create () in
+  List.iter (fun t -> Q.push q ~time:t t) [ 5.; 1.; 3.; 8. ];
+  let drained = Q.drain_until q 4. in
+  Alcotest.(check (list (float 0.))) "drained in order" [ 1.; 3. ]
+    (List.map fst drained);
+  Alcotest.(check int) "rest kept" 2 (Q.size q)
+
+let test_empty_pop () =
+  let q : int Q.t = Q.create () in
+  Alcotest.(check bool) "pop none" true (Q.pop q = None);
+  Alcotest.check_raises "pop_exn"
+    (Invalid_argument "Event_queue.pop_exn: empty queue") (fun () ->
+      ignore (Q.pop_exn q))
+
+let test_nan_rejected () =
+  let q = Q.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Q.push q ~time:Float.nan ())
+
+let prop_heap_sorts =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"pops come out sorted" ~count:200
+       QCheck2.Gen.(list_size (int_range 0 200) (float_range (-1e6) 1e6))
+       (fun times ->
+         let q = Q.create () in
+         List.iter (fun t -> Q.push q ~time:t ()) times;
+         let rec drain acc =
+           match Q.pop q with
+           | Some (t, ()) -> drain (t :: acc)
+           | None -> List.rev acc
+         in
+         drain [] = List.sort compare times))
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "stability at equal times" `Quick test_stability;
+    Alcotest.test_case "drain_until" `Quick test_drain_until;
+    Alcotest.test_case "empty pops" `Quick test_empty_pop;
+    Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+    prop_heap_sorts;
+  ]

@@ -1,0 +1,119 @@
+module Assignment = Sunflow_baselines.Assignment
+module Executor = Sunflow_baselines.Executor
+module Schedule = Sunflow_core.Schedule
+
+let test_assignment_validation () =
+  Alcotest.check_raises "duplicate input"
+    (Invalid_argument "Assignment.make: pairs are not a one-to-one matching")
+    (fun () ->
+      ignore (Assignment.make ~pairs:[ (0, 1); (0, 2) ] ~duration:1.));
+  Alcotest.check_raises "duplicate output"
+    (Invalid_argument "Assignment.make: pairs are not a one-to-one matching")
+    (fun () ->
+      ignore (Assignment.make ~pairs:[ (0, 1); (2, 1) ] ~duration:1.));
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Assignment.make: non-positive duration") (fun () ->
+      ignore (Assignment.make ~pairs:[ (0, 1) ] ~duration:0.))
+
+let test_changed_from () =
+  let a = Assignment.make ~pairs:[ (0, 1); (2, 3) ] ~duration:1. in
+  let b = Assignment.make ~pairs:[ (0, 1); (2, 4) ] ~duration:1. in
+  Alcotest.(check (list (pair int int))) "all new without previous"
+    [ (0, 1); (2, 3) ]
+    (Assignment.changed_from ~previous:None a);
+  Alcotest.(check (list (pair int int))) "only the moved circuit" [ (2, 4) ]
+    (Assignment.changed_from ~previous:(Some a) b)
+
+let delta = 0.1
+
+let test_single_assignment () =
+  let plan = [ Assignment.make ~pairs:[ (0, 1) ] ~duration:1. ] in
+  let o = Executor.run ~delta ~demand_time:[ ((0, 1), 0.6) ] plan in
+  (* reconfig 0.1 then 0.6 s of the 1 s slot drains the demand *)
+  Util.check_close "cct" 0.7 o.cct;
+  Alcotest.(check int) "one switching" 1 o.switching_count;
+  Util.check_close "no leftover" 0. o.leftover
+
+let test_persistent_circuit_transmits_through_reconfig () =
+  (* (0,1) persists across assignments: during the second reconfig
+     window it keeps draining, so demand 1.0 + 0.1 + 0.4 finishes
+     exactly at the end of the second window's transmission start +0.3 *)
+  let plan =
+    [
+      Assignment.make ~pairs:[ (0, 1) ] ~duration:1.;
+      Assignment.make ~pairs:[ (0, 1); (2, 3) ] ~duration:1.;
+    ]
+  in
+  let o = Executor.run ~delta ~demand_time:[ ((0, 1), 1.4) ] plan in
+  (* timeline: [0,0.1) reconfig; [0.1,1.1) drains 1.0; [1.1,1.2) second
+     reconfig but (0,1) persists and drains 0.1; remaining 0.3 drains by
+     1.5 *)
+  Util.check_close "cct" 1.5 o.cct;
+  Alcotest.(check int) "switchings" 2 o.switching_count;
+  Util.check_close "drained" 0. o.leftover
+
+let test_identical_consecutive_assignments_free () =
+  let a = Assignment.make ~pairs:[ (0, 1) ] ~duration:0.5 in
+  let o = Executor.run ~delta ~demand_time:[ ((0, 1), 1.0) ] [ a; a ] in
+  (* one reconfig, then continuous transmission *)
+  Util.check_close "cct" 1.1 o.cct;
+  Alcotest.(check int) "one switching" 1 o.switching_count
+
+let test_stops_at_completion () =
+  let plan =
+    [
+      Assignment.make ~pairs:[ (0, 1) ] ~duration:1.;
+      Assignment.make ~pairs:[ (5, 6) ] ~duration:100.;
+    ]
+  in
+  let o = Executor.run ~delta ~demand_time:[ ((0, 1), 0.2) ] plan in
+  Alcotest.(check int) "second assignment never played" 1 o.assignments_used
+
+let test_leftover_reported () =
+  let plan = [ Assignment.make ~pairs:[ (0, 1) ] ~duration:0.2 ] in
+  let o = Executor.run ~delta ~demand_time:[ ((0, 1), 1.0) ] plan in
+  Util.check_close "leftover" 0.8 o.leftover
+
+let test_reservations_check () =
+  let plan =
+    [
+      Assignment.make ~pairs:[ (0, 1); (1, 0) ] ~duration:1.;
+      Assignment.make ~pairs:[ (0, 0); (1, 1) ] ~duration:1.;
+    ]
+  in
+  let o =
+    Executor.run ~delta ~demand_time:[ ((0, 1), 0.5); ((1, 1), 1.2) ] plan
+  in
+  match Schedule.check_port_constraints o.reservations with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_validation () =
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Executor.run: negative delta") (fun () ->
+      ignore (Executor.run ~delta:(-1.) ~demand_time:[] []));
+  Alcotest.check_raises "bad demand"
+    (Invalid_argument "Executor.run: non-positive demand entry") (fun () ->
+      ignore (Executor.run ~delta ~demand_time:[ ((0, 1), 0.) ] []))
+
+let test_empty_demand () =
+  let o = Executor.run ~delta ~demand_time:[] [] in
+  Util.check_close "zero cct" 0. o.cct;
+  Alcotest.(check int) "nothing played" 0 o.assignments_used
+
+let suite =
+  [
+    Alcotest.test_case "assignment validation" `Quick test_assignment_validation;
+    Alcotest.test_case "changed_from" `Quick test_changed_from;
+    Alcotest.test_case "single assignment" `Quick test_single_assignment;
+    Alcotest.test_case "persistence through reconfig" `Quick
+      test_persistent_circuit_transmits_through_reconfig;
+    Alcotest.test_case "identical assignments free" `Quick
+      test_identical_consecutive_assignments_free;
+    Alcotest.test_case "stops at completion" `Quick test_stops_at_completion;
+    Alcotest.test_case "leftover reported" `Quick test_leftover_reported;
+    Alcotest.test_case "reservations obey port constraints" `Quick
+      test_reservations_check;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "empty demand" `Quick test_empty_demand;
+  ]

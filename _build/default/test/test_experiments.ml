@@ -1,0 +1,137 @@
+(* Smoke tests of the experiment harness on a reduced workload. These
+   check shapes and invariants (the paper's qualitative claims), not
+   point estimates. *)
+
+module E = Sunflow_experiments
+module Units = Sunflow_core.Units
+
+let settings =
+  {
+    E.Common.default with
+    trace_params =
+      { Sunflow_trace.Synthetic.default_params with n_coflows = 80; span = 550. };
+  }
+
+let test_table4 () =
+  let r = E.Exp_table4.run ~settings () in
+  Alcotest.(check int) "count" 80 r.E.Exp_table4.n_coflows;
+  Util.check_close "percentages sum" 100.
+    (List.fold_left
+       (fun a (s : Sunflow_trace.Workload.class_stat) -> a +. s.coflow_pct)
+       0. r.E.Exp_table4.stats)
+
+let test_fig3_shape () =
+  let r = E.Exp_fig3.run ~settings ~bandwidths:[ Units.gbps 1. ] () in
+  match r.E.Exp_fig3.rates with
+  | [ row ] ->
+    Alcotest.(check bool) "sunflow >= 1" true (row.sunflow_avg >= 1. -. 1e-9);
+    Alcotest.(check bool) "lemma 1" true (row.sunflow_max < 2.);
+    Alcotest.(check bool) "solstice worse" true
+      (row.solstice_avg >= row.sunflow_avg)
+  | _ -> Alcotest.fail "one bandwidth requested"
+
+let test_fig5_shape () =
+  let r = E.Exp_fig5.run ~settings () in
+  Alcotest.(check bool) "sunflow minimal" true r.E.Exp_fig5.sunflow_always_minimal;
+  Alcotest.(check bool) "solstice above minimal" true
+    (r.E.Exp_fig5.solstice_avg > 1.)
+
+let test_fig6_baseline_row () =
+  let r = E.Exp_fig6.run ~settings () in
+  let baseline_row =
+    List.find
+      (fun (row : E.Exp_fig6.per_delta) -> row.delta = r.E.Exp_fig6.baseline)
+      r.E.Exp_fig6.rows
+  in
+  Util.check_close "baseline avg is 1" 1. baseline_row.sunflow_avg;
+  (* slower switch, slower CCT *)
+  let worst =
+    List.find
+      (fun (row : E.Exp_fig6.per_delta) -> row.delta = Units.ms 100.)
+      r.E.Exp_fig6.rows
+  in
+  Alcotest.(check bool) "100 ms hurts" true (worst.sunflow_avg > 1.)
+
+let test_fig7_bound () =
+  let r = E.Exp_fig7.run ~settings () in
+  Alcotest.(check bool) "within Lemma 2 bound" true
+    (r.E.Exp_fig7.max_ratio <= r.E.Exp_fig7.lemma2_bound +. 1e-9);
+  Alcotest.(check bool) "long coflows near bound" true
+    (r.E.Exp_fig7.long_.avg <= r.E.Exp_fig7.short.avg +. 1e-9)
+
+let test_headline () =
+  let r = E.Exp_headline.run ~settings () in
+  Alcotest.(check bool) "lemma 1" true r.E.Exp_headline.lemma1_holds;
+  Alcotest.(check bool) "single-line optimal" true
+    r.E.Exp_headline.single_line_optimal;
+  Alcotest.(check bool) "switching minimal" true
+    r.E.Exp_headline.switching_minimal;
+  Alcotest.(check bool) "inter ratio sane" true
+    (r.E.Exp_headline.inter_avg_cct_vs_varys > 0.5
+    && r.E.Exp_headline.inter_avg_cct_vs_varys < 3.)
+
+let test_ordering_insensitive () =
+  let r = E.Exp_ordering.run ~settings () in
+  List.iter
+    (fun (row : E.Exp_ordering.row) ->
+      if row.avg < 0.8 || row.avg > 1.2 then
+        Alcotest.failf "%s too sensitive: %.2f" row.label row.avg)
+    r.E.Exp_ordering.rows
+
+let test_baseline_gap_shape () =
+  let r = E.Exp_baseline_gap.run ~settings () in
+  let row name =
+    List.find (fun (x : E.Exp_baseline_gap.row) -> x.scheduler = name)
+      r.E.Exp_baseline_gap.rows
+  in
+  Util.check_close "solstice vs itself" 1. (row "solstice").avg_ratio_vs_solstice;
+  Alcotest.(check bool) "edmonds slowest" true
+    ((row "edmonds").avg_ratio_vs_solstice > 1.5);
+  Alcotest.(check bool) "sunflow at the bound" true
+    ((row "sunflow").avg_ratio_vs_tcl < 1.1)
+
+let test_extensions_shape () =
+  let r = E.Exp_extensions.run ~settings () in
+  Alcotest.(check bool) "has jobs" true (r.E.Exp_extensions.n_jobs > 0);
+  List.iter
+    (fun (row : E.Exp_extensions.deadline_row) ->
+      Alcotest.(check bool) "guarantees hold" true row.guarantees_hold)
+    r.E.Exp_extensions.deadlines;
+  (* admitted fraction is monotone in slack *)
+  let pcts =
+    List.map
+      (fun (row : E.Exp_extensions.deadline_row) -> row.admitted_pct)
+      r.E.Exp_extensions.deadlines
+  in
+  Alcotest.(check bool) "monotone" true
+    (List.for_all2 (fun a b -> a <= b +. 1e-9) pcts (List.tl pcts @ [ 100. ]))
+
+let test_oracle_all_valid () =
+  let r = E.Exp_oracle.run ~settings () in
+  Alcotest.(check int) "all valid" r.E.Exp_oracle.n_plans
+    r.E.Exp_oracle.physically_valid;
+  Alcotest.(check int) "all ccts match" r.E.Exp_oracle.n_plans
+    r.E.Exp_oracle.cct_matches
+
+let test_complexity_rows () =
+  let r = E.Exp_complexity.run ~settings ~widths:[ 4; 8 ] () in
+  match r.E.Exp_complexity.rows with
+  | [ a; b ] ->
+    Alcotest.(check int) "|C| = width^2" 16 a.n_subflows;
+    Alcotest.(check int) "|C| = width^2" 64 b.n_subflows
+  | _ -> Alcotest.fail "two widths requested"
+
+let suite =
+  [
+    Alcotest.test_case "table 4" `Slow test_table4;
+    Alcotest.test_case "fig 3 shape" `Slow test_fig3_shape;
+    Alcotest.test_case "fig 5 shape" `Slow test_fig5_shape;
+    Alcotest.test_case "fig 6 baseline" `Slow test_fig6_baseline_row;
+    Alcotest.test_case "fig 7 bound" `Slow test_fig7_bound;
+    Alcotest.test_case "headline claims" `Slow test_headline;
+    Alcotest.test_case "ordering insensitivity" `Slow test_ordering_insensitive;
+    Alcotest.test_case "complexity rows" `Slow test_complexity_rows;
+    Alcotest.test_case "baseline gap shape" `Slow test_baseline_gap_shape;
+    Alcotest.test_case "extensions shape" `Slow test_extensions_shape;
+    Alcotest.test_case "oracle all valid" `Slow test_oracle_all_valid;
+  ]

@@ -1,0 +1,115 @@
+(* Failure injection: hostile inputs must produce typed errors, never
+   crashes or corrupted state. *)
+
+module Trace = Sunflow_trace.Trace
+module Demand = Sunflow_core.Demand
+module Controller = Sunflow_switch.Controller
+module Prt = Sunflow_core.Prt
+
+(* --- trace parser --- *)
+
+let parses_or_fails_cleanly text =
+  match Trace.parse text with
+  | (_ : Trace.t) -> true
+  | exception Trace.Parse_error _ -> true
+  | exception _ -> false
+
+let prop_parser_random_garbage =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parser survives random garbage" ~count:500
+       QCheck2.Gen.(string_size ~gen:printable (int_range 0 200))
+       parses_or_fails_cleanly)
+
+let valid_text = "10 2\n0 0 2 1 2 1 5:10\n1 250 1 3 2 6:4 7:2\n"
+
+let prop_parser_mutated_trace =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parser survives mutations of a valid trace"
+       ~count:500
+       QCheck2.Gen.(
+         triple (int_range 0 (String.length valid_text - 1)) char
+           (int_range 0 (String.length valid_text)))
+       (fun (pos, c, cut) ->
+         let mutated = Bytes.of_string valid_text in
+         Bytes.set mutated pos c;
+         let mutated = Bytes.sub_string mutated 0 cut in
+         parses_or_fails_cleanly mutated))
+
+let prop_parser_shuffled_lines =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parser survives line reordering" ~count:200
+       QCheck2.Gen.(int_range 0 1000)
+       (fun seed ->
+         let rng = Sunflow_stats.Rng.create seed in
+         let lines = String.split_on_char '\n' valid_text in
+         let shuffled =
+           String.concat "\n" (Sunflow_stats.Rng.shuffle_list rng lines)
+         in
+         parses_or_fails_cleanly shuffled))
+
+(* --- controller vs adversarial plans --- *)
+
+let reservation_gen =
+  QCheck2.Gen.(
+    let* src = int_range 0 3 in
+    let* dst = int_range 0 3 in
+    let* start = float_range 0. 2. in
+    let* setup = oneofl [ 0.; 0.005; 0.01; 0.02 ] in
+    let* extra = float_range 0.001 0.5 in
+    pure { Prt.coflow = 0; src; dst; start; setup; length = setup +. extra })
+
+let prop_controller_rejects_or_executes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"controller handles arbitrary plans without crashing" ~count:300
+       QCheck2.Gen.(list_size (int_range 0 12) reservation_gen)
+       (fun plan ->
+         match
+           Controller.execute ~delta:0.01 ~bandwidth:1e8 ~n_ports:4
+             ~coflows:[] ~plan
+         with
+         | Ok report -> report.leftover = 0.
+         | Error msg -> String.length msg > 0))
+
+(* --- demand state machine --- *)
+
+type op = Set of int * int * float | Add of int * int * float | Drain of int * int * float
+
+let op_gen =
+  QCheck2.Gen.(
+    let* i = int_range 0 3 and* j = int_range 0 3 in
+    let* v = float_range 0. 100. in
+    oneofl [ Set (i, j, v); Add (i, j, v); Drain (i, j, v) ])
+
+let prop_demand_invariants =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"demand invariants hold under random ops"
+       ~count:300
+       QCheck2.Gen.(list_size (int_range 0 60) op_gen)
+       (fun ops ->
+         let d = Demand.create () in
+         List.iter
+           (function
+             | Set (i, j, v) -> Demand.set d i j v
+             | Add (i, j, v) -> Demand.add d i j v
+             | Drain (i, j, v) -> Demand.drain d i j v)
+           ops;
+         let entries = Demand.entries d in
+         (* no non-positive entries are ever stored *)
+         List.for_all (fun (_, v) -> v > 0.) entries
+         (* aggregates agree with the entry list *)
+         && Util.close ~eps:1e-6 (Demand.total_bytes d)
+              (List.fold_left (fun a (_, v) -> a +. v) 0. entries)
+         && Demand.n_flows d = List.length entries
+         && List.length (Demand.senders d)
+            = List.length
+                (List.sort_uniq compare (List.map (fun ((i, _), _) -> i) entries))))
+
+let suite =
+  [
+    prop_parser_random_garbage;
+    prop_parser_mutated_trace;
+    prop_parser_shuffled_lines;
+    prop_controller_rejects_or_executes;
+    prop_demand_invariants;
+  ]

@@ -1,0 +1,75 @@
+module Hybrid = Sunflow_sim.Hybrid_sim
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+module R = Sunflow_sim.Sim_result
+
+let delta = Units.ms 10.
+let circuit_bandwidth = Units.gbps 10.
+let packet_bandwidth = Units.gbps 1.
+
+let mk id ?(arrival = 0.) flows = Coflow.make ~id ~arrival (Demand.of_list flows)
+
+let mouse = mk 0 [ ((0, 1), Units.mb 1.) ]
+let elephant = mk 1 [ ((2, 3), Units.gb 2.); ((4, 5), Units.gb 2.) ]
+
+let classify =
+  Hybrid.best_bound ~delta ~circuit_bandwidth ~packet_bandwidth
+
+let test_classifier () =
+  (* 1 MB: 8 ms on the packet net vs 10.8 ms with a circuit setup *)
+  Alcotest.(check bool) "mouse to packet" true (classify mouse = `Packet);
+  Alcotest.(check bool) "elephant to circuit" true (classify elephant = `Circuit);
+  let empty = Coflow.make ~id:9 (Demand.create ()) in
+  Alcotest.(check bool) "empty to packet" true (classify empty = `Packet)
+
+let test_merged_results () =
+  let r =
+    Hybrid.run ~delta ~circuit_bandwidth ~packet_bandwidth ~classify
+      [ mouse; elephant ]
+  in
+  Alcotest.(check int) "both complete" 2 (List.length r.R.ccts);
+  (* the mouse runs at packet speed with no setup *)
+  Util.check_close "mouse cct" 0.008 (R.cct_of r 0);
+  (* the elephant pays one delta per flow at circuit speed *)
+  Util.check_close "elephant cct" 1.61 (R.cct_of r 1);
+  Alcotest.(check int) "setups only from the circuit side" 2 r.R.total_setups
+
+let test_fabrics_independent () =
+  (* mice and elephants on the same ports must not interfere: they are
+     on physically separate networks *)
+  let mouse' = mk 0 [ ((2, 3), Units.mb 1.) ] in
+  let r =
+    Hybrid.run ~delta ~circuit_bandwidth ~packet_bandwidth ~classify
+      [ mouse'; elephant ]
+  in
+  Util.check_close "mouse unaffected by elephant" 0.008 (R.cct_of r 0)
+
+let test_all_one_side () =
+  let r =
+    Hybrid.run ~delta ~circuit_bandwidth ~packet_bandwidth
+      ~classify:(fun _ -> `Circuit)
+      [ mouse; elephant ]
+  in
+  Alcotest.(check int) "all on circuit" 2 (List.length r.R.ccts);
+  let r' =
+    Hybrid.run ~delta ~circuit_bandwidth ~packet_bandwidth
+      ~classify:(fun _ -> `Packet)
+      [ mouse; elephant ]
+  in
+  Alcotest.(check int) "no setups on packet" 0 r'.R.total_setups
+
+let test_validation () =
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Hybrid_sim.run: non-positive bandwidth") (fun () ->
+      ignore
+        (Hybrid.run ~delta ~circuit_bandwidth:0. ~packet_bandwidth ~classify []))
+
+let suite =
+  [
+    Alcotest.test_case "best-bound classifier" `Quick test_classifier;
+    Alcotest.test_case "merged results" `Quick test_merged_results;
+    Alcotest.test_case "fabrics independent" `Quick test_fabrics_independent;
+    Alcotest.test_case "degenerate classifiers" `Quick test_all_one_side;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

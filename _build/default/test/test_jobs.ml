@@ -1,0 +1,207 @@
+module Job = Sunflow_jobs.Job
+module Job_sim = Sunflow_jobs.Job_sim
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+module Inter = Sunflow_core.Inter
+
+let b = Units.gbps 1.
+let delta = Units.ms 10.
+
+let d flows = Demand.of_list flows
+let stage ?(depends_on = []) demand = { Job.demand; depends_on }
+
+let shuffle mb = d [ ((0, 5), Units.mb mb); ((1, 6), Units.mb mb) ]
+
+let pipeline ~id ?(arrival = 0.) mbs =
+  (* a chain: stage i depends on stage i-1 *)
+  Job.make ~id ~arrival
+    (List.mapi
+       (fun i mb ->
+         stage ~depends_on:(if i = 0 then [] else [ i - 1 ]) (shuffle mb))
+       mbs)
+
+(* --- Job structure --- *)
+
+let test_job_validation () =
+  Alcotest.check_raises "no stages"
+    (Invalid_argument "Job.make: a job needs at least one stage") (fun () ->
+      ignore (Job.make ~id:0 []));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Job.make: dependency index out of range") (fun () ->
+      ignore (Job.make ~id:0 [ stage ~depends_on:[ 5 ] (shuffle 1.) ]));
+  Alcotest.check_raises "cycle" (Invalid_argument "Job.make: dependency cycle")
+    (fun () ->
+      ignore
+        (Job.make ~id:0
+           [
+             stage ~depends_on:[ 1 ] (shuffle 1.);
+             stage ~depends_on:[ 0 ] (shuffle 1.);
+           ]))
+
+let test_job_structure () =
+  let j =
+    Job.make ~id:1
+      [
+        stage (shuffle 1.);
+        stage (shuffle 2.);
+        stage ~depends_on:[ 0; 1 ] (shuffle 3.);
+        stage ~depends_on:[ 2 ] (shuffle 4.);
+      ]
+  in
+  Alcotest.(check (list int)) "roots" [ 0; 1 ] (Job.roots j);
+  Alcotest.(check (list int)) "dependants of 2" [ 3 ] (Job.dependants j 2);
+  Alcotest.(check int) "depth of root" 0 (Job.depth j 0);
+  Alcotest.(check int) "depth of join" 1 (Job.depth j 2);
+  Alcotest.(check int) "depth of tail" 2 (Job.depth j 3);
+  Alcotest.(check (list int)) "ready initially" [ 0; 1 ]
+    (Job.ready j ~completed:(fun _ -> false));
+  Alcotest.(check (list int)) "all ready when done" [ 0; 1; 2; 3 ]
+    (Job.ready j ~completed:(fun _ -> true))
+
+let test_critical_path () =
+  let j = pipeline ~id:0 [ 10.; 20. ] in
+  (* each stage bottleneck: 10 MB then 20 MB at 1 Gbps *)
+  Util.check_close "chain sums" 0.24 (Job.critical_path ~bandwidth:b j);
+  let par =
+    Job.make ~id:1 [ stage (shuffle 10.); stage (shuffle 20.) ]
+  in
+  Util.check_close "parallel takes max" 0.16 (Job.critical_path ~bandwidth:b par)
+
+(* --- Job_sim --- *)
+
+let circuit = Job_sim.Circuit { delta; policy = Inter.Shortest_first }
+
+let test_chain_completes_in_order () =
+  let j = pipeline ~id:0 [ 10.; 10.; 10. ] in
+  let r = Job_sim.run ~fabric:circuit ~bandwidth:b [ j ] in
+  (match r.stage_finishes with
+  | [ (0, 0, t0); (0, 1, t1); (0, 2, t2) ] ->
+    Alcotest.(check bool) "ordered" true (t0 < t1 && t1 < t2);
+    (* each stage: 2 parallel flows of 10 MB, delta + 80 ms *)
+    Util.check_close "first stage" 0.09 t0;
+    Util.check_close "whole chain" 0.27 t2
+  | l -> Alcotest.failf "unexpected stage finishes (%d)" (List.length l));
+  Util.check_close "jct" 0.27 (List.assoc 0 r.job_completions)
+
+let test_chain_on_packet_fabric () =
+  let j = pipeline ~id:0 [ 10.; 10. ] in
+  let r =
+    Job_sim.run
+      ~fabric:(Job_sim.Packet Sunflow_packet.Varys.allocate)
+      ~bandwidth:b [ j ]
+  in
+  (* no reconfiguration delay on the packet fabric *)
+  Util.check_close "jct" 0.16 (List.assoc 0 r.job_completions)
+
+let test_barrier_stage () =
+  (* an empty middle stage is a pure barrier *)
+  let j =
+    Job.make ~id:2
+      [
+        stage (shuffle 10.);
+        stage ~depends_on:[ 0 ] (Demand.create ());
+        stage ~depends_on:[ 1 ] (shuffle 10.);
+      ]
+  in
+  let r = Job_sim.run ~fabric:circuit ~bandwidth:b [ j ] in
+  Util.check_close "barrier costs nothing" 0.18 (List.assoc 2 r.job_completions);
+  Alcotest.(check int) "three stage finishes" 3 (List.length r.stage_finishes)
+
+let test_diamond_dag () =
+  let j =
+    Job.make ~id:3
+      [
+        stage (shuffle 10.);
+        stage ~depends_on:[ 0 ] (d [ ((0, 5), Units.mb 10.) ]);
+        stage ~depends_on:[ 0 ] (d [ ((1, 6), Units.mb 10.) ]);
+        stage ~depends_on:[ 1; 2 ] (shuffle 10.);
+      ]
+  in
+  let r = Job_sim.run ~fabric:circuit ~bandwidth:b [ j ] in
+  (* the two middle stages run in parallel on disjoint ports *)
+  Util.check_close "diamond" 0.27 (List.assoc 3 r.job_completions)
+
+let test_arrivals_respected () =
+  let j = pipeline ~id:0 ~arrival:5. [ 10. ] in
+  let r = Job_sim.run ~fabric:circuit ~bandwidth:b [ j ] in
+  (match r.stage_finishes with
+  | [ (0, 0, t) ] -> Util.check_close "absolute finish" 5.09 t
+  | _ -> Alcotest.fail "one stage expected");
+  Util.check_close "jct from arrival" 0.09 (List.assoc 0 r.job_completions)
+
+let test_stage_policy_prioritises_early_stages () =
+  (* two jobs contending on the same ports: job 0 is deep in its
+     pipeline while job 1 is starting; the stage-aware policy serves
+     job 1's root before job 0's late stage *)
+  let late = pipeline ~id:0 [ 1.; 1.; 400. ] in
+  let fresh = Job.make ~id:1 ~arrival:0.2 [ stage (shuffle 4.) ] in
+  let run policy =
+    Job_sim.run ~fabric:(Job_sim.Circuit { delta; policy }) ~bandwidth:b
+      [ late; fresh ]
+  in
+  let stage_aware = run Job_sim.stage_policy in
+  let fifo = run Inter.Fifo in
+  Alcotest.(check bool) "fresh job faster under stage policy" true
+    (List.assoc 1 stage_aware.job_completions
+    < List.assoc 1 fifo.job_completions)
+
+let test_duplicate_job_ids () =
+  let a = pipeline ~id:7 [ 1. ] and b' = pipeline ~id:7 [ 1. ] in
+  Alcotest.check_raises "dup" (Invalid_argument "Job_sim.run: duplicate job ids")
+    (fun () -> ignore (Job_sim.run ~fabric:circuit ~bandwidth:b [ a; b' ]))
+
+let prop_jobs_complete =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random job mixes complete on both fabrics"
+       ~count:40
+       QCheck2.Gen.(
+         list_size (int_range 1 4)
+           (pair (int_range 1 4) (float_range 0. 2.)))
+       (fun specs ->
+         let jobs =
+           List.mapi
+             (fun id (n_stages, arrival) ->
+               Job.make ~id ~arrival
+                 (List.init n_stages (fun i ->
+                      stage
+                        ~depends_on:(if i = 0 then [] else [ i - 1 ])
+                        (d [ ((i mod 3, 4 + (i mod 2)), Units.mb 2.) ]))))
+             specs
+         in
+         let on_circuit = Job_sim.run ~fabric:circuit ~bandwidth:b jobs in
+         let on_packet =
+           Job_sim.run
+             ~fabric:(Job_sim.Packet Sunflow_packet.Varys.allocate)
+             ~bandwidth:b jobs
+         in
+         List.length on_circuit.job_completions = List.length jobs
+         && List.length on_packet.job_completions = List.length jobs
+         && List.for_all2
+              (fun (id, circuit_jct) (id', packet_jct) ->
+                (* each job's completion is bounded below by its
+                   critical path on both fabrics *)
+                let j = List.find (fun (j : Job.t) -> j.id = id) jobs in
+                let bound = Job.critical_path ~bandwidth:b j in
+                id = id'
+                && circuit_jct >= bound -. 1e-9
+                && packet_jct >= bound -. 1e-9)
+              on_circuit.job_completions on_packet.job_completions))
+
+let suite =
+  [
+    Alcotest.test_case "job validation" `Quick test_job_validation;
+    Alcotest.test_case "job structure" `Quick test_job_structure;
+    Alcotest.test_case "critical path" `Quick test_critical_path;
+    Alcotest.test_case "chain completes in order" `Quick
+      test_chain_completes_in_order;
+    Alcotest.test_case "chain on packet fabric" `Quick
+      test_chain_on_packet_fabric;
+    Alcotest.test_case "barrier stage" `Quick test_barrier_stage;
+    Alcotest.test_case "diamond dag" `Quick test_diamond_dag;
+    Alcotest.test_case "arrivals respected" `Quick test_arrivals_respected;
+    Alcotest.test_case "stage policy helps fresh jobs" `Quick
+      test_stage_policy_prioritises_early_stages;
+    Alcotest.test_case "duplicate job ids" `Quick test_duplicate_job_ids;
+    prop_jobs_complete;
+  ]

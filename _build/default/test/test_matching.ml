@@ -1,0 +1,230 @@
+(* Dense matrices, stuffing, Hopcroft-Karp and Hungarian, each checked
+   against brute force on small instances. *)
+
+module Dense = Sunflow_matching.Dense
+module Stuffing = Sunflow_matching.Stuffing
+module Bipartite = Sunflow_matching.Bipartite
+module HK = Sunflow_matching.Hopcroft_karp
+module Hungarian = Sunflow_matching.Hungarian
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Dense --- *)
+
+let m0 () = [| [| 1.; 2. |]; [| 3.; 0. |] |]
+
+let test_dense_sums () =
+  let m = m0 () in
+  Alcotest.(check (list (float 1e-9))) "rows" [ 3.; 3. ]
+    (Array.to_list (Dense.row_sums m));
+  Alcotest.(check (list (float 1e-9))) "cols" [ 4.; 2. ]
+    (Array.to_list (Dense.col_sums m));
+  checkf "total" 6. (Dense.total m);
+  checkf "max entry" 3. (Dense.max_entry m);
+  checkf "min positive" 1. (Dense.min_positive_entry m);
+  checkf "max line" 4. (Dense.max_line_sum m);
+  Alcotest.(check int) "positive count" 3 (Dense.count_positive m)
+
+let test_dense_quantize () =
+  let m = [| [| 0.9; 0. |]; [| 2.1; 1. |] |] in
+  let q = Dense.quantize_up ~quantum:1. m in
+  checkf "rounded up" 1. q.(0).(0);
+  checkf "zero stays" 0. q.(0).(1);
+  checkf "2.1 -> 3" 3. q.(1).(0);
+  checkf "exact multiple kept" 1. q.(1).(1);
+  let same = Dense.quantize_up ~quantum:0. m in
+  Alcotest.(check bool) "quantum 0 is copy" true (Dense.equal m same)
+
+let test_dense_sub_clamped () =
+  let d = Dense.sub_clamped [| [| 1.; 5. |]; [| 0.; 2. |] |] [| [| 2.; 1. |]; [| 0.; 2. |] |] in
+  checkf "clamped" 0. d.(0).(0);
+  checkf "diff" 4. d.(0).(1)
+
+(* --- Stuffing --- *)
+
+let test_stuff_balances () =
+  let m = m0 () in
+  let s = Stuffing.stuff m in
+  Alcotest.(check bool) "balanced" true (Stuffing.is_balanced s);
+  (* stuffing only adds *)
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      if s.(i).(j) < m.(i).(j) -. 1e-12 then Alcotest.fail "entry shrank"
+    done
+  done;
+  checkf "dummy total" (2. *. 4. -. 6.) (Stuffing.dummy_added ~original:m ~stuffed:s)
+
+let test_stuff_already_balanced () =
+  let m = [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  let s = Stuffing.stuff m in
+  Alcotest.(check bool) "unchanged" true (Dense.equal m s)
+
+let prop_stuff_balanced =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"stuff always balances" ~count:200
+       QCheck2.Gen.(
+         list_size (pure 4) (list_size (pure 4) (float_range 0. 9.)))
+       (fun rows ->
+         let m = Array.of_list (List.map Array.of_list rows) in
+         Stuffing.is_balanced (Stuffing.stuff m)))
+
+(* --- Sinkhorn --- *)
+
+let test_sinkhorn_doubly_stochastic () =
+  let m = [| [| 1.; 9.; 2. |]; [| 4.; 1.; 1. |]; [| 2.; 2.; 8. |] |] in
+  let d = Sunflow_matching.Sinkhorn.scale m in
+  Alcotest.(check bool) "converged" true
+    (Sunflow_matching.Sinkhorn.max_line_deviation d <= 1e-8);
+  (* scaling preserves zero/positive pattern and relative row order *)
+  Alcotest.(check bool) "entries positive" true
+    (Array.for_all (Array.for_all (fun v -> v > 0.)) d)
+
+let test_sinkhorn_rejects_nonpositive () =
+  Alcotest.check_raises "zero entry"
+    (Invalid_argument "Sinkhorn.scale: matrix must be strictly positive")
+    (fun () -> ignore (Sunflow_matching.Sinkhorn.scale [| [| 1.; 0. |]; [| 1.; 1. |] |]))
+
+let prop_sinkhorn_converges =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sinkhorn converges on positive matrices"
+       ~count:100
+       QCheck2.Gen.(
+         list_size (pure 4) (list_size (pure 4) (float_range 0.01 50.)))
+       (fun rows ->
+         let m = Array.of_list (List.map Array.of_list rows) in
+         let d = Sunflow_matching.Sinkhorn.scale m in
+         Sunflow_matching.Sinkhorn.max_line_deviation d <= 1e-6))
+
+(* --- Hopcroft-Karp vs brute force --- *)
+
+let brute_force_max_matching g =
+  let nl = Bipartite.n_left g in
+  let used = Array.make (Bipartite.n_right g) false in
+  let rec best u =
+    if u = nl then 0
+    else begin
+      let skip = best (u + 1) in
+      List.fold_left
+        (fun acc v ->
+          if used.(v) then acc
+          else begin
+            used.(v) <- true;
+            let r = 1 + best (u + 1) in
+            used.(v) <- false;
+            max acc r
+          end)
+        skip
+        (Bipartite.neighbours g u)
+    end
+  in
+  best 0
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* nl = int_range 1 6 in
+    let* nr = int_range 1 6 in
+    let* edges =
+      list_size (int_range 0 14)
+        (pair (int_range 0 (nl - 1)) (int_range 0 (nr - 1)))
+    in
+    pure (Bipartite.create ~n_left:nl ~n_right:nr edges))
+
+let prop_hk_maximum =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"hopcroft-karp finds a maximum matching"
+       ~count:300 graph_gen (fun g ->
+         let m = HK.solve g in
+         (* result is a valid matching *)
+         let ok_valid =
+           Array.for_all
+             (fun v -> v = -1 || true)
+             m.pair_left
+           &&
+           let seen = Hashtbl.create 8 in
+           Array.for_all
+             (fun v ->
+               v = -1
+               ||
+               if Hashtbl.mem seen v then false
+               else begin
+                 Hashtbl.replace seen v ();
+                 true
+               end)
+             m.pair_left
+         in
+         ok_valid && m.size = brute_force_max_matching g))
+
+let test_hk_perfect () =
+  let g = Bipartite.create ~n_left:2 ~n_right:2 [ (0, 0); (0, 1); (1, 0) ] in
+  (match HK.perfect g with
+  | Some pairs ->
+    Alcotest.(check int) "two pairs" 2 (List.length pairs);
+    Alcotest.(check bool) "uses (1,0)" true (List.mem (1, 0) pairs)
+  | None -> Alcotest.fail "perfect matching exists");
+  let g2 = Bipartite.create ~n_left:2 ~n_right:2 [ (0, 0); (1, 0) ] in
+  Alcotest.(check bool) "no perfect matching" true (HK.perfect g2 = None)
+
+(* --- Hungarian vs brute force --- *)
+
+let brute_force_max_assignment w =
+  let n = Array.length w in
+  let cols = Array.make n false in
+  let rec go i =
+    if i = n then 0.
+    else begin
+      let best = ref neg_infinity in
+      for j = 0 to n - 1 do
+        if not cols.(j) then begin
+          cols.(j) <- true;
+          let v = w.(i).(j) +. go (i + 1) in
+          if v > !best then best := v;
+          cols.(j) <- false
+        end
+      done;
+      !best
+    end
+  in
+  go 0
+
+let matrix_gen n =
+  QCheck2.Gen.(
+    let* rows = list_size (pure n) (list_size (pure n) (float_range 0. 20.)) in
+    pure (Array.of_list (List.map Array.of_list rows)))
+
+let prop_hungarian_optimal =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"hungarian matches brute force" ~count:200
+       QCheck2.Gen.(int_range 1 5 >>= matrix_gen)
+       (fun w ->
+         let a = Hungarian.max_weight_assignment w in
+         (* a is a permutation *)
+         List.sort compare (Array.to_list a) = List.init (Array.length w) Fun.id
+         && Util.close ~eps:1e-6
+              (Hungarian.assignment_weight w a)
+              (brute_force_max_assignment w)))
+
+let test_hungarian_drops_zeros () =
+  let w = [| [| 5.; 0. |]; [| 0.; 0. |] |] in
+  let pairs = Hungarian.max_weight_matching w in
+  Alcotest.(check (list (pair int int))) "only positive pair" [ (0, 0) ] pairs
+
+let suite =
+  [
+    Alcotest.test_case "dense sums" `Quick test_dense_sums;
+    Alcotest.test_case "dense quantize" `Quick test_dense_quantize;
+    Alcotest.test_case "dense sub clamped" `Quick test_dense_sub_clamped;
+    Alcotest.test_case "stuffing balances" `Quick test_stuff_balances;
+    Alcotest.test_case "stuffing no-op when balanced" `Quick
+      test_stuff_already_balanced;
+    prop_stuff_balanced;
+    Alcotest.test_case "sinkhorn doubly stochastic" `Quick
+      test_sinkhorn_doubly_stochastic;
+    Alcotest.test_case "sinkhorn rejects non-positive" `Quick
+      test_sinkhorn_rejects_nonpositive;
+    prop_sinkhorn_converges;
+    prop_hk_maximum;
+    Alcotest.test_case "hopcroft-karp perfect" `Quick test_hk_perfect;
+    prop_hungarian_optimal;
+    Alcotest.test_case "hungarian drops zero pairs" `Quick
+      test_hungarian_drops_zeros;
+  ]

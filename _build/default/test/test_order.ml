@@ -1,0 +1,49 @@
+module Order = Sunflow_core.Order
+
+let entries = [ ((2, 1), 5.); ((0, 3), 9.); ((1, 2), 1.) ]
+
+let test_ordered_port () =
+  Alcotest.(check (list (pair int int)))
+    "by (src, dst)"
+    [ (0, 3); (1, 2); (2, 1) ]
+    (List.map fst (Order.apply Order.Ordered_port entries))
+
+let test_sorted_demand () =
+  Alcotest.(check (list (pair int int)))
+    "descending"
+    [ (0, 3); (2, 1); (1, 2) ]
+    (List.map fst (Order.apply Order.Sorted_demand_desc entries));
+  Alcotest.(check (list (pair int int)))
+    "ascending"
+    [ (1, 2); (2, 1); (0, 3) ]
+    (List.map fst (Order.apply Order.Sorted_demand_asc entries))
+
+let test_shuffled_deterministic () =
+  let a = Order.apply (Order.Shuffled 3) entries in
+  let b = Order.apply (Order.Shuffled 3) entries in
+  Alcotest.(check bool) "same seed same order" true (a = b);
+  Alcotest.(check bool) "permutation" true
+    (List.sort compare a = List.sort compare entries)
+
+let test_custom_checked () =
+  let ok = Order.apply (Order.Custom List.rev) entries in
+  Alcotest.(check bool) "reversed" true (ok = List.rev entries);
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Order.apply: Custom ordering is not a permutation")
+    (fun () -> ignore (Order.apply (Order.Custom (fun _ -> [])) entries))
+
+let test_to_string () =
+  Alcotest.(check string) "default name" "OrderedPort"
+    (Order.to_string Order.Ordered_port);
+  Alcotest.(check bool) "seed shown" true
+    (Util.contains (Order.to_string (Order.Shuffled 7)) "7")
+
+let suite =
+  [
+    Alcotest.test_case "ordered port" `Quick test_ordered_port;
+    Alcotest.test_case "sorted demand" `Quick test_sorted_demand;
+    Alcotest.test_case "shuffled deterministic" `Quick
+      test_shuffled_deterministic;
+    Alcotest.test_case "custom checked" `Quick test_custom_checked;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

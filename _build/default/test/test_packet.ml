@@ -1,0 +1,227 @@
+(* Rate allocation substrate and the Varys / Aalo / Fair schedulers. *)
+
+module Rate_alloc = Sunflow_packet.Rate_alloc
+module Residual = Sunflow_packet.Residual
+module Maxmin = Sunflow_packet.Maxmin
+module Snapshot = Sunflow_packet.Snapshot
+module Varys = Sunflow_packet.Varys
+module Aalo = Sunflow_packet.Aalo
+module Fair = Sunflow_packet.Fair
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let b = 100.
+
+let fid coflow src dst = { Rate_alloc.coflow; src; dst }
+
+let test_rate_alloc_basic () =
+  let a = Rate_alloc.empty () in
+  Util.check_close "absent" 0. (Rate_alloc.rate a (fid 0 0 1));
+  Rate_alloc.set a (fid 0 0 1) 5.;
+  Rate_alloc.add a (fid 0 0 1) 5.;
+  Util.check_close "accumulated" 10. (Rate_alloc.rate a (fid 0 0 1));
+  Rate_alloc.set a (fid 0 0 1) 0.;
+  Alcotest.(check int) "removed" 0 (List.length (Rate_alloc.to_list a))
+
+let test_port_load_and_feasibility () =
+  let a = Rate_alloc.empty () in
+  Rate_alloc.set a (fid 0 0 1) 60.;
+  Rate_alloc.set a (fid 1 0 2) 60.;
+  Util.check_close "input load" 120. (Rate_alloc.port_load a (`In 0));
+  Util.check_close "output load" 60. (Rate_alloc.port_load a (`Out 1));
+  (match Rate_alloc.check_feasible ~bandwidth:b a with
+  | Ok () -> Alcotest.fail "overload not detected"
+  | Error msg -> Alcotest.(check bool) "names port" true (Util.contains msg "port 0"))
+
+let test_residual () =
+  let r = Residual.create ~bandwidth:b in
+  Util.check_close "fresh" b (Residual.available_in r 3);
+  Residual.consume r ~src:3 ~dst:4 30.;
+  Util.check_close "in consumed" 70. (Residual.available_in r 3);
+  Util.check_close "out consumed" 70. (Residual.available_out r 4);
+  Util.check_close "headroom" 70. (Residual.circuit_headroom r ~src:3 ~dst:4);
+  Alcotest.check_raises "over consume"
+    (Invalid_argument "Residual.consume: port over capacity") (fun () ->
+      Residual.consume r ~src:3 ~dst:9 80.)
+
+let test_maxmin_sharing () =
+  let r = Residual.create ~bandwidth:b in
+  (* two flows share In 0; a third has its own ports *)
+  let rates =
+    Maxmin.allocate r [ fid 0 0 1; fid 0 0 2; fid 1 5 6 ]
+  in
+  let rate f = List.assoc f rates in
+  Util.check_close "shared half" 50. (rate (fid 0 0 1));
+  Util.check_close "shared half" 50. (rate (fid 0 0 2));
+  Util.check_close "own ports full" 100. (rate (fid 1 5 6))
+
+let test_maxmin_waterfill () =
+  (* flows A:(0->1), B:(0->2), C:(3->2). Port 0 limits A and B to 50;
+     then C grows to fill port 2's remaining 50. *)
+  let r = Residual.create ~bandwidth:b in
+  let rates = Maxmin.allocate r [ fid 0 0 1; fid 0 0 2; fid 0 3 2 ] in
+  let rate f = List.assoc f rates in
+  Util.check_close "A" 50. (rate (fid 0 0 1));
+  Util.check_close "B" 50. (rate (fid 0 0 2));
+  Util.check_close "C fills out 2" 50. (rate (fid 0 3 2))
+
+let test_maxmin_duplicate_rejected () =
+  let r = Residual.create ~bandwidth:b in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Maxmin.allocate: duplicate flow") (fun () ->
+      ignore (Maxmin.allocate r [ fid 0 0 1; fid 0 0 1 ]))
+
+let snapshot id ?(arrival = 0.) ?(sent = 0.) flows =
+  {
+    Snapshot.coflow = Coflow.make ~id ~arrival (Demand.of_list flows);
+    sent;
+  }
+
+let bw = Units.gbps 1.
+
+let test_varys_madd_proportional () =
+  (* MADD: flows finish together - rates proportional to sizes *)
+  let s = snapshot 0 [ ((0, 1), Units.mb 20.); ((0, 2), Units.mb 10.) ] in
+  let rates = Varys.allocate ~bandwidth:bw [ s ] in
+  let r1 = Rate_alloc.rate rates (fid 0 0 1) in
+  let r2 = Rate_alloc.rate rates (fid 0 0 2) in
+  Util.check_close ~eps:1e-6 "2:1 split" 2. (r1 /. r2);
+  Util.check_close ~eps:1e-6 "bottleneck saturated" bw (r1 +. r2)
+
+let test_varys_sebf_priority () =
+  (* the smaller Coflow owns the shared port; the bigger one is pushed
+     to leftovers *)
+  let small = snapshot 1 [ ((0, 1), Units.mb 1.) ] in
+  let big = snapshot 2 [ ((0, 2), Units.mb 100.) ] in
+  let rates = Varys.allocate ~bandwidth:bw [ big; small ] in
+  Util.check_close ~eps:1e-6 "small at line rate" bw
+    (Rate_alloc.rate rates (fid 1 0 1));
+  (* backfill gives port 0's nothing extra - it is saturated *)
+  Util.check_close ~eps:1e-6 "big starved on shared port" 0.
+    (Rate_alloc.rate rates (fid 2 0 2))
+
+let test_varys_work_conservation () =
+  (* when the priority Coflow cannot use a port, the next one gets it *)
+  let first = snapshot 1 [ ((0, 1), Units.mb 1.) ] in
+  let second = snapshot 2 [ ((3, 4), Units.mb 100.) ] in
+  let rates = Varys.allocate ~bandwidth:bw [ first; second ] in
+  Util.check_close ~eps:1e-6 "disjoint ports at line rate" bw
+    (Rate_alloc.rate rates (fid 2 3 4))
+
+let test_aalo_queue_of () =
+  let p = Aalo.default_params in
+  Alcotest.(check int) "fresh" 0 (Aalo.queue_of p ~sent:0.);
+  Alcotest.(check int) "below 10MB" 0 (Aalo.queue_of p ~sent:(Units.mb 9.9));
+  Alcotest.(check int) "at 10MB" 1 (Aalo.queue_of p ~sent:(Units.mb 10.));
+  Alcotest.(check int) "at 100MB" 2 (Aalo.queue_of p ~sent:(Units.mb 100.));
+  Alcotest.(check int) "capped at last queue" 9
+    (Aalo.queue_of p ~sent:(Units.gb 1e6));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Aalo.queue_of: negative sent bytes") (fun () ->
+      ignore (Aalo.queue_of p ~sent:(-1.)))
+
+let test_aalo_equal_share_within_coflow () =
+  (* sizes unknown: flows of one Coflow get equal (max-min) rates even
+     when their sizes differ wildly *)
+  let s =
+    snapshot 0 [ ((0, 1), Units.mb 100.); ((0, 2), Units.mb 1.) ]
+  in
+  let rates = Aalo.allocate ~bandwidth:bw [ s ] in
+  Util.check_close ~eps:1e-6 "equal rates"
+    (Rate_alloc.rate rates (fid 0 0 1))
+    (Rate_alloc.rate rates (fid 0 0 2))
+
+let test_aalo_weighted_prevents_starvation () =
+  (* under strict priority the old Coflow gets nothing; under weighted
+     sharing it keeps a guaranteed sliver *)
+  let old_c = snapshot 1 ~sent:(Units.mb 50.) [ ((0, 1), Units.mb 100.) ] in
+  let fresh = snapshot 2 ~arrival:1. [ ((0, 2), Units.mb 1.) ] in
+  let strict = Aalo.allocate ~bandwidth:bw [ old_c; fresh ] in
+  Util.check_close ~eps:1e-6 "strict starves" 0.
+    (Rate_alloc.rate strict (fid 1 0 1));
+  let weighted =
+    Aalo.allocate_with ~sharing:`Weighted Aalo.default_params ~bandwidth:bw
+      [ old_c; fresh ]
+  in
+  Alcotest.(check bool) "weighted keeps a sliver" true
+    (Rate_alloc.rate weighted (fid 1 0 1) > 0.);
+  Alcotest.(check bool) "fresh still dominates" true
+    (Rate_alloc.rate weighted (fid 2 0 2) > 10. *. Rate_alloc.rate weighted (fid 1 0 1));
+  (match Rate_alloc.check_feasible ~bandwidth:bw weighted with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_aalo_weighted_work_conserving () =
+  (* a lone Coflow still gets the whole port under weighted sharing *)
+  let s = snapshot 0 [ ((0, 1), Units.mb 100.) ] in
+  let weighted =
+    Aalo.allocate_with ~sharing:`Weighted Aalo.default_params ~bandwidth:bw [ s ]
+  in
+  Util.check_close ~eps:1e-6 "full rate" bw (Rate_alloc.rate weighted (fid 0 0 1))
+
+let test_aalo_queue_weights () =
+  let p = Aalo.default_params in
+  Util.check_close "top queue heaviest" (10. ** 9.) (Aalo.queue_weight p 0);
+  Util.check_close "last queue weight 1" 1. (Aalo.queue_weight p 9);
+  Alcotest.check_raises "range" (Invalid_argument "Aalo.queue_weight: bad queue")
+    (fun () -> ignore (Aalo.queue_weight p 10))
+
+let test_aalo_fresh_preempts_old () =
+  (* a Coflow that has sent a lot sinks below a fresh arrival *)
+  let old_c = snapshot 1 ~sent:(Units.mb 50.) [ ((0, 1), Units.mb 100.) ] in
+  let fresh = snapshot 2 ~arrival:1. [ ((0, 2), Units.mb 1.) ] in
+  let rates = Aalo.allocate ~bandwidth:bw [ old_c; fresh ] in
+  Util.check_close ~eps:1e-6 "fresh owns the port" bw
+    (Rate_alloc.rate rates (fid 2 0 2));
+  Util.check_close ~eps:1e-6 "old starved" 0.
+    (Rate_alloc.rate rates (fid 1 0 1))
+
+let scheduler_feasibility name alloc =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:(name ^ ": allocations respect port capacities") ~count:150
+       QCheck2.Gen.(list_size (int_range 1 5) (Util.Gen.coflow ~n_ports:5 ()))
+       (fun coflows ->
+         let snapshots =
+           List.mapi
+             (fun i c ->
+               { Snapshot.coflow = { c with Coflow.id = i }; sent = 0. })
+             coflows
+         in
+         let rates = alloc ~bandwidth:bw snapshots in
+         match Rate_alloc.check_feasible ~bandwidth:bw rates with
+         | Ok () -> true
+         | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "rate alloc basics" `Quick test_rate_alloc_basic;
+    Alcotest.test_case "port load and feasibility" `Quick
+      test_port_load_and_feasibility;
+    Alcotest.test_case "residual capacities" `Quick test_residual;
+    Alcotest.test_case "maxmin equal sharing" `Quick test_maxmin_sharing;
+    Alcotest.test_case "maxmin water-fill" `Quick test_maxmin_waterfill;
+    Alcotest.test_case "maxmin duplicate rejected" `Quick
+      test_maxmin_duplicate_rejected;
+    Alcotest.test_case "varys MADD proportional" `Quick
+      test_varys_madd_proportional;
+    Alcotest.test_case "varys SEBF priority" `Quick test_varys_sebf_priority;
+    Alcotest.test_case "varys work conservation" `Quick
+      test_varys_work_conservation;
+    Alcotest.test_case "aalo queue thresholds" `Quick test_aalo_queue_of;
+    Alcotest.test_case "aalo equal share within coflow" `Quick
+      test_aalo_equal_share_within_coflow;
+    Alcotest.test_case "aalo fresh preempts old" `Quick
+      test_aalo_fresh_preempts_old;
+    Alcotest.test_case "aalo weighted prevents starvation" `Quick
+      test_aalo_weighted_prevents_starvation;
+    Alcotest.test_case "aalo weighted work conserving" `Quick
+      test_aalo_weighted_work_conserving;
+    Alcotest.test_case "aalo queue weights" `Quick test_aalo_queue_weights;
+    scheduler_feasibility "aalo-weighted"
+      (Aalo.allocate_with ~sharing:`Weighted Aalo.default_params);
+    scheduler_feasibility "varys" Varys.allocate;
+    scheduler_feasibility "aalo" Aalo.allocate;
+    scheduler_feasibility "fair" Fair.allocate;
+  ]

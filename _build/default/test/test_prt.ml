@@ -1,0 +1,137 @@
+module Prt = Sunflow_core.Prt
+
+let r ?(coflow = 0) ~src ~dst ~start ~setup ~length () =
+  { Prt.coflow; src; dst; start; setup; length }
+
+let test_free_at () =
+  let t = Prt.create () in
+  Alcotest.(check bool) "empty free" true (Prt.free_at t (Prt.In 0) 5.);
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:1. ~setup:0.1 ~length:2. ());
+  Alcotest.(check bool) "before" true (Prt.free_at t (Prt.In 0) 0.5);
+  Alcotest.(check bool) "at start busy" false (Prt.free_at t (Prt.In 0) 1.);
+  Alcotest.(check bool) "inside busy" false (Prt.free_at t (Prt.In 0) 2.);
+  Alcotest.(check bool) "at stop free" true (Prt.free_at t (Prt.In 0) 3.);
+  Alcotest.(check bool) "out port busy too" false (Prt.free_at t (Prt.Out 1) 2.);
+  Alcotest.(check bool) "other port free" true (Prt.free_at t (Prt.In 1) 2.)
+
+let test_in_out_namespaces () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:3 ~dst:3 ~start:0. ~setup:0. ~length:1. ());
+  (* circuit 3 -> 3 occupies In 3 and Out 3 but not the other pair *)
+  Alcotest.(check bool) "In 3 busy" false (Prt.free_at t (Prt.In 3) 0.5);
+  Alcotest.(check bool) "Out 3 busy" false (Prt.free_at t (Prt.Out 3) 0.5);
+  Prt.reserve t (r ~src:4 ~dst:5 ~start:0. ~setup:0. ~length:1. ());
+  Alcotest.(check int) "two reservations" 2 (List.length (Prt.all_reservations t))
+
+let test_overlap_rejected () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:1. ~setup:0. ~length:2. ());
+  let clash = r ~src:0 ~dst:9 ~start:2. ~setup:0. ~length:1. () in
+  (try
+     Prt.reserve t clash;
+     Alcotest.fail "expected overlap rejection"
+   with Invalid_argument _ -> ());
+  (* the failed reserve must not leave state behind *)
+  Alcotest.(check int) "no partial insert" 1 (List.length (Prt.all_reservations t));
+  (* a reservation that clashes only on the output port must also be
+     rejected without corrupting the input port list *)
+  let clash_out = r ~src:7 ~dst:1 ~start:2. ~setup:0. ~length:1. () in
+  (try
+     Prt.reserve t clash_out;
+     Alcotest.fail "expected output overlap rejection"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "still one" 1 (List.length (Prt.all_reservations t));
+  Alcotest.(check bool) "In 7 free" true (Prt.free_at t (Prt.In 7) 2.5)
+
+let test_back_to_back_ok () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:1. ());
+  Prt.reserve t (r ~src:0 ~dst:2 ~start:1. ~setup:0. ~length:1. ());
+  Alcotest.(check int) "both in" 2 (List.length (Prt.all_reservations t))
+
+let test_validation () =
+  let t = Prt.create () in
+  let bad_len = r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:0. () in
+  Alcotest.check_raises "zero length"
+    (Invalid_argument "Prt.reserve: non-positive length") (fun () ->
+      Prt.reserve t bad_len);
+  let bad_setup = r ~src:0 ~dst:1 ~start:0. ~setup:2. ~length:1. () in
+  Alcotest.check_raises "setup > length"
+    (Invalid_argument "Prt.reserve: setup outside [0, length]") (fun () ->
+      Prt.reserve t bad_setup)
+
+let test_next_start_after () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:5. ~setup:0. ~length:1. ());
+  Prt.reserve t (r ~src:0 ~dst:2 ~start:9. ~setup:0. ~length:1. ());
+  Util.check_close "first upcoming" 5. (Prt.next_start_after t (Prt.In 0) 0.);
+  Util.check_close "strictly after" 9. (Prt.next_start_after t (Prt.In 0) 5.);
+  Alcotest.(check bool) "none left" true
+    (Prt.next_start_after t (Prt.In 0) 9. = infinity)
+
+let test_next_release () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:4. ());
+  Prt.reserve t (r ~src:2 ~dst:3 ~start:0. ~setup:0. ~length:2. ());
+  Util.check_close "earliest stop" 2. (Prt.next_release_after t 0.);
+  Util.check_close "next" 4. (Prt.next_release_after t 2.);
+  Util.check_close "restricted to ports" 4.
+    (Prt.next_release_on_ports t [ Prt.In 0 ] 0.);
+  Alcotest.(check bool) "no ports no release" true
+    (Prt.next_release_on_ports t [ Prt.In 9 ] 0. = infinity)
+
+let test_established_at () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:0. ~setup:1. ~length:3. ());
+  Alcotest.(check (list (pair int int))) "during setup" []
+    (Prt.established_at t 0.5);
+  Alcotest.(check (list (pair int int))) "transmitting" [ (0, 1) ]
+    (Prt.established_at t 1.5);
+  Alcotest.(check (list (pair int int))) "after stop" []
+    (Prt.established_at t 3.)
+
+let test_copy_isolation () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:1. ());
+  let t' = Prt.copy t in
+  Prt.reserve t' (r ~src:5 ~dst:6 ~start:0. ~setup:0. ~length:1. ());
+  Alcotest.(check int) "copy extended" 2 (List.length (Prt.all_reservations t'));
+  Alcotest.(check int) "original intact" 1 (List.length (Prt.all_reservations t))
+
+let prop_no_overlap =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"random accepted reservations never violate port constraints"
+       ~count:200
+       QCheck2.Gen.(
+         list_size (int_range 1 40)
+           (quad (int_range 0 4) (int_range 0 4) (float_range 0. 50.)
+              (float_range 0.1 5.)))
+       (fun candidates ->
+         let t = Prt.create () in
+         List.iter
+           (fun (src, dst, start, length) ->
+             try Prt.reserve t (r ~src ~dst ~start ~setup:0.05 ~length ())
+             with Invalid_argument _ -> ())
+           candidates;
+         match
+           Sunflow_core.Schedule.check_port_constraints
+             (Prt.all_reservations t)
+         with
+         | Ok _ -> true
+         | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "free_at windows" `Quick test_free_at;
+    Alcotest.test_case "in/out namespaces" `Quick test_in_out_namespaces;
+    Alcotest.test_case "overlap rejected atomically" `Quick
+      test_overlap_rejected;
+    Alcotest.test_case "back-to-back windows ok" `Quick test_back_to_back_ok;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "next_start_after" `Quick test_next_start_after;
+    Alcotest.test_case "next release" `Quick test_next_release;
+    Alcotest.test_case "established_at" `Quick test_established_at;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    prop_no_overlap;
+  ]

@@ -1,0 +1,101 @@
+module Rng = Sunflow_stats.Rng
+
+let test_determinism () =
+  let a = Rng.create 11 and b = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create 12 in
+  Alcotest.(check bool) "different seed differs" true
+    (Rng.bits64 (Rng.create 11) <> Rng.bits64 c)
+
+let test_float_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 3. in
+    if x < 0. || x >= 3. then Alcotest.failf "float out of range: %f" x
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.float: bound must be positive") (fun () ->
+      ignore (Rng.float rng 0.))
+
+let test_int_range () =
+  let rng = Rng.create 2 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let k = Rng.int rng 5 in
+    if k < 0 || k >= 5 then Alcotest.failf "int out of range: %d" k;
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_uniform () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let x = Rng.uniform rng ~lo:2. ~hi:5. in
+    if x < 2. || x >= 5. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 4 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:2.
+  done;
+  let mean = !acc /. float_of_int n in
+  if Float.abs (mean -. 2.) > 0.1 then
+    Alcotest.failf "exponential mean off: %f" mean
+
+let test_lognormal_median () =
+  let rng = Rng.create 5 in
+  let n = 20001 in
+  let samples = List.init n (fun _ -> Rng.lognormal rng ~mu:(log 7.) ~sigma:1.) in
+  let median = Sunflow_stats.Descriptive.median samples in
+  if Float.abs (median -. 7.) > 0.5 then Alcotest.failf "median off: %f" median
+
+let test_pareto_support () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let x = Rng.pareto rng ~shape:1.2 ~scale:3. in
+    if x < 3. then Alcotest.failf "pareto below scale: %f" x
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 7 in
+  let l = List.init 20 Fun.id in
+  let s = Rng.shuffle_list rng l in
+  Alcotest.(check (list int)) "same elements" l (List.sort compare s);
+  Alcotest.(check bool) "actually shuffled" true (s <> l)
+
+let test_choose_weighted () =
+  let rng = Rng.create 8 in
+  (* zero-weight option must never be picked *)
+  for _ = 1 to 200 do
+    match Rng.choose_weighted rng [ (0., `Never); (1., `Always) ] with
+    | `Never -> Alcotest.fail "picked zero-weight option"
+    | `Always -> ()
+  done;
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.choose_weighted: weights sum to zero") (fun () ->
+      ignore (Rng.choose_weighted rng [ (0., 1) ]))
+
+let test_split_independence () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* child's stream differs from the parent's continued stream *)
+  Alcotest.(check bool) "differs" true (Rng.bits64 child <> Rng.bits64 parent)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "uniform range" `Quick test_uniform;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "lognormal median" `Quick test_lognormal_median;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choose weighted" `Quick test_choose_weighted;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+  ]

@@ -1,0 +1,103 @@
+module Schedule = Sunflow_core.Schedule
+module Prt = Sunflow_core.Prt
+
+let r ?(coflow = 0) ~src ~dst ~start ~setup ~length () =
+  { Prt.coflow; src; dst; start; setup; length }
+
+let test_finish_time () =
+  Util.check_close "default on empty" 7. (Schedule.finish_time ~default:7. []);
+  let plan =
+    [
+      r ~src:0 ~dst:1 ~start:0. ~setup:0.1 ~length:1. ();
+      r ~src:2 ~dst:3 ~start:5. ~setup:0.1 ~length:2. ();
+    ]
+  in
+  Util.check_close "latest stop" 7. (Schedule.finish_time ~default:0. plan)
+
+let test_transmission_overlap () =
+  let res = r ~src:0 ~dst:1 ~start:1. ~setup:0.5 ~length:2. () in
+  (* transmits over [1.5, 3) *)
+  Util.check_close "full" 1.5 (Schedule.transmission_overlap res ~t0:0. ~t1:10.);
+  Util.check_close "clipped left" 0.5
+    (Schedule.transmission_overlap res ~t0:2.5 ~t1:10.);
+  Util.check_close "clipped right" 0.5
+    (Schedule.transmission_overlap res ~t0:0. ~t1:2.);
+  Util.check_close "setup only" 0.
+    (Schedule.transmission_overlap res ~t0:1. ~t1:1.5);
+  Util.check_close "disjoint" 0.
+    (Schedule.transmission_overlap res ~t0:5. ~t1:6.)
+
+let test_bytes_in_window () =
+  let plan = [ r ~src:0 ~dst:1 ~start:0. ~setup:0.5 ~length:1.5 () ] in
+  Util.check_close "1 s at 100 B/s" 100.
+    (Schedule.bytes_in_window ~bandwidth:100. ~t0:0. ~t1:2. plan)
+
+let test_counts () =
+  let plan =
+    [
+      r ~src:0 ~dst:1 ~start:0. ~setup:0.1 ~length:1. ();
+      r ~src:0 ~dst:1 ~start:1. ~setup:0. ~length:1. ();
+      r ~src:2 ~dst:3 ~start:0. ~setup:0.2 ~length:1. ();
+    ]
+  in
+  Alcotest.(check int) "switchings" 2 (Schedule.switching_count plan);
+  Util.check_close "setup time" 0.3 (Schedule.total_setup_time plan);
+  Util.check_close "duty cycle" 0.9 (Schedule.duty_cycle plan);
+  Util.check_close "empty duty cycle" 1. (Schedule.duty_cycle [])
+
+let test_check_port_constraints () =
+  let good =
+    [
+      r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:1. ();
+      r ~src:0 ~dst:2 ~start:1. ~setup:0. ~length:1. ();
+      r ~src:1 ~dst:1 ~start:2. ~setup:0. ~length:1. ();
+    ]
+  in
+  (match Schedule.check_port_constraints good with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let bad_in =
+    [
+      r ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:2. ();
+      r ~src:0 ~dst:2 ~start:1. ~setup:0. ~length:1. ();
+    ]
+  in
+  (match Schedule.check_port_constraints bad_in with
+  | Ok _ -> Alcotest.fail "input clash not detected"
+  | Error _ -> ());
+  let bad_out =
+    [
+      r ~src:0 ~dst:9 ~start:0. ~setup:0. ~length:2. ();
+      r ~src:1 ~dst:9 ~start:1. ~setup:0. ~length:1. ();
+    ]
+  in
+  match Schedule.check_port_constraints bad_out with
+  | Ok _ -> Alcotest.fail "output clash not detected"
+  | Error _ -> ()
+
+let test_coflow_reservations () =
+  let prt = Prt.create () in
+  Prt.reserve prt (r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:1. ());
+  Prt.reserve prt (r ~coflow:2 ~src:2 ~dst:3 ~start:0. ~setup:0. ~length:1. ());
+  Alcotest.(check int) "filtered" 1
+    (List.length (Schedule.coflow_reservations prt ~coflow:1))
+
+let test_gantt_smoke () =
+  let plan = [ r ~src:4 ~dst:1 ~start:0. ~setup:0.2 ~length:1. () ] in
+  let s = Format.asprintf "%a" (Schedule.pp_gantt ~width:20 ~bandwidth:1.) plan in
+  Alcotest.(check bool) "mentions port" true (Util.contains s "in.4");
+  Alcotest.(check bool) "has transmission cells" true (Util.contains s "=");
+  let empty = Format.asprintf "%a" (Schedule.pp_gantt ~width:20 ~bandwidth:1.) [] in
+  Alcotest.(check bool) "empty message" true (Util.contains empty "empty")
+
+let suite =
+  [
+    Alcotest.test_case "finish time" `Quick test_finish_time;
+    Alcotest.test_case "transmission overlap" `Quick test_transmission_overlap;
+    Alcotest.test_case "bytes in window" `Quick test_bytes_in_window;
+    Alcotest.test_case "switching and duty cycle" `Quick test_counts;
+    Alcotest.test_case "port constraint oracle" `Quick
+      test_check_port_constraints;
+    Alcotest.test_case "coflow reservations" `Quick test_coflow_reservations;
+    Alcotest.test_case "gantt smoke" `Quick test_gantt_smoke;
+  ]

@@ -1,0 +1,117 @@
+module Guard = Sunflow_core.Starvation_guard
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let b = Units.gbps 1.
+let delta = Units.ms 10.
+
+let test_round_robin_assignments () =
+  let n = 5 in
+  (* each A_k is a perfect matching *)
+  for k = 0 to n - 1 do
+    let pairs = Guard.round_robin_assignment ~n_ports:n ~k in
+    Alcotest.(check bool)
+      (Printf.sprintf "A_%d is a matching" k)
+      true
+      (Sunflow_baselines.Assignment.is_matching pairs);
+    Alcotest.(check int) "covers all inputs" n (List.length pairs)
+  done;
+  (* the union of A_0 .. A_(n-1) covers all n^2 circuits *)
+  let all =
+    List.concat_map
+      (fun k -> Guard.round_robin_assignment ~n_ports:n ~k)
+      (List.init n Fun.id)
+  in
+  Alcotest.(check int) "full coverage" (n * n)
+    (List.length (List.sort_uniq compare all));
+  (* k wraps around *)
+  Alcotest.(check (list (pair int int)))
+    "wrap"
+    (Guard.round_robin_assignment ~n_ports:n ~k:1)
+    (Guard.round_robin_assignment ~n_ports:n ~k:(n + 1))
+
+let config = { Guard.n_ports = 4; t_work = 1.; tau = 0.1 }
+
+let test_check () =
+  (match Guard.check config ~delta with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Guard.check { config with tau = 0.001 } ~delta with
+  | Ok () -> Alcotest.fail "tau <= delta accepted"
+  | Error _ -> ());
+  match Guard.check { config with t_work = 0.01 } ~delta with
+  | Ok () -> Alcotest.fail "T < tau accepted"
+  | Error _ -> ()
+
+let test_guaranteed_period () =
+  Util.check_close "N (T + tau)" 4.4 (Guard.guaranteed_service_period config)
+
+let test_starved_coflow_progresses () =
+  (* an adversarial prioritized Coflow hogs circuit (0, 1) forever-ish;
+     the starved Coflow on the same circuit still drains within a few
+     guard periods *)
+  let hog = Coflow.make ~id:0 (Demand.of_list [ ((0, 1), Units.gb 100.) ]) in
+  let victim = Coflow.make ~id:1 (Demand.of_list [ ((0, 1), Units.mb 5.) ]) in
+  let horizon = 10. *. Guard.guaranteed_service_period config in
+  let o =
+    Guard.run ~delta ~bandwidth:b ~horizon ~prioritized:[ hog ]
+      ~starved:[ victim ] config
+  in
+  match List.assoc_opt 1 o.Guard.finishes with
+  | Some t ->
+    Alcotest.(check bool) "drained within horizon" true (t <= horizon);
+    (* the victim needs ~0.04 s of service; each cycle's tau interval
+       gives it up to (tau - delta)/2 = 45 ms on its circuit when the
+       rotation lands on (0,1), i.e. once per N cycles *)
+    Alcotest.(check bool) "within a few guard periods" true
+      (t <= 3. *. Guard.guaranteed_service_period config)
+  | None -> Alcotest.fail "starved Coflow never served"
+
+let test_prioritized_unharmed () =
+  (* without competition, a prioritized Coflow finishes roughly at its
+     solo speed, paying only the tau interruptions *)
+  let c = Coflow.make ~id:0 (Demand.of_list [ ((0, 1), Units.mb 50.) ]) in
+  let o =
+    Guard.run ~delta ~bandwidth:b ~horizon:100. ~prioritized:[ c ] ~starved:[]
+      config
+  in
+  match List.assoc_opt 0 o.Guard.finishes with
+  | Some t ->
+    (* solo time is 0.41 s; it must finish within the first work phase *)
+    Alcotest.(check bool) "fast finish" true (t <= 1.)
+  | None -> Alcotest.fail "prioritized Coflow not served"
+
+let test_both_classes_complete () =
+  let mk id flows = Coflow.make ~id (Demand.of_list flows) in
+  let prioritized =
+    [ mk 0 [ ((0, 1), Units.mb 20.) ]; mk 1 [ ((2, 3), Units.mb 10.) ] ]
+  in
+  let starved = [ mk 2 [ ((0, 1), Units.mb 3.) ]; mk 3 [ ((1, 2), Units.mb 3.) ] ] in
+  let o =
+    Guard.run ~delta ~bandwidth:b ~horizon:60. ~prioritized ~starved config
+  in
+  Alcotest.(check int) "all four drained" 4 (List.length o.Guard.finishes)
+
+let test_validation () =
+  let c = Coflow.make ~id:0 (Demand.of_list [ ((9, 1), 1.) ]) in
+  Alcotest.check_raises "port outside fabric"
+    (Invalid_argument "Starvation_guard.run: port outside the fabric")
+    (fun () ->
+      ignore
+        (Guard.run ~delta ~bandwidth:b ~horizon:1. ~prioritized:[ c ]
+           ~starved:[] config))
+
+let suite =
+  [
+    Alcotest.test_case "round-robin assignments" `Quick
+      test_round_robin_assignments;
+    Alcotest.test_case "config check" `Quick test_check;
+    Alcotest.test_case "guaranteed period" `Quick test_guaranteed_period;
+    Alcotest.test_case "starved coflow progresses" `Quick
+      test_starved_coflow_progresses;
+    Alcotest.test_case "prioritized unharmed" `Quick test_prioritized_unharmed;
+    Alcotest.test_case "both classes complete" `Quick
+      test_both_classes_complete;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

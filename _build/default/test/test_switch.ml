@@ -1,0 +1,284 @@
+(* The executable switch model: state machine invariants, VOQ
+   semantics, and the controller as a ground-truth oracle - every
+   scheduler's plan must execute physically with zero leftover and the
+   predicted completion time. *)
+
+module Ocs = Sunflow_switch.Ocs
+module Voq = Sunflow_switch.Voq
+module Controller = Sunflow_switch.Controller
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+module Sunflow = Sunflow_core.Sunflow
+module Inter = Sunflow_core.Inter
+module Prt = Sunflow_core.Prt
+
+let delta = Units.ms 10.
+let b = Units.gbps 1.
+
+(* --- Ocs --- *)
+
+let test_ocs_lifecycle () =
+  let ocs = Ocs.create ~n_ports:4 ~delta in
+  (match Ocs.connect ocs ~src:0 ~dst:1 with
+  | Ok ready -> Util.check_close "ready after delta" delta ready
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "not up during setup" false (Ocs.circuit_up ocs ~src:0 ~dst:1);
+  Ocs.advance ocs delta;
+  Alcotest.(check bool) "up after setup" true (Ocs.circuit_up ocs ~src:0 ~dst:1);
+  Alcotest.(check (list (pair int int))) "established" [ (0, 1) ] (Ocs.established ocs);
+  (match Ocs.disconnect ocs ~src:0 ~dst:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "down after teardown" false (Ocs.circuit_up ocs ~src:0 ~dst:1);
+  Alcotest.(check int) "one switching" 1 (Ocs.switch_count ocs);
+  Ocs.assert_consistent ocs
+
+let test_ocs_port_constraint () =
+  let ocs = Ocs.create ~n_ports:4 ~delta in
+  ignore (Ocs.connect ocs ~src:0 ~dst:1);
+  (match Ocs.connect ocs ~src:0 ~dst:2 with
+  | Ok _ -> Alcotest.fail "input port double-booked"
+  | Error e -> Alcotest.(check bool) "names the port" true (Util.contains e "port 0"));
+  (match Ocs.connect ocs ~src:3 ~dst:1 with
+  | Ok _ -> Alcotest.fail "output port double-booked"
+  | Error _ -> ());
+  (* an unrelated circuit is fine while the first configures:
+     the not-all-stop property *)
+  match Ocs.connect ocs ~src:2 ~dst:3 with
+  | Ok _ -> Ocs.assert_consistent ocs
+  | Error e -> Alcotest.fail e
+
+let test_ocs_not_all_stop () =
+  (* an established circuit keeps carrying light while another
+     reconfigures *)
+  let ocs = Ocs.create ~n_ports:4 ~delta in
+  ignore (Ocs.connect ocs ~src:0 ~dst:1);
+  Ocs.advance ocs delta;
+  ignore (Ocs.connect ocs ~src:2 ~dst:3);
+  Alcotest.(check bool) "first still up" true (Ocs.circuit_up ocs ~src:0 ~dst:1);
+  Alcotest.(check bool) "second not yet" false (Ocs.circuit_up ocs ~src:2 ~dst:3)
+
+let test_ocs_zero_delta () =
+  let ocs = Ocs.create ~n_ports:2 ~delta:0. in
+  ignore (Ocs.connect ocs ~src:0 ~dst:0);
+  Alcotest.(check bool) "instant" true (Ocs.circuit_up ocs ~src:0 ~dst:0)
+
+let test_ocs_validation () =
+  let ocs = Ocs.create ~n_ports:2 ~delta in
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Ocs.advance: time moved backwards") (fun () ->
+      Ocs.advance ocs 1.;
+      Ocs.advance ocs 0.5);
+  (match Ocs.disconnect ocs ~src:0 ~dst:1 with
+  | Ok () -> Alcotest.fail "disconnected a missing circuit"
+  | Error _ -> ());
+  Alcotest.check_raises "port range"
+    (Invalid_argument "Ocs.connect: port 5 outside [0, 2)") (fun () ->
+      ignore (Ocs.connect ocs ~src:5 ~dst:0))
+
+(* --- Voq --- *)
+
+let test_voq_fifo () =
+  let voq = Voq.create ~n_ports:4 ~bandwidth:100. in
+  Voq.enqueue voq ~src:0 ~dst:1 ~coflow:7 500.;
+  Voq.enqueue voq ~src:0 ~dst:1 ~coflow:8 300.;
+  Util.check_close "backlog" 800. (Voq.backlog voq ~src:0 ~dst:1);
+  (* 6 seconds moves 600 bytes: all of coflow 7 and 100 of coflow 8 *)
+  let moved = Voq.drain voq ~src:0 ~dst:1 ~seconds:6. in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "fifo order"
+    [ (7, 500.); (8, 100.) ]
+    (List.map (fun (d : Voq.delivery) -> (d.coflow, d.bytes)) moved);
+  Util.check_close "remaining" 200. (Voq.backlog voq ~src:0 ~dst:1)
+
+let test_voq_targeted_drain () =
+  let voq = Voq.create ~n_ports:4 ~bandwidth:100. in
+  Voq.enqueue voq ~src:0 ~dst:1 ~coflow:7 500.;
+  Voq.enqueue voq ~src:0 ~dst:1 ~coflow:8 300.;
+  (* serve only coflow 8, skipping 7's head-of-line bytes *)
+  let moved = Voq.drain ~coflow:8 voq ~src:0 ~dst:1 ~seconds:10. in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "only coflow 8" [ (8, 300.) ]
+    (List.map (fun (d : Voq.delivery) -> (d.coflow, d.bytes)) moved);
+  Util.check_close "coflow 7 untouched" 500. (Voq.coflow_backlog voq ~coflow:7);
+  (* 7 still drains fine afterwards *)
+  let moved' = Voq.drain voq ~src:0 ~dst:1 ~seconds:10. in
+  Util.check_close "then coflow 7" 500.
+    (List.fold_left (fun a (d : Voq.delivery) -> a +. d.bytes) 0. moved')
+
+let test_voq_validation () =
+  let voq = Voq.create ~n_ports:2 ~bandwidth:10. in
+  Alcotest.check_raises "bytes" (Invalid_argument "Voq.enqueue: non-positive bytes")
+    (fun () -> Voq.enqueue voq ~src:0 ~dst:1 ~coflow:0 0.);
+  Alcotest.check_raises "port" (Invalid_argument "Voq: port outside the fabric")
+    (fun () -> Voq.enqueue voq ~src:5 ~dst:1 ~coflow:0 1.);
+  Alcotest.(check bool) "empty" true (Voq.is_empty voq)
+
+(* --- Controller as oracle --- *)
+
+let physical_check ~coflows plan =
+  let from_coflows =
+    List.fold_left
+      (fun acc (c : Coflow.t) -> max acc (Demand.max_port c.demand))
+      0 coflows
+  in
+  let n_ports =
+    1
+    + List.fold_left
+        (fun acc (r : Prt.reservation) -> max acc (max r.src r.dst))
+        from_coflows plan
+  in
+  Controller.execute ~delta ~bandwidth:b ~n_ports ~coflows ~plan
+
+let test_controller_single_coflow () =
+  let c = Coflow.make ~id:3 (Demand.of_list [ ((0, 1), Units.mb 10.) ]) in
+  let r = Sunflow.schedule ~delta ~bandwidth:b c in
+  match physical_check ~coflows:[ c ] r.reservations with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    Util.check_close "drained" 0. report.leftover;
+    Alcotest.(check int) "one switching" 1 report.switch_count;
+    Util.check_close "finish matches plan" r.finish
+      (List.assoc 3 report.finish_times)
+
+let test_controller_rejects_busy_port () =
+  let bad =
+    [
+      { Prt.coflow = 0; src = 0; dst = 1; start = 0.; setup = delta; length = 1. };
+      { Prt.coflow = 0; src = 0; dst = 2; start = 0.5; setup = delta; length = 1. };
+    ]
+  in
+  match physical_check ~coflows:[] bad with
+  | Ok _ -> Alcotest.fail "double-booked plan accepted"
+  | Error e -> Alcotest.(check bool) "explains" true (Util.contains e "port 0")
+
+let test_controller_rejects_short_setup () =
+  let bad =
+    [ { Prt.coflow = 0; src = 0; dst = 1; start = 0.; setup = 1e-4; length = 1. } ]
+  in
+  match physical_check ~coflows:[] bad with
+  | Ok _ -> Alcotest.fail "sub-delta setup accepted"
+  | Error e -> Alcotest.(check bool) "explains" true (Util.contains e "setup")
+
+let test_controller_rejects_cold_zero_setup () =
+  let bad =
+    [ { Prt.coflow = 0; src = 0; dst = 1; start = 0.; setup = 0.; length = 1. } ]
+  in
+  match physical_check ~coflows:[] bad with
+  | Ok _ -> Alcotest.fail "cold zero-setup accepted"
+  | Error e -> Alcotest.(check bool) "explains" true (Util.contains e "down")
+
+let test_controller_circuit_continuation () =
+  (* back-to-back reservations of the same circuit: one physical
+     switching, light stays on *)
+  let plan =
+    [
+      { Prt.coflow = 0; src = 0; dst = 1; start = 0.; setup = delta; length = 0.5 };
+      { Prt.coflow = 0; src = 0; dst = 1; start = 0.5; setup = 0.; length = 0.5 };
+    ]
+  in
+  let c =
+    Coflow.make ~id:0 (Demand.of_list [ ((0, 1), b *. (1. -. delta)) ])
+  in
+  match physical_check ~coflows:[ c ] plan with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    Alcotest.(check int) "one switching" 1 report.switch_count;
+    Util.check_close "drained across the boundary" 0. report.leftover
+
+let prop_sunflow_plans_physical =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"Sunflow plans execute physically: drained, on time, minimal switching"
+       ~count:200
+       (Util.Gen.coflow ~n_ports:5 ~max_flows:8 ())
+       (fun c ->
+         let r = Sunflow.schedule ~delta ~bandwidth:b c in
+         match physical_check ~coflows:[ c ] r.reservations with
+         | Error _ -> false
+         | Ok report ->
+           Util.close ~eps:1e-6 0. (report.leftover /. Float.max 1. (Coflow.total_bytes c))
+           && report.switch_count = Coflow.n_subflows c
+           && Util.close ~eps:1e-9 r.finish
+                (List.assoc c.Coflow.id report.finish_times)))
+
+let prop_baseline_plans_physical name schedule =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:(name ^ " executor plans execute physically with matching CCT")
+       ~count:100
+       (Util.Gen.coflow ~n_ports:5 ~max_flows:8 ())
+       (fun c ->
+         (* executor reservations are tagged coflow 0 *)
+         let c = { c with Coflow.id = 0 } in
+         let (o : Sunflow_baselines.Executor.outcome) =
+           schedule ~delta ~bandwidth:b c
+         in
+         match physical_check ~coflows:[ c ] o.reservations with
+         | Error _ -> false
+         | Ok report ->
+           Util.close ~eps:1e-6 0.
+             (report.leftover /. Float.max 1. (Coflow.total_bytes c))
+           && Util.close ~eps:1e-6 o.cct (List.assoc 0 report.finish_times)))
+
+let prop_inter_plans_physical =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"inter-Coflow plans execute physically"
+       ~count:100
+       QCheck2.Gen.(list_size (int_range 1 4) (Util.Gen.coflow ~n_ports:5 ()))
+       (fun coflows ->
+         let coflows = List.mapi (fun i c -> { c with Coflow.id = i }) coflows in
+         let plan =
+           Inter.schedule ~policy:Inter.Shortest_first ~delta ~bandwidth:b
+             coflows
+         in
+         match
+           physical_check ~coflows (Prt.all_reservations plan.Inter.prt)
+         with
+         | Error _ -> false
+         | Ok report ->
+           let total =
+             List.fold_left (fun a c -> a +. Coflow.total_bytes c) 0. coflows
+           in
+           Util.close ~eps:1e-6 0. (report.leftover /. Float.max 1. total)
+           && List.for_all
+                (fun (c : Coflow.t) ->
+                  match
+                    ( List.assoc_opt c.id report.finish_times,
+                      Inter.finish_of plan c.id )
+                  with
+                  | Some physical, Some planned ->
+                    Util.close ~eps:1e-9 physical planned
+                  | _ -> false)
+                coflows))
+
+let suite =
+  [
+    Alcotest.test_case "ocs lifecycle" `Quick test_ocs_lifecycle;
+    Alcotest.test_case "ocs port constraint" `Quick test_ocs_port_constraint;
+    Alcotest.test_case "ocs not-all-stop" `Quick test_ocs_not_all_stop;
+    Alcotest.test_case "ocs zero delta" `Quick test_ocs_zero_delta;
+    Alcotest.test_case "ocs validation" `Quick test_ocs_validation;
+    Alcotest.test_case "voq fifo" `Quick test_voq_fifo;
+    Alcotest.test_case "voq targeted drain" `Quick test_voq_targeted_drain;
+    Alcotest.test_case "voq validation" `Quick test_voq_validation;
+    Alcotest.test_case "controller: single coflow" `Quick
+      test_controller_single_coflow;
+    Alcotest.test_case "controller: busy port rejected" `Quick
+      test_controller_rejects_busy_port;
+    Alcotest.test_case "controller: short setup rejected" `Quick
+      test_controller_rejects_short_setup;
+    Alcotest.test_case "controller: cold zero-setup rejected" `Quick
+      test_controller_rejects_cold_zero_setup;
+    Alcotest.test_case "controller: circuit continuation" `Quick
+      test_controller_circuit_continuation;
+    prop_sunflow_plans_physical;
+    prop_inter_plans_physical;
+    prop_baseline_plans_physical "solstice" (fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Solstice.schedule ~delta ~bandwidth c);
+    prop_baseline_plans_physical "tms" (fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Tms.schedule ~delta ~bandwidth c);
+    prop_baseline_plans_physical "edmonds" (fun ~delta ~bandwidth c ->
+        Sunflow_baselines.Edmonds.schedule ~delta ~bandwidth c);
+  ]

@@ -1,0 +1,111 @@
+module Synthetic = Sunflow_trace.Synthetic
+module Trace = Sunflow_trace.Trace
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+(* a smaller instance keeps the test fast while preserving statistics *)
+let params = { Synthetic.default_params with n_coflows = 200 }
+
+let trace = lazy (Synthetic.generate params)
+
+let test_determinism () =
+  let a = Synthetic.generate params and b = Synthetic.generate params in
+  Alcotest.(check bool) "same seed same trace" true
+    (Trace.to_string a = Trace.to_string b);
+  let c = Synthetic.generate { params with seed = 43 } in
+  Alcotest.(check bool) "different seed differs" true
+    (Trace.to_string a <> Trace.to_string c)
+
+let test_structure () =
+  let t = Lazy.force trace in
+  Alcotest.(check int) "count" 200 (Trace.n_coflows t);
+  List.iter
+    (fun (c : Coflow.t) ->
+      if Demand.is_empty c.demand then Alcotest.fail "empty coflow";
+      if Demand.max_port c.demand >= params.n_ports then
+        Alcotest.fail "port out of fabric";
+      if c.arrival < 0. then Alcotest.fail "negative arrival")
+    t.Trace.coflows
+
+let test_arrivals_increasing () =
+  let t = Lazy.force trace in
+  let arrivals = List.map (fun c -> c.Coflow.arrival) t.Trace.coflows in
+  Alcotest.(check bool) "sorted" true (List.sort compare arrivals = arrivals)
+
+let test_sizes_mb_rounded () =
+  let t = Lazy.force trace in
+  List.iter
+    (fun (c : Coflow.t) ->
+      List.iter
+        (fun (_, bytes) ->
+          let mb = Units.to_mb bytes in
+          if mb < 1. -. 1e-9 then Alcotest.failf "below 1 MB floor: %f" mb;
+          if Float.abs (mb -. Float.round mb) > 1e-6 then
+            Alcotest.failf "not whole MB: %f" mb)
+        (Demand.entries c.demand))
+    t.Trace.coflows
+
+let test_m2m_shuffle_structure () =
+  (* every many-to-many Coflow is a full bipartite shuffle with
+     sender- and receiver-sets disjoint *)
+  let t = Lazy.force trace in
+  t.Trace.coflows
+  |> List.filter (fun c -> Coflow.category c = Coflow.Category.Many_to_many)
+  |> List.iter (fun (c : Coflow.t) ->
+         let s = Demand.senders c.demand and r = Demand.receivers c.demand in
+         Alcotest.(check int)
+           (Printf.sprintf "coflow %d full shuffle" c.Coflow.id)
+           (List.length s * List.length r)
+           (Coflow.n_subflows c);
+         if List.exists (fun p -> List.mem p r) s then
+           Alcotest.fail "sender/receiver overlap")
+
+let test_category_mix () =
+  (* at the full trace size the mix should track the Table 4 weights
+     within a few percentage points *)
+  let t = Synthetic.generate Synthetic.default_params in
+  let stats = Sunflow_trace.Workload.classify t in
+  List.iter2
+    (fun (s : Sunflow_trace.Workload.class_stat) (expected, _) ->
+      if Float.abs (s.coflow_pct -. expected) > 6. then
+        Alcotest.failf "%s share %.1f%% too far from %.1f%%"
+          (Coflow.Category.to_string s.category)
+          s.coflow_pct expected)
+    stats Synthetic.default_params.category_weights
+
+let test_m2m_byte_dominance () =
+  let t = Lazy.force trace in
+  let stats = Sunflow_trace.Workload.classify t in
+  let m2m =
+    List.find
+      (fun (s : Sunflow_trace.Workload.class_stat) ->
+        s.category = Coflow.Category.Many_to_many)
+      stats
+  in
+  Alcotest.(check bool) "M2M carries almost all bytes" true
+    (m2m.bytes_pct > 97.)
+
+let test_validation () =
+  let bad = { params with width_max = 100 } in
+  Alcotest.check_raises "width vs fabric"
+    (Invalid_argument "Synthetic.generate: width_max too large for the fabric")
+    (fun () -> ignore (Synthetic.generate bad));
+  let bad2 = { params with span = 0. } in
+  Alcotest.check_raises "span"
+    (Invalid_argument "Synthetic.generate: non-positive span") (fun () ->
+      ignore (Synthetic.generate bad2))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "arrivals increasing" `Quick test_arrivals_increasing;
+    Alcotest.test_case "sizes MB-rounded with floor" `Quick
+      test_sizes_mb_rounded;
+    Alcotest.test_case "m2m shuffle structure" `Quick
+      test_m2m_shuffle_structure;
+    Alcotest.test_case "category mix" `Quick test_category_mix;
+    Alcotest.test_case "m2m byte dominance" `Quick test_m2m_byte_dominance;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,88 @@
+module Trace = Sunflow_trace.Trace
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let sample_text =
+  "150 2\n\
+   0 0 2 10 20 1 30:100\n\
+   1 500 1 5 2 6:4 7:2\n"
+
+let test_parse () =
+  let t = Trace.parse sample_text in
+  Alcotest.(check int) "ports" 150 t.Trace.n_ports;
+  Alcotest.(check int) "coflows" 2 (Trace.n_coflows t);
+  match t.Trace.coflows with
+  | [ c0; c1 ] ->
+    Util.check_close "arrival ms to s" 0.5 c1.Coflow.arrival;
+    (* coflow 0: two mappers share reducer 30's 100 MB evenly *)
+    Util.check_close "even split" (Units.mb 50.) (Demand.get c0.demand 10 30);
+    Util.check_close "even split" (Units.mb 50.) (Demand.get c0.demand 20 30);
+    (* coflow 1: single mapper, two reducers *)
+    Util.check_close "full size" (Units.mb 4.) (Demand.get c1.demand 5 6);
+    Util.check_close "full size" (Units.mb 2.) (Demand.get c1.demand 5 7);
+    Alcotest.(check string) "category" "O2M"
+      (Coflow.Category.to_string (Coflow.category c1))
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_parse_skips_comments () =
+  let t = Trace.parse "# a comment\n\n2 1\n0 0 1 0 1 1:5\n" in
+  Alcotest.(check int) "one coflow" 1 (Trace.n_coflows t)
+
+let expect_error ~line text =
+  match Trace.parse text with
+  | exception Trace.Parse_error e ->
+    Alcotest.(check int) "line number" line e.line
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_parse_errors () =
+  expect_error ~line:1 "";
+  expect_error ~line:1 "abc def\n";
+  (* header promises two coflows, file has one *)
+  expect_error ~line:1 "10 2\n0 0 1 0 1 1:5\n";
+  (* rack out of range *)
+  expect_error ~line:2 "10 1\n0 0 1 99 1 1:5\n";
+  (* malformed reducer *)
+  expect_error ~line:2 "10 1\n0 0 1 0 1 15\n";
+  (* non-positive size *)
+  expect_error ~line:2 "10 1\n0 0 1 0 1 1:0\n";
+  (* truncated mapper list *)
+  expect_error ~line:2 "10 1\n0 0 3 1 2\n";
+  (* negative arrival *)
+  expect_error ~line:2 "10 1\n0 -5 1 0 1 1:5\n"
+
+let test_roundtrip_even_shuffle () =
+  let t = Trace.parse sample_text in
+  let t' = Trace.parse (Trace.to_string t) in
+  Alcotest.(check int) "coflows" 2 (Trace.n_coflows t');
+  List.iter2
+    (fun (a : Coflow.t) (b : Coflow.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coflow %d demand preserved" a.id)
+        true
+        (Demand.equal ~eps:1. a.demand b.demand))
+    t.Trace.coflows t'.Trace.coflows
+
+let test_save_load () =
+  let t = Trace.parse sample_text in
+  let path = Filename.temp_file "sunflow" ".trace" in
+  Trace.save path t;
+  let t' = Trace.load path in
+  Sys.remove path;
+  Util.check_close "bytes preserved" (Trace.total_bytes t) (Trace.total_bytes t')
+
+let test_totals () =
+  let t = Trace.parse sample_text in
+  Util.check_close "total" (Units.mb 106.) (Trace.total_bytes t)
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_skips_comments;
+    Alcotest.test_case "parse errors carry line numbers" `Quick
+      test_parse_errors;
+    Alcotest.test_case "roundtrip even shuffle" `Quick
+      test_roundtrip_even_shuffle;
+    Alcotest.test_case "save and load" `Quick test_save_load;
+    Alcotest.test_case "totals" `Quick test_totals;
+  ]

@@ -1,0 +1,41 @@
+module Units = Sunflow_core.Units
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_rates () =
+  checkf "1 Gbps in bytes/s" 1.25e8 (Units.gbps 1.);
+  checkf "800 Mbps" 1e8 (Units.mbps 800.);
+  checkf "round trip" 40. (Units.to_gbps (Units.gbps 40.))
+
+let test_sizes () =
+  checkf "1 MB" 1e6 (Units.mb 1.);
+  checkf "1 GB" 1e9 (Units.gb 1.);
+  checkf "1 KB" 1e3 (Units.kb 1.);
+  checkf "to_mb" 5. (Units.to_mb (Units.mb 5.))
+
+let test_times () =
+  checkf "10 ms" 0.01 (Units.ms 10.);
+  checkf "100 us" 1e-4 (Units.us 100.)
+
+let test_transfer_time () =
+  (* 1 MB at 1 Gbps is 8 ms - the sanity anchor for all experiments *)
+  checkf "1MB @ 1Gbps" 0.008 (Units.mb 1. /. Units.gbps 1.)
+
+let test_pp () =
+  let s v = Format.asprintf "%a" Units.pp_time v in
+  Alcotest.(check string) "seconds" "1.5s" (s 1.5);
+  Alcotest.(check string) "millis" "10ms" (s 0.01);
+  Alcotest.(check string) "micros" "100us" (s 1e-4);
+  let b v = Format.asprintf "%a" Units.pp_bytes v in
+  Alcotest.(check string) "MB" "5MB" (b 5e6);
+  Alcotest.(check string) "GB" "2GB" (b 2e9);
+  Alcotest.(check string) "TB" "1.5TB" (b 1.5e12)
+
+let suite =
+  [
+    Alcotest.test_case "rates" `Quick test_rates;
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "times" `Quick test_times;
+    Alcotest.test_case "transfer time anchor" `Quick test_transfer_time;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,136 @@
+module Workload = Sunflow_trace.Workload
+module Trace = Sunflow_trace.Trace
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Units = Sunflow_core.Units
+
+let b = Units.gbps 1.
+
+let mk id ?(arrival = 0.) flows =
+  Coflow.make ~id ~arrival (Demand.of_list flows)
+
+let trace coflows = { Trace.n_ports = 150; coflows }
+
+let test_perturb_bounds () =
+  let t =
+    trace [ mk 0 [ ((0, 1), Units.mb 100.); ((2, 3), Units.mb 40.) ] ]
+  in
+  let t' = Workload.perturb ~fraction:0.05 ~seed:1 t in
+  List.iter2
+    (fun (c : Coflow.t) (c' : Coflow.t) ->
+      List.iter2
+        (fun (_, v) (_, v') ->
+          if v' < 0.95 *. v -. 1e-6 || v' > 1.05 *. v +. 1e-6 then
+            Alcotest.failf "perturbation out of bounds: %f -> %f" v v')
+        (Demand.entries c.demand)
+        (Demand.entries c'.demand))
+    t.Trace.coflows t'.Trace.coflows
+
+let test_perturb_floor () =
+  let t = trace [ mk 0 [ ((0, 1), Units.mb 1.) ] ] in
+  let t' = Workload.perturb ~seed:3 t in
+  let v = Demand.get (List.hd t'.Trace.coflows).Coflow.demand 0 1 in
+  Alcotest.(check bool) "floored at 1 MB" true (v >= Units.mb 1. -. 1e-6)
+
+let test_perturb_deterministic () =
+  let t = trace [ mk 0 [ ((0, 1), Units.mb 50.) ] ] in
+  let a = Workload.perturb ~seed:9 t and b' = Workload.perturb ~seed:9 t in
+  Alcotest.(check bool) "same seed" true (Trace.to_string a = Trace.to_string b')
+
+let test_classify_sums () =
+  let t =
+    trace
+      [
+        mk 0 [ ((0, 1), 10.) ];
+        mk 1 [ ((0, 1), 10.); ((0, 2), 10.) ];
+        mk 2 [ ((0, 9), 10.); ((1, 9), 10.) ];
+        mk 3 [ ((0, 1), 10.); ((2, 3), 10.) ];
+      ]
+  in
+  let stats = Workload.classify t in
+  Util.check_close "coflow pct sums to 100" 100.
+    (List.fold_left (fun a (s : Workload.class_stat) -> a +. s.coflow_pct) 0. stats);
+  Util.check_close "bytes pct sums to 100" 100.
+    (List.fold_left (fun a (s : Workload.class_stat) -> a +. s.bytes_pct) 0. stats);
+  List.iter
+    (fun (s : Workload.class_stat) ->
+      Alcotest.(check int)
+        (Coflow.Category.to_string s.category ^ " count")
+        1 s.count)
+    stats
+
+let test_idleness_by_hand () =
+  (* two active windows [0, 1] and [2, 3] over a [0, 3] horizon: one of
+     three seconds idle *)
+  let flows seconds = [ ((0, 1), b *. seconds) ] in
+  let t = trace [ mk 0 (flows 1.); mk 1 ~arrival:2. (flows 1.) ] in
+  Util.check_close "idleness 1/3" (1. /. 3.) (Workload.idleness ~bandwidth:b t);
+  (* overlapping windows: no idle time *)
+  let t2 = trace [ mk 0 (flows 2.); mk 1 ~arrival:1. (flows 1.) ] in
+  Util.check_close "no idle" 0. (Workload.idleness ~bandwidth:b t2);
+  Util.check_close "empty trace fully idle" 1.
+    (Workload.idleness ~bandwidth:b (trace []))
+
+let test_scale_to_idleness () =
+  let flows seconds = [ ((0, 1), b *. seconds) ] in
+  let t = trace [ mk 0 (flows 1.); mk 1 ~arrival:2. (flows 0.5) ] in
+  let scaled, k = Workload.scale_to_idleness ~bandwidth:b ~target:0.3 t in
+  Util.check_close ~eps:0.05 "target reached" 0.3
+    (Workload.idleness ~bandwidth:b scaled);
+  Alcotest.(check bool) "factor positive" true (k > 0.);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Workload.scale_to_idleness: target outside (0, 1)")
+    (fun () -> ignore (Workload.scale_to_idleness ~bandwidth:b ~target:1.5 t))
+
+let test_alpha_max () =
+  let t =
+    trace [ mk 0 [ ((0, 1), Units.mb 1.) ]; mk 1 [ ((0, 1), Units.mb 100.) ] ]
+  in
+  (* dominated by the 1 MB flow: delta / 8 ms = 1.25 *)
+  Util.check_close "alpha" 1.25
+    (Workload.alpha_max ~bandwidth:b ~delta:(Units.ms 10.) t)
+
+let test_long_short_split () =
+  let t =
+    trace
+      [ mk 0 [ ((0, 1), Units.mb 100.) ]; mk 1 [ ((0, 1), Units.mb 1.) ] ]
+  in
+  let long_, short = Workload.long_short_split ~bandwidth:b ~delta:(Units.ms 10.) t in
+  Alcotest.(check (list int)) "long ids" [ 0 ]
+    (List.map (fun c -> c.Coflow.id) long_);
+  Alcotest.(check (list int)) "short ids" [ 1 ]
+    (List.map (fun c -> c.Coflow.id) short)
+
+let prop_scaling_preserves_structure =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"byte scaling preserves flow structure" ~count:50
+       QCheck2.Gen.(
+         pair (Util.Gen.coflow ()) (float_range 0.1 10.))
+       (fun (c, k) ->
+         let t = trace [ c ] in
+         let scaled =
+           {
+             t with
+             Trace.coflows =
+               List.map
+                 (fun (c : Coflow.t) ->
+                   Coflow.with_demand c (Demand.scale k c.demand))
+                 t.Trace.coflows;
+           }
+         in
+         let c' = List.hd scaled.Trace.coflows in
+         Demand.senders c.Coflow.demand = Demand.senders c'.Coflow.demand
+         && Coflow.n_subflows c = Coflow.n_subflows c'))
+
+let suite =
+  [
+    Alcotest.test_case "perturb bounds" `Quick test_perturb_bounds;
+    Alcotest.test_case "perturb floor" `Quick test_perturb_floor;
+    Alcotest.test_case "perturb deterministic" `Quick test_perturb_deterministic;
+    Alcotest.test_case "classify sums" `Quick test_classify_sums;
+    Alcotest.test_case "idleness by hand" `Quick test_idleness_by_hand;
+    Alcotest.test_case "scale to idleness" `Quick test_scale_to_idleness;
+    Alcotest.test_case "alpha max" `Quick test_alpha_max;
+    Alcotest.test_case "long/short split" `Quick test_long_short_split;
+    prop_scaling_preserves_structure;
+  ]

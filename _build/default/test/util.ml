@@ -1,0 +1,54 @@
+(* Shared test helpers: substring checks, approximate float comparison,
+   and QCheck generators for demands and Coflows. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let close ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let check_close ?eps msg expected actual =
+  if not (close ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+module Gen = struct
+  open QCheck2.Gen
+
+  (* A sparse demand over a small fabric: up to [max_flows] flows with
+     megabyte-scale sizes. *)
+  let demand ?(n_ports = 8) ?(max_flows = 12) () =
+    let* n = int_range 1 max_flows in
+    let* entries =
+      list_size (pure n)
+        (triple (int_range 0 (n_ports - 1)) (int_range 0 (n_ports - 1))
+           (float_range 0.1 64.))
+    in
+    pure
+      (Sunflow_core.Demand.of_list
+         (List.map
+            (fun (i, j, mb) -> ((i, j), Sunflow_core.Units.mb mb))
+            entries))
+
+  let nonempty_demand ?n_ports ?max_flows () =
+    let* d = demand ?n_ports ?max_flows () in
+    if Sunflow_core.Demand.is_empty d then
+      pure
+        (Sunflow_core.Demand.of_list [ ((0, 1), Sunflow_core.Units.mb 1.) ])
+    else pure d
+
+  let coflow ?n_ports ?max_flows () =
+    let* d = nonempty_demand ?n_ports ?max_flows () in
+    let* id = int_range 0 1000 in
+    pure (Sunflow_core.Coflow.make ~id d)
+
+  (* Balanced (equal line sums) small dense matrix, built by stuffing a
+     random non-negative one. *)
+  let balanced_dense ?(n = 5) () =
+    let* rows =
+      list_size (pure n) (list_size (pure n) (float_range 0. 10.))
+    in
+    let m = Array.of_list (List.map Array.of_list rows) in
+    pure (Sunflow_matching.Stuffing.stuff m)
+end
