@@ -1,0 +1,237 @@
+(* Validator for BENCH_prt.json (the @bench-smoke gate): re-parses the
+   file with a small self-contained JSON reader and checks the schema
+   the perf-trajectory tooling relies on, so a malformed or truncated
+   emission fails the alias instead of silently producing an unusable
+   data point. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* --- tiny recursive-descent JSON parser --- *)
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> bad "expected %c at offset %d" c !pos
+  in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+          Buffer.add_char buf c;
+          advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then bad "truncated unicode escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> bad "bad unicode escape %S" hex
+          in
+          (* the emitter only escapes control characters, so a raw byte
+             round-trip is enough here *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+          pos := !pos + 4
+        | _ -> bad "bad escape at offset %d" !pos);
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some v -> Num v
+    | None -> bad "bad number %S" tok
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> bad "expected , or } at offset %d" !pos
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad "expected , or ] at offset %d" !pos
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage at offset %d" !pos;
+  v
+
+(* --- schema checks --- *)
+
+let field obj key =
+  match obj with
+  | Obj members -> (
+    match List.assoc_opt key members with
+    | Some v -> v
+    | None -> bad "missing key %S" key)
+  | _ -> bad "expected an object holding %S" key
+
+let as_arr what = function Arr l -> l | _ -> bad "%s: expected an array" what
+
+let as_str what = function Str s -> s | _ -> bad "%s: expected a string" what
+
+let as_num what = function
+  | Num v -> v
+  | _ -> bad "%s: expected a number" what
+
+let check_counter what v =
+  let x = as_num what v in
+  if Float.of_int (Float.to_int x) <> x || x < 0. then
+    bad "%s: expected a non-negative integer, got %g" what x
+
+let check_prt_stats what v =
+  List.iter
+    (fun key -> check_counter (what ^ "." ^ key) (field v key))
+    [ "queries"; "scans"; "reservations"; "rollbacks" ]
+
+let check root =
+  let schema = as_str "schema" (field root "schema") in
+  if schema <> "sunflow-bench-prt/1" then bad "unknown schema %S" schema;
+  ignore (field root "fast");
+  let settings = field root "settings" in
+  ignore (as_num "settings.delta_s" (field settings "delta_s"));
+  ignore (as_num "settings.n_coflows" (field settings "n_coflows"));
+  let experiments = as_arr "experiments" (field root "experiments") in
+  if experiments = [] then bad "experiments: empty";
+  List.iter
+    (fun row ->
+      let name = as_str "experiment.name" (field row "name") in
+      let wall = as_num (name ^ ".wall_s") (field row "wall_s") in
+      if wall < 0. then bad "%s: negative wall time" name;
+      check_prt_stats (name ^ ".prt_stats") (field row "prt_stats"))
+    experiments;
+  let bechamel = as_arr "bechamel" (field root "bechamel") in
+  if bechamel = [] then bad "bechamel: empty";
+  let names =
+    List.map
+      (fun row ->
+        let name = as_str "bechamel.name" (field row "name") in
+        let ns = as_num (name ^ ".ns_per_run") (field row "ns_per_run") in
+        if ns <= 0. then bad "%s: non-positive ns/run" name;
+        name)
+      bechamel
+  in
+  let gate = "planning/sunflow/|C|=256" in
+  if not (List.mem gate names) then
+    bad "bechamel rows lack the %S regression gate" gate;
+  check_prt_stats "prt_stats" (field root "prt_stats");
+  let totals = field root "prt_stats" in
+  if as_num "prt_stats.queries" (field totals "queries") <= 0. then
+    bad "prt_stats.queries: expected the harness to exercise the PRT"
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_prt.json"
+  in
+  let content =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match check (parse content) with
+  | () -> Printf.printf "%s: ok\n" path
+  | exception Bad msg ->
+    Printf.eprintf "%s: INVALID: %s\n" path msg;
+    exit 1

@@ -2,26 +2,61 @@
    paper's evaluation (§5), then microbenchmarks the schedulers'
    planning latency with Bechamel (§6 "Scheduler latency" / Table 3).
 
+   Besides the human-readable report on stdout, the harness writes a
+   machine-readable BENCH_prt.json (per-experiment wall time and PRT
+   work counters, Bechamel ns/run estimates) so successive PRs have a
+   perf trajectory to gate against. SUNFLOW_BENCH_JSON overrides the
+   output path.
+
    Run with SUNFLOW_BENCH_FAST=1 to shrink the trace for a quick smoke
-   pass (used by CI-style checks); the default regenerates everything
-   on the full 526-Coflow workload. *)
+   pass (used by the @bench-smoke alias); the default regenerates
+   everything on the full 526-Coflow workload. *)
 
 module E = Sunflow_experiments
 module Units = Sunflow_core.Units
+module Prt = Sunflow_core.Prt
+
+let fast () =
+  match Sys.getenv_opt "SUNFLOW_BENCH_FAST" with
+  | Some ("1" | "true") -> true
+  | _ -> false
 
 let settings () =
-  match Sys.getenv_opt "SUNFLOW_BENCH_FAST" with
-  | Some ("1" | "true") ->
+  if fast () then
     let params =
       { Sunflow_trace.Synthetic.default_params with n_coflows = 120; span = 800. }
     in
     { E.Common.default with trace_params = params }
-  | _ -> E.Common.default
+  else E.Common.default
+
+(* --- machine-readable record ------------------------------------------ *)
+
+type experiment_row = {
+  name : string;
+  wall_s : float;
+  prt : Prt.stats;  (** counter deltas attributable to this experiment *)
+}
+
+let experiment_rows : experiment_row list ref = ref []
+let bechamel_rows : (string * float) list ref = ref []
+
+let stats_delta (a : Prt.stats) (b : Prt.stats) =
+  {
+    Prt.queries = b.Prt.queries - a.Prt.queries;
+    scans = b.Prt.scans - a.Prt.scans;
+    reservations = b.Prt.reservations - a.Prt.reservations;
+    rollbacks = b.Prt.rollbacks - a.Prt.rollbacks;
+  }
 
 let timed ppf label f =
+  let s0 = Prt.stats () in
   let t0 = Unix.gettimeofday () in
   f ();
-  Format.fprintf ppf "  [%s took %.1fs]@." label (Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let prt = stats_delta s0 (Prt.stats ()) in
+  experiment_rows := { name = label; wall_s; prt } :: !experiment_rows;
+  Format.fprintf ppf "  [%s took %.1fs; prt: %a]@." label wall_s Prt.pp_stats
+    prt
 
 let experiment_reports ppf s =
   let reports =
@@ -97,13 +132,86 @@ let run_bechamel ppf s =
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
       | Some (ns_per_run :: _) ->
+        bechamel_rows := (name, ns_per_run) :: !bechamel_rows;
         Format.fprintf ppf "  %-24s %10.1f us/run@." name (ns_per_run /. 1e3)
       | _ -> Format.fprintf ppf "  %-24s (no estimate)@." name)
     results
 
+(* --- JSON emission ----------------------------------------------------
+
+   Hand-rolled (no JSON library in the dependency set); the shapes are
+   flat enough that correctness-by-construction is easy to audit, and
+   bench/check_bench_json.ml re-parses the output to keep it honest. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let json_stats (s : Prt.stats) =
+  Printf.sprintf
+    "{\"queries\": %d, \"scans\": %d, \"reservations\": %d, \"rollbacks\": %d}"
+    s.Prt.queries s.Prt.scans s.Prt.reservations s.Prt.rollbacks
+
+let emit_json path s =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"sunflow-bench-prt/1\",\n";
+  add "  \"fast\": %b,\n" (fast ());
+  add
+    "  \"settings\": {\"bandwidth_gbps\": %s, \"delta_s\": %s, \"n_coflows\": \
+     %d, \"seed\": %d},\n"
+    (json_float (Units.to_gbps s.E.Common.bandwidth))
+    (json_float s.E.Common.delta)
+    s.E.Common.trace_params.Sunflow_trace.Synthetic.n_coflows
+    s.E.Common.trace_params.Sunflow_trace.Synthetic.seed;
+  add "  \"experiments\": [\n";
+  let rows = List.rev !experiment_rows in
+  List.iteri
+    (fun i row ->
+      add "    {\"name\": \"%s\", \"wall_s\": %s, \"prt_stats\": %s}%s\n"
+        (json_escape row.name) (json_float row.wall_s) (json_stats row.prt)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"bechamel\": [\n";
+  let brows =
+    List.sort (fun (a, _) (b, _) -> compare a b) !bechamel_rows
+  in
+  List.iteri
+    (fun i (name, ns) ->
+      add "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (json_float ns)
+        (if i = List.length brows - 1 then "" else ","))
+    brows;
+  add "  ],\n";
+  add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
+  add "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Buffer.contents buf);
+      flush oc)
+
 let () =
   let ppf = Format.std_formatter in
   let s = settings () in
+  Prt.reset_stats ();
   Format.fprintf ppf
     "Sunflow reproduction benchmark harness (CoNEXT 2016)@.settings: B=%g Gbps, delta=%a, %d Coflows, seed=%d@."
     (Units.to_gbps s.E.Common.bandwidth)
@@ -112,4 +220,11 @@ let () =
     s.E.Common.trace_params.Sunflow_trace.Synthetic.seed;
   experiment_reports ppf s;
   run_bechamel ppf s;
-  Format.fprintf ppf "@.done.@."
+  let json_path =
+    match Sys.getenv_opt "SUNFLOW_BENCH_JSON" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_prt.json"
+  in
+  emit_json json_path s;
+  Format.fprintf ppf "@.wrote %s (total prt: %a)@.@.done.@." json_path
+    Prt.pp_stats (Prt.stats ())

@@ -1,1 +1,1 @@
-lib/core/prt.ml: Float Format Hashtbl List Units
+lib/core/prt.ml: Array Float Format Hashtbl List Units

@@ -1,1 +1,1 @@
-lib/core/sunflow.ml: Coflow Demand Float List Order Prt
+lib/core/sunflow.ml: Array Coflow Demand Float List Order Prt

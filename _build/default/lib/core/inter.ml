@@ -35,6 +35,11 @@ type result = {
 
 let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
     ~policy ~delta ~bandwidth coflows =
+  (* [finish_of] keys the result on Coflow ids, so duplicates would
+     silently shadow one another — reject them like Circuit_sim.run *)
+  let ids = List.map (fun c -> c.Coflow.id) coflows in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Inter.schedule: duplicate Coflow ids";
   let prt = Prt.create () in
   let established_set = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace established_set c ()) established;

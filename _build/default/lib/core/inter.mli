@@ -47,7 +47,9 @@ val schedule :
     [established] lists circuits physically up at [now]; any Coflow's
     first reservation on such a circuit starting exactly at [now] pays
     no reconfiguration delay. Coflows with empty demand get an empty
-    plan finishing at [now]. *)
+    plan finishing at [now]. Raises [Invalid_argument] on duplicate
+    Coflow ids — {!finish_of} keys on ids, so duplicates would
+    silently shadow one another. *)
 
 val finish_of : result -> int -> float option
 (** Planned finish time of a Coflow by id. *)

@@ -12,91 +12,309 @@ type reservation = {
 let stop r = r.start +. r.length
 let transmission r = r.length -. r.setup
 
-(* Per-port reservations kept as lists sorted by start time. Port
-   occupancies in this problem are short (one list per rack, tens of
-   reservations), so sorted lists beat fancier structures in practice
-   and keep invariant checks trivial. *)
-type t = (port, reservation list) Hashtbl.t
+(* --- instrumentation ------------------------------------------------- *)
 
-let create () : t = Hashtbl.create 64
-let copy (t : t) = Hashtbl.copy t
-let is_empty (t : t) = Hashtbl.length t = 0
+type stats = {
+  queries : int;
+  scans : int;
+  reservations : int;
+  rollbacks : int;
+}
 
-let port_list (t : t) p =
-  match Hashtbl.find_opt t p with Some l -> l | None -> []
+let q_queries = ref 0
+let q_scans = ref 0
+let q_reservations = ref 0
+let q_rollbacks = ref 0
 
-let free_at t p instant =
-  List.for_all
-    (fun r -> instant < r.start || instant >= stop r)
-    (port_list t p)
+let stats () =
+  {
+    queries = !q_queries;
+    scans = !q_scans;
+    reservations = !q_reservations;
+    rollbacks = !q_rollbacks;
+  }
 
-let next_start_after t p instant =
-  List.fold_left
-    (fun acc r -> if r.start > instant then Float.min acc r.start else acc)
-    infinity (port_list t p)
+let reset_stats () =
+  q_queries := 0;
+  q_scans := 0;
+  q_reservations := 0;
+  q_rollbacks := 0
 
-(* Per-port reservations never overlap, so the list sorted by start is
-   also sorted by stop: the first stop beyond the instant is the
-   port's next release. *)
-let port_next_release t p instant =
-  let rec find = function
-    | [] -> infinity
-    | r :: rest ->
-      let s = stop r in
-      if s > instant then s else find rest
-  in
-  find (port_list t p)
+let pp_stats ppf s =
+  Format.fprintf ppf "queries=%d scans=%d reservations=%d rollbacks=%d"
+    s.queries s.scans s.reservations s.rollbacks
 
-let next_release_after (t : t) instant =
-  Hashtbl.fold (fun p _ acc -> Float.min acc (port_next_release t p instant)) t infinity
+(* --- storage ---------------------------------------------------------- *)
 
-let next_release_on_ports t ports instant =
-  List.fold_left
-    (fun acc p -> Float.min acc (port_next_release t p instant))
-    infinity ports
+(* Per-port reservations in a dynamic array sorted by start time, with a
+   parallel array of the same windows' stop times sorted ascending. The
+   start-sorted view answers [free_at] / [next_start_after] by binary
+   search; the stop-sorted view answers [port_next_release] the same
+   way. Windows on one port never overlap beyond [time_tolerance], so
+   both views stay nearly identical in order — but the tolerance allows
+   sub-nanosecond rounding-dust overlaps, which is why the stop times
+   get their own exactly-sorted array instead of piggybacking on the
+   start order. *)
+type slot = {
+  mutable res : reservation array;  (* sorted by start *)
+  mutable stops : float array;  (* the same windows' stops, sorted *)
+  mutable len : int;
+}
+
+(* The release index: every reservation's stop time once (not once per
+   port), kept sorted ascending. This is the priority queue of upcoming
+   releases; it is stored flat (a sorted array rather than a tree-shaped
+   heap) because [next_release_after] asks for the successor of an
+   arbitrary instant — queries are not monotone across Coflows sharing
+   the table — and a heap can only answer successor-of-min. *)
+type t = {
+  ports : (port, slot) Hashtbl.t;
+  mutable releases : float array;
+  mutable n_releases : int;
+  mutable n_res : int;
+}
+
+let create () =
+  { ports = Hashtbl.create 64; releases = [||]; n_releases = 0; n_res = 0 }
+
+let copy t =
+  let ports = Hashtbl.create (Hashtbl.length t.ports) in
+  Hashtbl.iter
+    (fun p s ->
+      Hashtbl.replace ports p
+        { res = Array.sub s.res 0 s.len; stops = Array.sub s.stops 0 s.len; len = s.len })
+    t.ports;
+  {
+    ports;
+    releases = Array.sub t.releases 0 t.n_releases;
+    n_releases = t.n_releases;
+    n_res = t.n_res;
+  }
+
+let is_empty t = t.n_res = 0
+
+let empty_slot = { res = [||]; stops = [||]; len = 0 }
+
+let find_slot t p =
+  match Hashtbl.find_opt t.ports p with Some s -> s | None -> empty_slot
+
+(* --- binary searches --------------------------------------------------
+
+   Each search counts its probes into the [scans] counter so the bench
+   harness can report how much work the table did. *)
+
+(* first index with [key arr.(i) > x], i.e. the successor position *)
+let bsearch_gt key arr len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    incr q_scans;
+    let mid = (!lo + !hi) / 2 in
+    if key arr.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let res_start (r : reservation) = r.start
+let float_id (x : float) = x
 
 (* [start, stop) windows. Chained float sums put consecutive window
    boundaries within an ulp of each other, so an intersection below a
    nanosecond is rounding noise, not a double booking. *)
 let time_tolerance = 1e-9
 
+let free_at t p instant =
+  incr q_queries;
+  let s = find_slot t p in
+  (* the only windows that can contain [instant] start at or before it;
+     in a table of (tolerance-)disjoint windows that is the predecessor
+     window, plus at most a dust neighbourhood of windows whose stops
+     trail within [time_tolerance] of each other *)
+  let i = bsearch_gt res_start s.res s.len instant - 1 in
+  let rec covered j =
+    if j < 0 then false
+    else begin
+      incr q_scans;
+      let st = stop s.res.(j) in
+      if st > instant then true
+      else if st > instant -. time_tolerance then covered (j - 1)
+      else false
+    end
+  in
+  not (covered i)
+
+let next_start_after t p instant =
+  incr q_queries;
+  let s = find_slot t p in
+  let i = bsearch_gt res_start s.res s.len instant in
+  if i < s.len then s.res.(i).start else infinity
+
+(* fused free_at + next_start_after: one slot lookup, one search *)
+let probe t p instant =
+  incr q_queries;
+  let s = find_slot t p in
+  let i = bsearch_gt res_start s.res s.len instant in
+  let next_start = if i < s.len then s.res.(i).start else infinity in
+  let rec covered j =
+    if j < 0 then false
+    else begin
+      incr q_scans;
+      let st = stop s.res.(j) in
+      if st > instant then true
+      else if st > instant -. time_tolerance then covered (j - 1)
+      else false
+    end
+  in
+  (not (covered (i - 1)), next_start)
+
+let port_next_release t p instant =
+  let s = find_slot t p in
+  let i = bsearch_gt float_id s.stops s.len instant in
+  if i < s.len then s.stops.(i) else infinity
+
+let next_release_after t instant =
+  incr q_queries;
+  let i = bsearch_gt float_id t.releases t.n_releases instant in
+  if i < t.n_releases then t.releases.(i) else infinity
+
+let next_release_on_ports t ports instant =
+  incr q_queries;
+  List.fold_left
+    (fun acc p -> Float.min acc (port_next_release t p instant))
+    infinity ports
+
+(* --- mutation --------------------------------------------------------- *)
+
 let overlaps a b =
   Float.min (stop a) (stop b) -. Float.max a.start b.start > time_tolerance
 
-let insert_sorted t p r =
-  let l = port_list t p in
-  List.iter
-    (fun existing ->
-      if overlaps existing r then
-        invalid_arg
-          (Format.asprintf
-             "Prt.reserve: overlap on %s: new [%g, %g) vs existing [%g, %g)"
-             (match p with In i -> "in." ^ string_of_int i | Out j -> "out." ^ string_of_int j)
-             r.start (stop r) existing.start (stop existing)))
-    l;
-  let sorted = List.sort (fun a b -> compare a.start b.start) (r :: l) in
-  Hashtbl.replace t p sorted
+let grow_cap n = max 8 (2 * n)
+
+let port_name = function
+  | In i -> "in." ^ string_of_int i
+  | Out j -> "out." ^ string_of_int j
+
+let reject_overlap p r existing =
+  invalid_arg
+    (Format.asprintf
+       "Prt.reserve: overlap on %s: new [%g, %g) vs existing [%g, %g)"
+       (port_name p) r.start (stop r) existing.start (stop existing))
+
+(* Insert [r] into the port's start-sorted array, checking overlaps only
+   against the neighbourhood of the insertion point: in a table of
+   pairwise (tolerance-)disjoint windows, anything overlapping [r]
+   beyond the tolerance lies in the contiguous run of windows whose
+   span touches [r]'s — a couple of probes, not a full scan. *)
+let slot_insert t p r =
+  let s =
+    match Hashtbl.find_opt t.ports p with
+    | Some s -> s
+    | None ->
+      let s = { res = [||]; stops = [||]; len = 0 } in
+      Hashtbl.replace t.ports p s;
+      s
+  in
+  let k = bsearch_gt res_start s.res s.len r.start in
+  (* left neighbours: windows starting at or before [r.start] can only
+     reach into [r] while their stops stay above [r.start] *)
+  let rec check_left j =
+    if j >= 0 then begin
+      incr q_scans;
+      let e = s.res.(j) in
+      if stop e > r.start then begin
+        if overlaps e r then reject_overlap p r e;
+        check_left (j - 1)
+      end
+    end
+  in
+  check_left (k - 1);
+  (* right neighbours: windows starting inside [r)'s span *)
+  let rec check_right j =
+    if j < s.len then begin
+      incr q_scans;
+      let e = s.res.(j) in
+      if e.start < stop r then begin
+        if overlaps e r then reject_overlap p r e;
+        check_right (j + 1)
+      end
+    end
+  in
+  check_right k;
+  let cap = Array.length s.res in
+  if s.len = cap then begin
+    let cap' = grow_cap cap in
+    let res = Array.make cap' r in
+    Array.blit s.res 0 res 0 s.len;
+    s.res <- res;
+    let stops = Array.make cap' 0. in
+    Array.blit s.stops 0 stops 0 s.len;
+    s.stops <- stops
+  end;
+  Array.blit s.res k s.res (k + 1) (s.len - k);
+  s.res.(k) <- r;
+  let sk = bsearch_gt float_id s.stops s.len (stop r) in
+  Array.blit s.stops sk s.stops (sk + 1) (s.len - sk);
+  s.stops.(sk) <- stop r;
+  s.len <- s.len + 1;
+  k
+
+let slot_remove t p k stop_time =
+  let s = find_slot t p in
+  Array.blit s.res (k + 1) s.res k (s.len - k - 1);
+  let sk =
+    (* any entry equal to [stop_time] is interchangeable *)
+    let i = bsearch_gt float_id s.stops s.len stop_time - 1 in
+    assert (i >= 0 && s.stops.(i) = stop_time);
+    i
+  in
+  Array.blit s.stops (sk + 1) s.stops sk (s.len - sk - 1);
+  s.len <- s.len - 1
+
+let release_insert t v =
+  let cap = Array.length t.releases in
+  if t.n_releases = cap then begin
+    let arr = Array.make (grow_cap cap) 0. in
+    Array.blit t.releases 0 arr 0 t.n_releases;
+    t.releases <- arr
+  end;
+  let k = bsearch_gt float_id t.releases t.n_releases v in
+  Array.blit t.releases k t.releases (k + 1) (t.n_releases - k);
+  t.releases.(k) <- v;
+  t.n_releases <- t.n_releases + 1
 
 let reserve t r =
   if r.length <= 0. then invalid_arg "Prt.reserve: non-positive length";
   if r.setup < 0. || r.setup > r.length then
     invalid_arg "Prt.reserve: setup outside [0, length]";
   if r.src < 0 || r.dst < 0 then invalid_arg "Prt.reserve: negative port";
-  insert_sorted t (In r.src) r;
-  (* The Out insert cannot fail halfway in a state-corrupting way: if it
-     raises, the In entry is stale. Check Out first via a dry run. *)
-  (try insert_sorted t (Out r.dst) r
+  let k_in = slot_insert t (In r.src) r in
+  (* the Out insert can still reject on its own overlap; undo the In
+     insert so a failed reserve leaves the table exactly as it was *)
+  (try ignore (slot_insert t (Out r.dst) r : int)
    with e ->
-     Hashtbl.replace t (In r.src)
-       (List.filter (fun x -> x != r) (port_list t (In r.src)));
-     raise e)
+     incr q_rollbacks;
+     slot_remove t (In r.src) k_in (stop r);
+     raise e);
+  release_insert t (stop r);
+  t.n_res <- t.n_res + 1;
+  incr q_reservations
 
-let port_reservations t p = port_list t p
+(* --- traversal -------------------------------------------------------- *)
 
-let all_reservations (t : t) =
+let port_reservations t p =
+  let s = find_slot t p in
+  Array.to_list (Array.sub s.res 0 s.len)
+
+let all_reservations t =
   Hashtbl.fold
-    (fun p rs acc -> match p with In _ -> List.rev_append rs acc | Out _ -> acc)
-    t []
+    (fun p s acc ->
+      match p with
+      | In _ ->
+        let acc = ref acc in
+        for i = s.len - 1 downto 0 do
+          acc := s.res.(i) :: !acc
+        done;
+        !acc
+      | Out _ -> acc)
+    t.ports []
   |> List.sort (fun a b -> compare (a.start, a.src, a.dst) (b.start, b.src, b.dst))
 
 let established_at t instant =
@@ -107,8 +325,8 @@ let established_at t instant =
          else None)
   |> List.sort_uniq compare
 
-let ports_in_use (t : t) =
-  Hashtbl.fold (fun p rs acc -> if rs = [] then acc else p :: acc) t []
+let ports_in_use t =
+  Hashtbl.fold (fun p s acc -> if s.len = 0 then acc else p :: acc) t.ports []
   |> List.sort compare
 
 let pp ppf t =

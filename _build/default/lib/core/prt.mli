@@ -11,7 +11,13 @@
 
     Reservations never overlap on a port — [reserve] enforces the
     paper's port constraint (§2.1): an input (output) port carries at
-    most one circuit at a time. *)
+    most one circuit at a time.
+
+    Internally each port keeps its windows in a dynamic array sorted by
+    start time (with a parallel stop-sorted view), and the table keeps a
+    sorted index of every upcoming release, so all point queries run in
+    O(log n) per port instead of scanning the reservation lists — see
+    DESIGN.md, "PRT data structure & complexity". *)
 
 type port = In of int | Out of int
 
@@ -32,8 +38,30 @@ val transmission : reservation -> float
 
 type t
 
+type stats = {
+  queries : int;  (** point queries answered (free_at, next-start, next-release) *)
+  scans : int;  (** binary-search probes + neighbourhood walks *)
+  reservations : int;  (** successful {!reserve} calls *)
+  rollbacks : int;  (** reserves undone after an Out-port conflict *)
+}
+(** Cumulative work counters over every table in the process, for the
+    bench harness ([BENCH_prt.json]). Queries count public lookups;
+    scans count the elements each lookup actually probed, so
+    [scans /. queries] tracks the per-query cost (logarithmic in the
+    reservation count for the array-backed table). *)
+
+val stats : unit -> stats
+(** Snapshot of the process-wide counters. *)
+
+val reset_stats : unit -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+
 val create : unit -> t
+
 val copy : t -> t
+(** Deep copy: reservations recorded in either table afterwards never
+    appear in the other. *)
 
 val is_empty : t -> bool
 
@@ -44,6 +72,10 @@ val free_at : t -> port -> float -> bool
 val next_start_after : t -> port -> float -> float
 (** Earliest reservation start strictly greater than the instant — the
     "next-reserv-time" [tm] of Algorithm 1 line 16 — or [infinity]. *)
+
+val probe : t -> port -> float -> bool * float
+(** [(free_at t p i, next_start_after t p i)] in a single lookup — the
+    fused form the scheduler hot path uses. *)
 
 val next_release_after : t -> float -> float
 (** Earliest reservation stop strictly greater than the instant, over

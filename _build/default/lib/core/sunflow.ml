@@ -6,10 +6,15 @@ type result = {
 
 (* One pending flow with its remaining processing time. [fresh] tracks
    whether the flow may still reuse a pre-established circuit (only
-   before its first reservation, and only at the schedule start). *)
+   before its first reservation, and only at the schedule start).
+   [idx] is the flow's rank in the reservation consideration order; it
+   breaks ties between flows retried at the same instant so the
+   event-driven loop visits them exactly as the round-robin loop
+   did. *)
 type pending = {
   src : int;
   dst : int;
+  idx : int;
   mutable remaining : float;
   mutable fresh : bool;
 }
@@ -19,24 +24,26 @@ type pending = {
    skip the boundary case [lm = setup], where the reservation would be
    pure reconfiguration transmitting nothing. *)
 let make_reservation prt ~coflow ~now ~delta ~established t p =
-  let in_port = Prt.In p.src and out_port = Prt.Out p.dst in
-  if Prt.free_at prt in_port t && Prt.free_at prt out_port t then begin
-    let tm =
-      Float.min
-        (Prt.next_start_after prt in_port t)
-        (Prt.next_start_after prt out_port t)
-    in
+  let in_free, in_next = Prt.probe prt (Prt.In p.src) t in
+  let out_free, out_next =
+    if in_free then Prt.probe prt (Prt.Out p.dst) t else (false, infinity)
+  in
+  if in_free && out_free then begin
+    let tm = Float.min in_next out_next in
     let setup =
       if p.fresh && t = now && established (p.src, p.dst) then 0. else delta
     in
     let lm = tm -. t in
     let ld = setup +. p.remaining in
     let l = if lm <= setup then 0. else Float.min lm ld in
-    (* rounding of [t +. (tm -. t)] can overshoot [tm] by an ulp and
-       collide with the blocking reservation; shave the length down
-       until the window provably ends at or before [tm] *)
-    let rec fit l = if l <= 0. || t +. l <= tm then l else fit (Float.pred l) in
-    let l = if l = lm then fit l else l in
+    (* rounding of [t +. (tm -. t)] can overshoot [tm]; clamp by the
+       measured overshoot (one step almost always lands the window at
+       or before [tm] — a second only when the clamp itself rounds up) *)
+    let rec shave l =
+      if l <= 0. || t +. l <= tm then l
+      else shave (Float.min (l -. (t +. l -. tm)) (Float.pred l))
+    in
+    let l = if l = lm then shave l else l in
     let l = if l <= setup then 0. else l in
     if l > 0. then begin
       let r =
@@ -51,8 +58,82 @@ let make_reservation prt ~coflow ~now ~delta ~established t p =
   end
   else None
 
+(* Min-heap of flow wake-up times ordered by (time, consideration
+   rank), so simultaneous wake-ups replay in the original reservation
+   order. Each pending flow has exactly one entry. *)
+module Wakes = struct
+  type entry = { time : float; flow : pending }
+  type t = { mutable data : entry array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let before a b =
+    a.time < b.time || (a.time = b.time && a.flow.idx < b.flow.idx)
+
+  let push t time flow =
+    let entry = { time; flow } in
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let data = Array.make (max 8 (2 * cap)) entry in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    t.data.(t.len) <- entry;
+    t.len <- t.len + 1;
+    let i = ref (t.len - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      before t.data.(!i) t.data.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.len && before t.data.(l) t.data.(!smallest) then
+            smallest := l;
+          if r < t.len && before t.data.(r) t.data.(!smallest) then
+            smallest := r;
+          if !smallest = !i then continue_ := false
+          else begin
+            let tmp = t.data.(!smallest) in
+            t.data.(!smallest) <- t.data.(!i);
+            t.data.(!i) <- tmp;
+            i := !smallest
+          end
+        done
+      end;
+      Some (top.time, top.flow)
+    end
+end
+
 let no_circuit _ = false
 
+(* The reservation loop is event-driven: a flow that fails (or makes
+   partial progress) can next change state only when one of its two
+   ports releases a window, so it sleeps until exactly that instant
+   instead of being retried at every release in the fabric. A release
+   added to its ports later by another flow's reservation cannot wake
+   it earlier: such a window occupies a port the flow needed, and ends
+   strictly before the state the flow was already waiting on clears.
+   This replays the round-robin loop reservation for reservation while
+   doing O(1) retries per release instead of O(|pending|). *)
 let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
     ?(established = no_circuit) ?(quantum = 0.) ~delta ~bandwidth coflow =
   if bandwidth <= 0. then invalid_arg "Sunflow.schedule: bandwidth <= 0";
@@ -67,39 +148,36 @@ let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
     Order.apply order (Demand.entries coflow.Coflow.demand)
     |> List.filter_map (fun ((src, dst), bytes) ->
            let remaining = to_processing bytes in
-           if remaining > 0. then Some { src; dst; remaining; fresh = true }
-           else None)
+           if remaining > 0. then Some (src, dst, remaining) else None)
+    |> List.mapi (fun idx (src, dst, remaining) ->
+           { src; dst; idx; remaining; fresh = true })
   in
+  let wakes = Wakes.create () in
+  List.iter (fun p -> Wakes.push wakes now p) pending;
   let made = ref [] in
-  let rec loop t pending =
-    match pending with
-    | [] -> ()
-    | _ ->
-      List.iter
-        (fun p ->
-          match
-            make_reservation prt ~coflow:coflow.Coflow.id ~now ~delta
-              ~established t p
-          with
-          | Some r -> made := r :: !made
-          | None -> ())
-        pending;
-      let pending = List.filter (fun p -> p.remaining > 0.) pending in
-      if pending <> [] then begin
-        (* only releases on ports the remaining demand can use matter *)
-        let ports =
-          List.concat_map (fun p -> [ Prt.In p.src; Prt.Out p.dst ]) pending
-          |> List.sort_uniq compare
+  let rec drain () =
+    match Wakes.pop wakes with
+    | None -> ()
+    | Some (t, p) ->
+      (match
+         make_reservation prt ~coflow:coflow.Coflow.id ~now ~delta ~established
+           t p
+       with
+      | Some r -> made := r :: !made
+      | None -> ());
+      if p.remaining > 0. then begin
+        let t' =
+          Prt.next_release_on_ports prt [ Prt.In p.src; Prt.Out p.dst ] t
         in
-        let t' = Prt.next_release_on_ports prt ports t in
         if t' = infinity then
           (* Impossible: a blocked flow implies a reservation releasing
              after [t] (see the progress argument in the design doc). *)
           invalid_arg "Sunflow.schedule: stuck with pending demand"
-        else loop t' pending
-      end
+        else Wakes.push wakes t' p
+      end;
+      drain ()
   in
-  loop now pending;
+  drain ();
   let reservations = List.rev !made in
   let finish =
     List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) now reservations

@@ -1,1 +1,1 @@
-lib/trace/trace.ml: Buffer Format List Printf String Sunflow_core
+lib/trace/trace.ml: Buffer Format Fun List Printf String Sunflow_core

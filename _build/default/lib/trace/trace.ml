@@ -97,9 +97,11 @@ let parse text =
 
 let load path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse content
 
 let coflow_line buf (c : Coflow.t) =
@@ -124,9 +126,15 @@ let to_string t =
   Buffer.contents buf
 
 let save path t =
+  let text = to_string t in
   let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc text;
+      (* flush inside the protected section so write errors surface as
+         exceptions rather than vanishing in [close_out_noerr] *)
+      flush oc)
 
 let total_bytes t =
   List.fold_left (fun acc c -> acc +. Coflow.total_bytes c) 0. t.coflows

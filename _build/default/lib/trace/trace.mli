@@ -13,7 +13,7 @@
     that reducer; rack numbers double as switch port ids. The format
     stores only per-reducer totals, so writing a Coflow whose flows are
     uneven and re-reading it yields the evenly-split approximation
-    (exact round-trip for shuffle-shaped Coflows).
+    (exact round-trip for shuffle-shaped Coflows); see {!to_string}.
 
     A user with the real trace file can load it directly; the synthetic
     generator ({!Synthetic}) produces traces in the same representation
@@ -30,13 +30,25 @@ val parse : string -> t
     starting with [#] are skipped. *)
 
 val load : string -> t
-(** [parse] the contents of a file. *)
+(** [parse] the contents of a file. The input channel is closed even
+    when reading or parsing raises. *)
 
 val to_string : t -> string
 (** Serialise. Senders become the mapper list; each receiver's column
-    sum becomes its reducer total (in MB, 6 significant digits). *)
+    sum becomes its reducer total (in MB, 6 significant digits).
+
+    Because the reducer-total format keeps no per-mapper breakdown, a
+    [to_string] / {!parse} round trip redistributes each reducer's
+    bytes {e evenly} across the Coflow's mappers: a Coflow where mapper
+    0 sends 9 MB and mapper 1 sends 1 MB to the same reducer comes back
+    as 5 MB from each. Totals per reducer (and so per Coflow) are
+    preserved; the per-flow split is only exact for Coflows that were
+    already even (the shuffle shape the benchmark trace encodes). This
+    is inherent to the coflow-benchmark format, not a parser choice. *)
 
 val save : string -> t -> unit
+(** Write {!to_string} to a file. The channel is closed even if the
+    write fails partway. *)
 
 val total_bytes : t -> float
 val n_coflows : t -> int

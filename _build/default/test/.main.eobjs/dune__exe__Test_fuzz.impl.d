@@ -1,1 +1,1 @@
-test/test_fuzz.ml: Bytes List QCheck2 QCheck_alcotest String Sunflow_core Sunflow_stats Sunflow_switch Sunflow_trace Util
+test/test_fuzz.ml: Bytes Float List QCheck2 QCheck_alcotest String Sunflow_core Sunflow_stats Sunflow_switch Sunflow_trace Test_prt Util

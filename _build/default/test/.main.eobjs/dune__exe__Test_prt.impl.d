@@ -1,1 +1,1 @@
-test/test_prt.ml: Alcotest List QCheck2 QCheck_alcotest Sunflow_core Util
+test/test_prt.ml: Alcotest Float Hashtbl List QCheck2 QCheck_alcotest Sunflow_core Util

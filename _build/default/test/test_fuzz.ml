@@ -71,6 +71,219 @@ let prop_controller_rejects_or_executes =
          | Ok report -> report.leftover = 0.
          | Error msg -> String.length msg > 0))
 
+(* --- PRT: interleaved reserve/query streams vs the list oracle --- *)
+
+module Ref_prt = Test_prt.Ref_prt
+
+type prt_op =
+  | Reserve of Prt.reservation
+  | Free_at of Prt.port * float
+  | Next_start of Prt.port * float
+  | Next_release of float
+  | Next_release_ports of Prt.port list * float
+
+let prt_op_gen =
+  QCheck2.Gen.(
+    let port =
+      let* side = bool and* i = int_range 0 3 in
+      pure (if side then Prt.In i else Prt.Out i)
+    in
+    let grid hi = map (fun k -> float_of_int k /. 16.) (int_range 0 hi) in
+    let reservation =
+      let* src = int_range 0 3 and* dst = int_range 0 3 in
+      let* start = grid 96 and* len16 = int_range 1 32 in
+      let* setup = oneofl [ 0.; 0.01 ] in
+      pure
+        {
+          Prt.coflow = 0;
+          src;
+          dst;
+          start;
+          setup;
+          length = float_of_int len16 /. 16.;
+        }
+    in
+    oneof
+      [
+        map (fun r -> Reserve r) reservation;
+        map2 (fun p i -> Free_at (p, i)) port (grid 128);
+        map2 (fun p i -> Next_start (p, i)) port (grid 128);
+        map (fun i -> Next_release i) (grid 128);
+        map2 (fun ps i -> Next_release_ports (ps, i)) (list_size (int_range 0 4) port)
+          (grid 128);
+      ])
+
+let prop_prt_stream_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"interleaved PRT ops agree with the list oracle step by step"
+       ~count:300
+       QCheck2.Gen.(list_size (int_range 1 80) prt_op_gen)
+       (fun ops ->
+         let t = Prt.create () in
+         let ref_t = Ref_prt.create () in
+         List.for_all
+           (fun op ->
+             match op with
+             | Reserve r ->
+               let ok = try Prt.reserve t r; true with Invalid_argument _ -> false in
+               let ref_ok =
+                 try Ref_prt.reserve ref_t r; true
+                 with Invalid_argument _ -> false
+               in
+               ok = ref_ok
+             | Free_at (p, i) -> Prt.free_at t p i = Ref_prt.free_at ref_t p i
+             | Next_start (p, i) ->
+               Prt.next_start_after t p i = Ref_prt.next_start_after ref_t p i
+             | Next_release i ->
+               Prt.next_release_after t i = Ref_prt.next_release_after ref_t i
+             | Next_release_ports (ps, i) ->
+               Prt.next_release_on_ports t ps i
+               = Ref_prt.next_release_on_ports ref_t ps i)
+           ops
+         && Prt.all_reservations t = Ref_prt.all_reservations ref_t))
+
+(* --- Sunflow: event-driven loop vs the round-robin reference --- *)
+
+(* The pre-optimisation reservation loop, kept verbatim: every pending
+   flow is retried at every release on any pending flow's ports. The
+   event-driven scheduler must replay it reservation for reservation. *)
+module Ref_loop = struct
+  module Sunflow = Sunflow_core.Sunflow
+  module Coflow = Sunflow_core.Coflow
+  module Demand = Sunflow_core.Demand
+  module Order = Sunflow_core.Order
+
+  type pending = {
+    src : int;
+    dst : int;
+    mutable remaining : float;
+    mutable fresh : bool;
+  }
+
+  let make_reservation prt ~coflow ~now ~delta ~established t p =
+    let in_free, in_next = Prt.probe prt (Prt.In p.src) t in
+    let out_free, out_next =
+      if in_free then Prt.probe prt (Prt.Out p.dst) t else (false, infinity)
+    in
+    if in_free && out_free then begin
+      let tm = Float.min in_next out_next in
+      let setup =
+        if p.fresh && t = now && established (p.src, p.dst) then 0. else delta
+      in
+      let lm = tm -. t in
+      let ld = setup +. p.remaining in
+      let l = if lm <= setup then 0. else Float.min lm ld in
+      let rec shave l =
+        if l <= 0. || t +. l <= tm then l
+        else shave (Float.min (l -. (t +. l -. tm)) (Float.pred l))
+      in
+      let l = if l = lm then shave l else l in
+      let l = if l <= setup then 0. else l in
+      if l > 0. then begin
+        let r =
+          { Prt.coflow; src = p.src; dst = p.dst; start = t; setup; length = l }
+        in
+        Prt.reserve prt r;
+        p.remaining <- ld -. l;
+        p.fresh <- false;
+        Some r
+      end
+      else None
+    end
+    else None
+
+  let no_circuit _ = false
+
+  let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
+      ?(established = no_circuit) ?(quantum = 0.) ~delta ~bandwidth coflow =
+    let prt = match prt with Some p -> p | None -> Prt.create () in
+    let to_processing bytes =
+      let p = bytes /. bandwidth in
+      if quantum > 0. then quantum *. Float.ceil (p /. quantum) else p
+    in
+    let pending =
+      Order.apply order (Demand.entries coflow.Coflow.demand)
+      |> List.filter_map (fun ((src, dst), bytes) ->
+             let remaining = to_processing bytes in
+             if remaining > 0. then Some { src; dst; remaining; fresh = true }
+             else None)
+    in
+    let made = ref [] in
+    let rec loop t pending =
+      match pending with
+      | [] -> ()
+      | _ ->
+        List.iter
+          (fun p ->
+            match
+              make_reservation prt ~coflow:coflow.Coflow.id ~now ~delta
+                ~established t p
+            with
+            | Some r -> made := r :: !made
+            | None -> ())
+          pending;
+        let pending = List.filter (fun p -> p.remaining > 0.) pending in
+        if pending <> [] then begin
+          let ports =
+            List.concat_map (fun p -> [ Prt.In p.src; Prt.Out p.dst ]) pending
+            |> List.sort_uniq compare
+          in
+          let t' = Prt.next_release_on_ports prt ports t in
+          if t' = infinity then
+            invalid_arg "Ref_loop.schedule: stuck with pending demand"
+          else loop t' pending
+        end
+    in
+    loop now pending;
+    let reservations = List.rev !made in
+    let finish =
+      List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) now reservations
+    in
+    let setups =
+      List.fold_left (fun k r -> if r.Prt.setup > 0. then k + 1 else k) 0
+        reservations
+    in
+    { Sunflow.reservations; finish; setups }
+end
+
+let prop_event_loop_matches_round_robin =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"event-driven Sunflow loop replays the round-robin loop exactly"
+       ~count:150
+       QCheck2.Gen.(
+         let* coflows =
+           list_size (int_range 1 4) (Util.Gen.coflow ~n_ports:6 ())
+         in
+         let* delta = oneofl [ 0.; 0.001; 0.01; 0.1 ] in
+         let* order =
+           oneofl
+             Sunflow_core.Order.
+               [ Ordered_port; Sorted_demand_desc; Shuffled 13 ]
+         in
+         pure (coflows, delta, order))
+       (fun (coflows, delta, order) ->
+         let bandwidth = 1.25e8 in
+         (* inter-style: both loops extend their own shared table in the
+            same Coflow order, so later Coflows see earlier reservations *)
+         let prt_new = Prt.create () and prt_ref = Prt.create () in
+         List.for_all
+           (fun c ->
+             let a =
+               Sunflow_core.Sunflow.schedule ~prt:prt_new ~order ~delta
+                 ~bandwidth c
+             in
+             let b =
+               Ref_loop.schedule ~prt:prt_ref ~order ~delta ~bandwidth c
+             in
+             a.Sunflow_core.Sunflow.reservations
+             = b.Sunflow_core.Sunflow.reservations
+             && a.finish = b.finish
+             && a.setups = b.setups)
+           coflows
+         && Prt.all_reservations prt_new = Prt.all_reservations prt_ref))
+
 (* --- demand state machine --- *)
 
 type op = Set of int * int * float | Add of int * int * float | Drain of int * int * float
@@ -111,5 +324,7 @@ let suite =
     prop_parser_mutated_trace;
     prop_parser_shuffled_lines;
     prop_controller_rejects_or_executes;
+    prop_prt_stream_oracle;
+    prop_event_loop_matches_round_robin;
     prop_demand_invariants;
   ]

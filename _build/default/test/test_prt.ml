@@ -3,6 +3,87 @@ module Prt = Sunflow_core.Prt
 let r ?(coflow = 0) ~src ~dst ~start ~setup ~length () =
   { Prt.coflow; src; dst; start; setup; length }
 
+(* Reference list-based PRT: the pre-optimisation implementation kept
+   verbatim (sorted lists, full scans) as the oracle the array-backed
+   table must agree with reservation for reservation. *)
+module Ref_prt = struct
+  let stop (r : Prt.reservation) = r.Prt.start +. r.Prt.length
+
+  type t = (Prt.port, Prt.reservation list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let port_list (t : t) p =
+    match Hashtbl.find_opt t p with Some l -> l | None -> []
+
+  let free_at t p instant =
+    List.for_all
+      (fun (r : Prt.reservation) -> instant < r.Prt.start || instant >= stop r)
+      (port_list t p)
+
+  let next_start_after t p instant =
+    List.fold_left
+      (fun acc (r : Prt.reservation) ->
+        if r.Prt.start > instant then Float.min acc r.Prt.start else acc)
+      infinity (port_list t p)
+
+  let port_next_release t p instant =
+    List.fold_left
+      (fun acc r ->
+        let s = stop r in
+        if s > instant then Float.min acc s else acc)
+      infinity (port_list t p)
+
+  let next_release_after (t : t) instant =
+    Hashtbl.fold
+      (fun p _ acc -> Float.min acc (port_next_release t p instant))
+      t infinity
+
+  let next_release_on_ports t ports instant =
+    List.fold_left
+      (fun acc p -> Float.min acc (port_next_release t p instant))
+      infinity ports
+
+  let time_tolerance = 1e-9
+
+  let overlaps (a : Prt.reservation) (b : Prt.reservation) =
+    Float.min (stop a) (stop b) -. Float.max a.Prt.start b.Prt.start
+    > time_tolerance
+
+  let insert_sorted t p (r : Prt.reservation) =
+    let l = port_list t p in
+    List.iter
+      (fun existing ->
+        if overlaps existing r then invalid_arg "Ref_prt.reserve: overlap")
+      l;
+    let sorted =
+      List.sort (fun (a : Prt.reservation) b -> compare a.Prt.start b.Prt.start) (r :: l)
+    in
+    Hashtbl.replace t p sorted
+
+  let reserve t (r : Prt.reservation) =
+    if r.Prt.length <= 0. then invalid_arg "Ref_prt.reserve: non-positive length";
+    if r.Prt.setup < 0. || r.Prt.setup > r.Prt.length then
+      invalid_arg "Ref_prt.reserve: setup outside [0, length]";
+    if r.Prt.src < 0 || r.Prt.dst < 0 then
+      invalid_arg "Ref_prt.reserve: negative port";
+    insert_sorted t (Prt.In r.Prt.src) r;
+    (try insert_sorted t (Prt.Out r.Prt.dst) r
+     with e ->
+       Hashtbl.replace t (Prt.In r.Prt.src)
+         (List.filter (fun x -> x != r) (port_list t (Prt.In r.Prt.src)));
+       raise e)
+
+  let all_reservations (t : t) =
+    Hashtbl.fold
+      (fun p rs acc ->
+        match p with Prt.In _ -> List.rev_append rs acc | Prt.Out _ -> acc)
+      t []
+    |> List.sort (fun (a : Prt.reservation) b ->
+           compare (a.Prt.start, a.Prt.src, a.Prt.dst)
+             (b.Prt.start, b.Prt.src, b.Prt.dst))
+end
+
 let test_free_at () =
   let t = Prt.create () in
   Alcotest.(check bool) "empty free" true (Prt.free_at t (Prt.In 0) 5.);
@@ -98,6 +179,120 @@ let test_copy_isolation () =
   Alcotest.(check int) "copy extended" 2 (List.length (Prt.all_reservations t'));
   Alcotest.(check int) "original intact" 1 (List.length (Prt.all_reservations t))
 
+let test_rollback_leaves_table_unchanged () =
+  (* Out-port conflict after the In-port insert succeeded: the failed
+     reserve must undo the In insert completely — reservations, port
+     occupancy, release index and query answers all unchanged. *)
+  let t = Prt.create () in
+  Prt.reserve t (r ~src:0 ~dst:1 ~start:0. ~setup:0.01 ~length:2. ());
+  Prt.reserve t (r ~src:2 ~dst:3 ~start:1. ~setup:0.01 ~length:2. ());
+  Prt.reserve t (r ~src:4 ~dst:1 ~start:2.5 ~setup:0.01 ~length:1. ());
+  let before = Prt.all_reservations t in
+  let before_ports = Prt.ports_in_use t in
+  let probe_instants = [ 0.; 0.5; 1.; 1.9999; 2.; 2.75; 3.5; 10. ] in
+  let snapshot () =
+    List.map
+      (fun i ->
+        ( Prt.free_at t (Prt.In 5) i,
+          Prt.next_start_after t (Prt.In 5) i,
+          Prt.next_release_after t i,
+          Prt.next_release_on_ports t [ Prt.In 5; Prt.Out 1 ] i ))
+      probe_instants
+  in
+  (* In 5 is free, so the insert succeeds on the input port and must be
+     rolled back when Out 1 (busy on [0, 2) and [2.5, 3.5)) rejects *)
+  let before_answers = snapshot () in
+  let clash = r ~src:5 ~dst:1 ~start:1. ~setup:0.01 ~length:1. () in
+  (try
+     Prt.reserve t clash;
+     Alcotest.fail "expected an Out-port conflict"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "same reservation count" (List.length before)
+    (List.length (Prt.all_reservations t));
+  Alcotest.(check bool) "same reservations" true
+    (before = Prt.all_reservations t);
+  Alcotest.(check bool) "same ports in use" true
+    (before_ports = Prt.ports_in_use t);
+  Alcotest.(check bool) "same query answers" true
+    (before_answers = snapshot ());
+  Alcotest.(check bool) "In 5 still free" true (Prt.free_at t (Prt.In 5) 1.5);
+  (* the table still accepts a compatible reservation afterwards *)
+  Prt.reserve t (r ~src:5 ~dst:6 ~start:1. ~setup:0.01 ~length:1. ());
+  Alcotest.(check int) "fresh reserve lands" (List.length before + 1)
+    (List.length (Prt.all_reservations t))
+
+(* --- keyed oracle: array PRT vs the list-based reference ------------- *)
+
+(* Streams draw boundaries from a coarse grid so back-to-back windows,
+   exact collisions and rollback-triggering Out conflicts all occur
+   often. *)
+let stream_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (let* src = int_range 0 4 in
+       let* dst = int_range 0 4 in
+       let* start8 = int_range 0 160 in
+       let* len8 = int_range 1 24 in
+       let* setup = oneofl [ 0.; 0.01; 0.05 ] in
+       pure
+         (r ~src ~dst
+            ~start:(float_of_int start8 /. 8.)
+            ~setup
+            ~length:(float_of_int len8 /. 8.)
+            ())))
+
+let query_instants = List.init 42 (fun i -> float_of_int i /. 4.)
+
+let agree_on_queries t ref_t =
+  let ports =
+    List.concat_map (fun i -> [ Prt.In i; Prt.Out i ]) [ 0; 1; 2; 3; 4 ]
+  in
+  List.for_all
+    (fun instant ->
+      Prt.next_release_after t instant
+      = Ref_prt.next_release_after ref_t instant
+      && Prt.next_release_on_ports t ports instant
+         = Ref_prt.next_release_on_ports ref_t ports instant
+      && List.for_all
+           (fun p ->
+             Prt.free_at t p instant = Ref_prt.free_at ref_t p instant
+             && Prt.next_start_after t p instant
+                = Ref_prt.next_start_after ref_t p instant
+             && Prt.probe t p instant
+                = ( Ref_prt.free_at ref_t p instant,
+                    Ref_prt.next_start_after ref_t p instant ))
+           ports)
+    query_instants
+
+let prop_oracle_vs_list_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"array PRT agrees with the list reference on random streams"
+       ~count:300 stream_gen
+       (fun stream ->
+         let t = Prt.create () in
+         let ref_t = Ref_prt.create () in
+         List.for_all
+           (fun res ->
+             let accepted =
+               try
+                 Prt.reserve t res;
+                 true
+               with Invalid_argument _ -> false
+             in
+             let ref_accepted =
+               try
+                 Ref_prt.reserve ref_t res;
+                 true
+               with Invalid_argument _ -> false
+             in
+             (* same accept/reject decision, and identical tables after
+                every step — reservation for reservation *)
+             accepted = ref_accepted
+             && Prt.all_reservations t = Ref_prt.all_reservations ref_t)
+           stream
+         && agree_on_queries t ref_t))
+
 let prop_no_overlap =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make
@@ -133,5 +328,8 @@ let suite =
     Alcotest.test_case "next release" `Quick test_next_release;
     Alcotest.test_case "established_at" `Quick test_established_at;
     Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "rollback leaves table unchanged" `Quick
+      test_rollback_leaves_table_unchanged;
+    prop_oracle_vs_list_reference;
     prop_no_overlap;
   ]

@@ -74,6 +74,22 @@ let test_empty_coflow_in_plan () =
   let r = Inter.schedule ~now:2. ~policy:Inter.Fifo ~delta ~bandwidth:b [ c ] in
   Util.check_close "finishes at now" 2. (Option.get (Inter.finish_of r 9))
 
+let test_duplicate_ids_rejected () =
+  (* regression: duplicate ids used to be accepted, and finish_of then
+     silently returned the first match's finish time *)
+  let a = mk 3 [ ((0, 5), Units.mb 10.) ] in
+  let b' = mk 3 ~arrival:1. [ ((1, 6), Units.mb 20.) ] in
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Inter.schedule: duplicate Coflow ids") (fun () ->
+      ignore (Inter.schedule ~policy:Inter.Fifo ~delta ~bandwidth:b [ a; b' ]));
+  (* distinct ids still schedule fine *)
+  let r =
+    Inter.schedule ~policy:Inter.Fifo ~delta ~bandwidth:b
+      [ a; { b' with Coflow.id = 4 } ]
+  in
+  Alcotest.(check bool) "both planned" true
+    (Inter.finish_of r 3 <> None && Inter.finish_of r 4 <> None)
+
 let prop_all_port_constraints =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make
@@ -124,6 +140,8 @@ let suite =
       test_lower_priority_shortened;
     Alcotest.test_case "established shared" `Quick test_established_shared;
     Alcotest.test_case "empty coflow" `Quick test_empty_coflow_in_plan;
+    Alcotest.test_case "duplicate ids rejected" `Quick
+      test_duplicate_ids_rejected;
     prop_all_port_constraints;
     prop_highest_priority_alone_speed;
     Alcotest.test_case "policy names" `Quick test_policy_names;
