@@ -185,10 +185,62 @@ let check_prt_stats what v =
     (fun key -> check_counter (what ^ "." ^ key) (field v key))
     [ "queries"; "scans"; "reservations"; "rollbacks" ]
 
+let as_str_opt what = function
+  | Str s -> Some s
+  | Null -> None
+  | _ -> bad "%s: expected a string or null" what
+
+let check_parallel root domains =
+  let rows = as_arr "parallel" (field root "parallel") in
+  if domains <= 1 && rows <> [] then
+    bad "parallel: rows recorded despite domains = %d" domains;
+  let names =
+    List.map
+      (fun row ->
+        let name = as_str "parallel.name" (field row "name") in
+        let wall_par = as_num (name ^ ".wall_par_s") (field row "wall_par_s") in
+        let wall_seq = as_num (name ^ ".wall_seq_s") (field row "wall_seq_s") in
+        let speedup = as_num (name ^ ".speedup") (field row "speedup") in
+        if wall_par <= 0. || wall_seq <= 0. then
+          bad "%s: non-positive wall time" name;
+        if Float.abs (speedup -. (wall_seq /. wall_par)) > 1e-6 *. speedup then
+          bad "%s: speedup does not match the recorded wall times" name;
+        let dp = as_str_opt (name ^ ".digest_par") (field row "digest_par") in
+        let ds = as_str_opt (name ^ ".digest_seq") (field row "digest_seq") in
+        (match (dp, ds) with
+        | Some a, Some b ->
+          if a <> b then
+            bad
+              "%s: parallel output digest %S differs from sequential %S — the \
+               parallel run is not bit-identical"
+              name a b
+        | None, None -> ()
+        | _ -> bad "%s: digest_par/digest_seq must be both set or both null" name);
+        (name, dp))
+      rows
+  in
+  if domains > 1 then
+    (* the determinism gate only means something if the deterministic
+       reports actually took part *)
+    List.iter
+      (fun required ->
+        match List.assoc_opt required names with
+        | Some (Some _) -> ()
+        | Some None -> bad "parallel.%s: expected a digest pair" required
+        | None -> bad "parallel: missing the %S determinism row" required)
+      [ "fig8"; "baseline-gap" ]
+
 let check root =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/1" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/2" then bad "unknown schema %S" schema;
   ignore (field root "fast");
+  let domains =
+    let x = as_num "domains" (field root "domains") in
+    if Float.of_int (Float.to_int x) <> x || x < 1. then
+      bad "domains: expected a positive integer, got %g" x;
+    Float.to_int x
+  in
+  check_parallel root domains;
   let settings = field root "settings" in
   ignore (as_num "settings.delta_s" (field settings "delta_s"));
   ignore (as_num "settings.n_coflows" (field settings "n_coflows"));

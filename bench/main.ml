@@ -4,8 +4,10 @@
 
    Besides the human-readable report on stdout, the harness writes a
    machine-readable BENCH_prt.json (per-experiment wall time and PRT
-   work counters, Bechamel ns/run estimates) so successive PRs have a
-   perf trajectory to gate against. SUNFLOW_BENCH_JSON overrides the
+   work counters, Bechamel ns/run estimates, and — when SUNFLOW_JOBS
+   asks for more than one domain — sequential-vs-parallel wall times
+   with output digests proving the runs agree) so successive PRs have
+   a perf trajectory to gate against. SUNFLOW_BENCH_JSON overrides the
    output path.
 
    Run with SUNFLOW_BENCH_FAST=1 to shrink the trace for a quick smoke
@@ -15,6 +17,7 @@
 module E = Sunflow_experiments
 module Units = Sunflow_core.Units
 module Prt = Sunflow_core.Prt
+module Pool = Sunflow_parallel.Pool
 
 let fast () =
   match Sys.getenv_opt "SUNFLOW_BENCH_FAST" with
@@ -37,8 +40,17 @@ type experiment_row = {
   prt : Prt.stats;  (** counter deltas attributable to this experiment *)
 }
 
+type parallel_row = {
+  p_name : string;
+  wall_par_s : float;
+  wall_seq_s : float;
+  digest_par : string option;  (** None when the report text is timing-laden *)
+  digest_seq : string option;
+}
+
 let experiment_rows : experiment_row list ref = ref []
 let bechamel_rows : (string * float) list ref = ref []
+let parallel_rows : parallel_row list ref = ref []
 
 let stats_delta (a : Prt.stats) (b : Prt.stats) =
   {
@@ -137,6 +149,75 @@ let run_bechamel ppf s =
       | _ -> Format.fprintf ppf "  %-24s (no estimate)@." name)
     results
 
+(* --- sequential-vs-parallel speedup -----------------------------------
+
+   Rerun the pool-powered experiments twice from a cold cache — once at
+   the configured parallelism, once pinned to one domain — and record
+   wall times plus a digest of each run's full report text. Identical
+   digests prove the parallel run's numbers (CCT distributions, setup
+   counts) are bit-identical to the sequential ones; reports whose text
+   embeds wall-clock measurements (ablations' planning times) get a
+   null digest and contribute timing only. Skipped entirely at
+   [domains = 1], where there is nothing to compare. *)
+
+(* FNV-1a over the report text, folded to 32 bits; self-contained so
+   the checker can re-derive nothing — it only compares for equality *)
+let digest_string s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  Printf.sprintf "%08x" !h
+
+let capture_report report s =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  report ?settings:(Some s) ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let speedup_section ppf s domains =
+  if domains > 1 then begin
+    E.Common.section ppf "PARALLEL: sequential-vs-parallel speedup";
+    Format.fprintf ppf "  %d domains; cold-cache reruns@." domains;
+    let cold_run jobs report =
+      E.Common.clear_caches ();
+      Pool.set_jobs jobs;
+      let t0 = Unix.gettimeofday () in
+      let text = capture_report report s in
+      (Unix.gettimeofday () -. t0, text)
+    in
+    List.iter
+      (fun (p_name, deterministic_text, report) ->
+        let wall_par_s, par_text = cold_run None report in
+        let wall_seq_s, seq_text = cold_run (Some 1) report in
+        Pool.set_jobs None;
+        let digest_par, digest_seq =
+          if deterministic_text then
+            (Some (digest_string par_text), Some (digest_string seq_text))
+          else (None, None)
+        in
+        parallel_rows := { p_name; wall_par_s; wall_seq_s; digest_par; digest_seq } :: !parallel_rows;
+        Format.fprintf ppf "  %-14s par %6.1fs  seq %6.1fs  speedup %.2fx  %s@."
+          p_name wall_par_s wall_seq_s
+          (wall_seq_s /. wall_par_s)
+          (match (digest_par, digest_seq) with
+          | Some a, Some b when a = b -> "outputs identical"
+          | Some _, Some _ -> "OUTPUTS DIFFER"
+          | _ -> "(timing-laden report, digest skipped)");
+        match (digest_par, digest_seq) with
+        | Some a, Some b when a <> b ->
+          Format.fprintf ppf
+            "  FATAL: %s parallel output differs from sequential@." p_name;
+          exit 1
+        | _ -> ())
+      [
+        ("fig8", true, E.Exp_fig8.report);
+        ("baseline-gap", true, E.Exp_baseline_gap.report);
+        ("ablations", false, E.Exp_ablations.report);
+      ]
+  end
+
 (* --- JSON emission ----------------------------------------------------
 
    Hand-rolled (no JSON library in the dependency set); the shapes are
@@ -166,12 +247,13 @@ let json_stats (s : Prt.stats) =
     "{\"queries\": %d, \"scans\": %d, \"reservations\": %d, \"rollbacks\": %d}"
     s.Prt.queries s.Prt.scans s.Prt.reservations s.Prt.rollbacks
 
-let emit_json path s =
+let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/1\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/2\",\n";
   add "  \"fast\": %b,\n" (fast ());
+  add "  \"domains\": %d,\n" domains;
   add
     "  \"settings\": {\"bandwidth_gbps\": %s, \"delta_s\": %s, \"n_coflows\": \
      %d, \"seed\": %d},\n"
@@ -199,6 +281,25 @@ let emit_json path s =
         (if i = List.length brows - 1 then "" else ","))
     brows;
   add "  ],\n";
+  add "  \"parallel\": [\n";
+  let prows = List.rev !parallel_rows in
+  let json_digest = function
+    | Some d -> Printf.sprintf "\"%s\"" (json_escape d)
+    | None -> "null"
+  in
+  List.iteri
+    (fun i row ->
+      add
+        "    {\"name\": \"%s\", \"wall_par_s\": %s, \"wall_seq_s\": %s, \
+         \"speedup\": %s, \"digest_par\": %s, \"digest_seq\": %s}%s\n"
+        (json_escape row.p_name)
+        (json_float row.wall_par_s)
+        (json_float row.wall_seq_s)
+        (json_float (row.wall_seq_s /. row.wall_par_s))
+        (json_digest row.digest_par) (json_digest row.digest_seq)
+        (if i = List.length prows - 1 then "" else ","))
+    prows;
+  add "  ],\n";
   add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
   add "}\n";
   let oc = open_out path in
@@ -211,20 +312,23 @@ let emit_json path s =
 let () =
   let ppf = Format.std_formatter in
   let s = settings () in
+  let domains = Pool.default_jobs () in
   Prt.reset_stats ();
   Format.fprintf ppf
-    "Sunflow reproduction benchmark harness (CoNEXT 2016)@.settings: B=%g Gbps, delta=%a, %d Coflows, seed=%d@."
+    "Sunflow reproduction benchmark harness (CoNEXT 2016)@.settings: B=%g Gbps, delta=%a, %d Coflows, seed=%d, %d domains@."
     (Units.to_gbps s.E.Common.bandwidth)
     Units.pp_time s.E.Common.delta
     s.E.Common.trace_params.Sunflow_trace.Synthetic.n_coflows
-    s.E.Common.trace_params.Sunflow_trace.Synthetic.seed;
+    s.E.Common.trace_params.Sunflow_trace.Synthetic.seed
+    domains;
   experiment_reports ppf s;
   run_bechamel ppf s;
+  speedup_section ppf s domains;
   let json_path =
     match Sys.getenv_opt "SUNFLOW_BENCH_JSON" with
     | Some p when p <> "" -> p
     | _ -> "BENCH_prt.json"
   in
-  emit_json json_path s;
+  emit_json json_path s domains;
   Format.fprintf ppf "@.wrote %s (total prt: %a)@.@.done.@." json_path
     Prt.pp_stats (Prt.stats ())

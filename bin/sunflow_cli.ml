@@ -28,6 +28,16 @@ let delta_arg =
   let doc = "Circuit reconfiguration delay in milliseconds." in
   Arg.(value & opt float 10. & info [ "d"; "delta" ] ~docv:"MS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-Coflow scheduling sweeps (default: \
+     $(b,SUNFLOW_JOBS), else the machine's recommended domain count). 1 runs \
+     sequentially."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs jobs = Sunflow_parallel.Pool.set_jobs jobs
+
 let trace_file_arg =
   let doc = "Trace file in the coflow-benchmark format." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
@@ -130,7 +140,8 @@ let bounds_cmd =
 
 (* --- intra --- *)
 
-let intra path gbps ms =
+let intra path gbps ms jobs =
+  set_jobs jobs;
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   let coflows =
@@ -138,33 +149,30 @@ let intra path gbps ms =
       (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
       trace.Trace.coflows
   in
+  let pmap f = Sunflow_parallel.Pool.run_list f coflows in
   let summary name ratios =
     Format.printf "%-9s CCT/TcL avg=%.2f p95=%.2f max=%.2f@." name
       (D.mean ratios) (D.percentile 95. ratios)
       (snd (D.min_max ratios))
   in
   let sunflow_ratios =
-    List.map
-      (fun (c : Coflow.t) ->
+    pmap (fun (c : Coflow.t) ->
         let tcl = Bounds.circuit_lower ~bandwidth ~delta c.demand in
         (Sunflow_core.Sunflow.schedule ~delta ~bandwidth
            { c with Coflow.arrival = 0. })
           .finish
         /. tcl)
-      coflows
   in
   summary "sunflow" sunflow_ratios;
   List.iter
     (fun (name, run) ->
       let ratios =
-        List.map
-          (fun (c : Coflow.t) ->
+        pmap (fun (c : Coflow.t) ->
             let tcl = Bounds.circuit_lower ~bandwidth ~delta c.demand in
             let (o : Sunflow_baselines.Executor.outcome) =
               run ~delta ~bandwidth { c with Coflow.arrival = 0. }
             in
             o.cct /. tcl)
-          coflows
       in
       summary name ratios)
     [
@@ -180,7 +188,7 @@ let intra_cmd =
   Cmd.v
     (Cmd.info "intra"
        ~doc:"Intra-Coflow comparison: every Coflow scheduled alone.")
-    Term.(const intra $ trace_file_arg $ bandwidth_arg $ delta_arg)
+    Term.(const intra $ trace_file_arg $ bandwidth_arg $ delta_arg $ jobs_arg)
 
 (* --- inter --- *)
 
@@ -275,7 +283,8 @@ let gantt_cmd =
 
 (* --- experiments --- *)
 
-let experiments names =
+let experiments names jobs =
+  set_jobs jobs;
   let module E = Sunflow_experiments in
   let all =
     [
@@ -325,7 +334,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the synthetic trace.")
-    Term.(const experiments $ names)
+    Term.(const experiments $ names $ jobs_arg)
 
 let () =
   let info =

@@ -21,24 +21,63 @@ type stats = {
   rollbacks : int;
 }
 
-let q_queries = ref 0
-let q_scans = ref 0
-let q_reservations = ref 0
-let q_rollbacks = ref 0
+(* The counters are domain-local: each domain mutates its own record
+   with plain stores (no synchronisation on the hot path), and the
+   records live in a mutex-protected registry that [stats] folds over.
+   A [stats] snapshot taken while other domains are mid-flight may lag
+   their latest increments by a few, but totals read after the domains
+   are joined are exact — [Domain.join] orders their writes before the
+   read — which is what both the bench harness and the tests do. *)
+
+type counters = {
+  mutable c_queries : int;
+  mutable c_scans : int;
+  mutable c_reservations : int;
+  mutable c_rollbacks : int;
+}
+
+let registry_mu = Mutex.create ()
+let registry : counters list ref = ref []
+
+let counters_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { c_queries = 0; c_scans = 0; c_reservations = 0; c_rollbacks = 0 }
+      in
+      Mutex.lock registry_mu;
+      registry := c :: !registry;
+      Mutex.unlock registry_mu;
+      c)
+
+let counters () = Domain.DLS.get counters_key
 
 let stats () =
-  {
-    queries = !q_queries;
-    scans = !q_scans;
-    reservations = !q_reservations;
-    rollbacks = !q_rollbacks;
-  }
+  Mutex.lock registry_mu;
+  let s =
+    List.fold_left
+      (fun acc c ->
+        {
+          queries = acc.queries + c.c_queries;
+          scans = acc.scans + c.c_scans;
+          reservations = acc.reservations + c.c_reservations;
+          rollbacks = acc.rollbacks + c.c_rollbacks;
+        })
+      { queries = 0; scans = 0; reservations = 0; rollbacks = 0 }
+      !registry
+  in
+  Mutex.unlock registry_mu;
+  s
 
 let reset_stats () =
-  q_queries := 0;
-  q_scans := 0;
-  q_reservations := 0;
-  q_rollbacks := 0
+  Mutex.lock registry_mu;
+  List.iter
+    (fun c ->
+      c.c_queries <- 0;
+      c.c_scans <- 0;
+      c.c_reservations <- 0;
+      c.c_rollbacks <- 0)
+    !registry;
+  Mutex.unlock registry_mu
 
 let pp_stats ppf s =
   Format.fprintf ppf "queries=%d scans=%d reservations=%d rollbacks=%d"
@@ -103,11 +142,12 @@ let find_slot t p =
    Each search counts its probes into the [scans] counter so the bench
    harness can report how much work the table did. *)
 
-(* first index with [key arr.(i) > x], i.e. the successor position *)
-let bsearch_gt key arr len x =
+(* first index with [key arr.(i) > x], i.e. the successor position;
+   [c] is the calling domain's counter record *)
+let bsearch_gt c key arr len x =
   let lo = ref 0 and hi = ref len in
   while !lo < !hi do
-    incr q_scans;
+    c.c_scans <- c.c_scans + 1;
     let mid = (!lo + !hi) / 2 in
     if key arr.(mid) <= x then lo := mid + 1 else hi := mid
   done;
@@ -122,17 +162,18 @@ let float_id (x : float) = x
 let time_tolerance = 1e-9
 
 let free_at t p instant =
-  incr q_queries;
+  let c = counters () in
+  c.c_queries <- c.c_queries + 1;
   let s = find_slot t p in
   (* the only windows that can contain [instant] start at or before it;
      in a table of (tolerance-)disjoint windows that is the predecessor
      window, plus at most a dust neighbourhood of windows whose stops
      trail within [time_tolerance] of each other *)
-  let i = bsearch_gt res_start s.res s.len instant - 1 in
+  let i = bsearch_gt c res_start s.res s.len instant - 1 in
   let rec covered j =
     if j < 0 then false
     else begin
-      incr q_scans;
+      c.c_scans <- c.c_scans + 1;
       let st = stop s.res.(j) in
       if st > instant then true
       else if st > instant -. time_tolerance then covered (j - 1)
@@ -142,21 +183,23 @@ let free_at t p instant =
   not (covered i)
 
 let next_start_after t p instant =
-  incr q_queries;
+  let c = counters () in
+  c.c_queries <- c.c_queries + 1;
   let s = find_slot t p in
-  let i = bsearch_gt res_start s.res s.len instant in
+  let i = bsearch_gt c res_start s.res s.len instant in
   if i < s.len then s.res.(i).start else infinity
 
 (* fused free_at + next_start_after: one slot lookup, one search *)
 let probe t p instant =
-  incr q_queries;
+  let c = counters () in
+  c.c_queries <- c.c_queries + 1;
   let s = find_slot t p in
-  let i = bsearch_gt res_start s.res s.len instant in
+  let i = bsearch_gt c res_start s.res s.len instant in
   let next_start = if i < s.len then s.res.(i).start else infinity in
   let rec covered j =
     if j < 0 then false
     else begin
-      incr q_scans;
+      c.c_scans <- c.c_scans + 1;
       let st = stop s.res.(j) in
       if st > instant then true
       else if st > instant -. time_tolerance then covered (j - 1)
@@ -165,20 +208,22 @@ let probe t p instant =
   in
   (not (covered (i - 1)), next_start)
 
-let port_next_release t p instant =
+let port_next_release c t p instant =
   let s = find_slot t p in
-  let i = bsearch_gt float_id s.stops s.len instant in
+  let i = bsearch_gt c float_id s.stops s.len instant in
   if i < s.len then s.stops.(i) else infinity
 
 let next_release_after t instant =
-  incr q_queries;
-  let i = bsearch_gt float_id t.releases t.n_releases instant in
+  let c = counters () in
+  c.c_queries <- c.c_queries + 1;
+  let i = bsearch_gt c float_id t.releases t.n_releases instant in
   if i < t.n_releases then t.releases.(i) else infinity
 
 let next_release_on_ports t ports instant =
-  incr q_queries;
+  let c = counters () in
+  c.c_queries <- c.c_queries + 1;
   List.fold_left
-    (fun acc p -> Float.min acc (port_next_release t p instant))
+    (fun acc p -> Float.min acc (port_next_release c t p instant))
     infinity ports
 
 (* --- mutation --------------------------------------------------------- *)
@@ -203,7 +248,7 @@ let reject_overlap p r existing =
    pairwise (tolerance-)disjoint windows, anything overlapping [r]
    beyond the tolerance lies in the contiguous run of windows whose
    span touches [r]'s — a couple of probes, not a full scan. *)
-let slot_insert t p r =
+let slot_insert c t p r =
   let s =
     match Hashtbl.find_opt t.ports p with
     | Some s -> s
@@ -212,12 +257,12 @@ let slot_insert t p r =
       Hashtbl.replace t.ports p s;
       s
   in
-  let k = bsearch_gt res_start s.res s.len r.start in
+  let k = bsearch_gt c res_start s.res s.len r.start in
   (* left neighbours: windows starting at or before [r.start] can only
      reach into [r] while their stops stay above [r.start] *)
   let rec check_left j =
     if j >= 0 then begin
-      incr q_scans;
+      c.c_scans <- c.c_scans + 1;
       let e = s.res.(j) in
       if stop e > r.start then begin
         if overlaps e r then reject_overlap p r e;
@@ -229,7 +274,7 @@ let slot_insert t p r =
   (* right neighbours: windows starting inside [r)'s span *)
   let rec check_right j =
     if j < s.len then begin
-      incr q_scans;
+      c.c_scans <- c.c_scans + 1;
       let e = s.res.(j) in
       if e.start < stop r then begin
         if overlaps e r then reject_overlap p r e;
@@ -250,32 +295,32 @@ let slot_insert t p r =
   end;
   Array.blit s.res k s.res (k + 1) (s.len - k);
   s.res.(k) <- r;
-  let sk = bsearch_gt float_id s.stops s.len (stop r) in
+  let sk = bsearch_gt c float_id s.stops s.len (stop r) in
   Array.blit s.stops sk s.stops (sk + 1) (s.len - sk);
   s.stops.(sk) <- stop r;
   s.len <- s.len + 1;
   k
 
-let slot_remove t p k stop_time =
+let slot_remove c t p k stop_time =
   let s = find_slot t p in
   Array.blit s.res (k + 1) s.res k (s.len - k - 1);
   let sk =
     (* any entry equal to [stop_time] is interchangeable *)
-    let i = bsearch_gt float_id s.stops s.len stop_time - 1 in
+    let i = bsearch_gt c float_id s.stops s.len stop_time - 1 in
     assert (i >= 0 && s.stops.(i) = stop_time);
     i
   in
   Array.blit s.stops (sk + 1) s.stops sk (s.len - sk - 1);
   s.len <- s.len - 1
 
-let release_insert t v =
+let release_insert c t v =
   let cap = Array.length t.releases in
   if t.n_releases = cap then begin
     let arr = Array.make (grow_cap cap) 0. in
     Array.blit t.releases 0 arr 0 t.n_releases;
     t.releases <- arr
   end;
-  let k = bsearch_gt float_id t.releases t.n_releases v in
+  let k = bsearch_gt c float_id t.releases t.n_releases v in
   Array.blit t.releases k t.releases (k + 1) (t.n_releases - k);
   t.releases.(k) <- v;
   t.n_releases <- t.n_releases + 1
@@ -285,17 +330,18 @@ let reserve t r =
   if r.setup < 0. || r.setup > r.length then
     invalid_arg "Prt.reserve: setup outside [0, length]";
   if r.src < 0 || r.dst < 0 then invalid_arg "Prt.reserve: negative port";
-  let k_in = slot_insert t (In r.src) r in
+  let c = counters () in
+  let k_in = slot_insert c t (In r.src) r in
   (* the Out insert can still reject on its own overlap; undo the In
      insert so a failed reserve leaves the table exactly as it was *)
-  (try ignore (slot_insert t (Out r.dst) r : int)
+  (try ignore (slot_insert c t (Out r.dst) r : int)
    with e ->
-     incr q_rollbacks;
-     slot_remove t (In r.src) k_in (stop r);
+     c.c_rollbacks <- c.c_rollbacks + 1;
+     slot_remove c t (In r.src) k_in (stop r);
      raise e);
-  release_insert t (stop r);
+  release_insert c t (stop r);
   t.n_res <- t.n_res + 1;
-  incr q_reservations
+  c.c_reservations <- c.c_reservations + 1
 
 (* --- traversal -------------------------------------------------------- *)
 

@@ -48,10 +48,17 @@ type stats = {
     bench harness ([BENCH_prt.json]). Queries count public lookups;
     scans count the elements each lookup actually probed, so
     [scans /. queries] tracks the per-query cost (logarithmic in the
-    reservation count for the array-backed table). *)
+    reservation count for the array-backed table).
+
+    The counters are domain-safe: each domain accumulates into its own
+    record (plain stores, no hot-path synchronisation) and {!stats}
+    merges all of them. *)
 
 val stats : unit -> stats
-(** Snapshot of the process-wide counters. *)
+(** Snapshot of the process-wide counters: the sum over every domain
+    that ever touched a table. Exact once the contributing domains
+    have been joined; a snapshot taken while they still run may lag
+    their newest increments. *)
 
 val reset_stats : unit -> unit
 

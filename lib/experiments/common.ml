@@ -26,16 +26,38 @@ let default =
   }
 
 (* Global memo tables. Settings values are compared structurally except
-   for the functional fields of trace params (none by default). *)
+   for the functional fields of trace params (none by default).
+
+   All tables share one mutex: lookups and stores are serialized, the
+   computations are not. Two domains asking for the same missing key
+   may both compute it — wasted work, never wrong, because every
+   computation is a deterministic function of the key and only one
+   result is kept — but in practice the memo entry points run on the
+   main domain and the pooled tasks underneath them stay cache-free. *)
+let memo_mu = Mutex.create ()
 let raw_cache : (settings, Trace.t) Hashtbl.t = Hashtbl.create 4
 let original_cache : (settings, Trace.t) Hashtbl.t = Hashtbl.create 4
 
 let memo table key compute =
-  match Hashtbl.find_opt table key with
+  let lookup () =
+    Mutex.lock memo_mu;
+    let r = Hashtbl.find_opt table key in
+    Mutex.unlock memo_mu;
+    r
+  in
+  match lookup () with
   | Some v -> v
   | None ->
     let v = compute () in
-    Hashtbl.replace table key v;
+    Mutex.lock memo_mu;
+    let v =
+      match Hashtbl.find_opt table key with
+      | Some winner -> winner (* another domain raced us to it *)
+      | None ->
+        Hashtbl.replace table key v;
+        v
+    in
+    Mutex.unlock memo_mu;
     v
 
 let raw_trace s =
@@ -78,7 +100,7 @@ let intra_points ?bandwidth ?delta s =
   memo intra_cache (s, bandwidth, delta) (fun () ->
       (original_trace s).Trace.coflows
       |> List.filter (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
-      |> List.map (fun (c : Coflow.t) ->
+      |> Sunflow_parallel.Pool.run_list (fun (c : Coflow.t) ->
              let c0 = { c with Coflow.arrival = 0. } in
              let sf = Sunflow.schedule ~delta ~bandwidth c0 in
              let sol = Solstice.schedule ~delta ~bandwidth c0 in
@@ -95,9 +117,13 @@ let intra_points ?bandwidth ?delta s =
                solstice_switchings = sol.switching_count;
              }))
 
-(* Inter-Coflow runs are memoised on a cheap trace fingerprint: the
-   Coflow count, total bytes and first/last arrivals identify a
-   prepared trace for all uses in this repository. *)
+(* Inter-Coflow runs are memoised on a trace fingerprint: Coflow
+   count, total bytes, first/last arrivals, plus an order-sensitive
+   digest folded over every Coflow's (id, bytes, arrival). The summary
+   triple alone can collide — two traces that permute sizes across
+   Coflows share count/totals/extremes — and a collision here would
+   silently serve one trace's simulation for the other, so the digest
+   makes each Coflow's identity part of the key. *)
 let fingerprint coflows =
   let n = List.length coflows in
   let bytes = List.fold_left (fun a c -> a +. Coflow.total_bytes c) 0. coflows in
@@ -107,10 +133,16 @@ let fingerprint coflows =
         (Float.min lo c.arrival, Float.max hi c.arrival))
       (infinity, neg_infinity) coflows
   in
-  (n, bytes, arr)
+  let digest =
+    List.fold_left
+      (fun h (c : Coflow.t) ->
+        (h * 31) + Hashtbl.hash (c.id, Coflow.total_bytes c, c.arrival))
+      17 coflows
+  in
+  (n, bytes, arr, digest)
 
 let inter_cache :
-    (string * float * float * (int * float * (float * float)),
+    (string * float * float * (int * float * (float * float) * int),
      Sunflow_sim.Sim_result.t)
     Hashtbl.t =
   Hashtbl.create 32
@@ -133,6 +165,14 @@ let run_packet ~scheduler ~bandwidth coflows =
 let run_sunflow ~delta ~bandwidth coflows =
   memo inter_cache ("sunflow", delta, bandwidth, fingerprint coflows) (fun () ->
       Sunflow_sim.Circuit_sim.run ~delta ~bandwidth coflows)
+
+let clear_caches () =
+  Mutex.lock memo_mu;
+  Hashtbl.reset raw_cache;
+  Hashtbl.reset original_cache;
+  Hashtbl.reset intra_cache;
+  Hashtbl.reset inter_cache;
+  Mutex.unlock memo_mu
 
 let section ppf title =
   Format.fprintf ppf "@.==== %s ====@." title

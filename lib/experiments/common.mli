@@ -4,7 +4,10 @@
 
     Heavy intermediate results (intra-Coflow sweeps, prepared traces)
     are memoised per settings value so that running every experiment in
-    one process — as [bench/main.exe] does — computes each only once. *)
+    one process — as [bench/main.exe] does — computes each only once.
+    The memo tables are mutex-protected and the per-Coflow sweeps fan
+    out over the shared {!Sunflow_parallel.Pool} (sized by
+    [SUNFLOW_JOBS]); see DESIGN.md, "Parallel execution model". *)
 
 type settings = {
   trace_params : Sunflow_trace.Synthetic.params;
@@ -63,6 +66,12 @@ val run_sunflow :
   Sunflow_sim.Sim_result.t
 (** Circuit-fabric replay under shortest-Coflow-first. Memoised like
     {!run_packet}. *)
+
+val clear_caches : unit -> unit
+(** Drop every memoised trace and simulation result. The bench harness
+    uses this to time sequential-vs-parallel reruns from a cold start,
+    and the determinism tests to force recomputation under a different
+    pool size. *)
 
 (** Report formatting helpers shared by the bench harness and CLI. *)
 

@@ -74,9 +74,11 @@ let run ?(settings = Common.default) () =
     List.filter (fun (c : Coflow.t) -> not (Demand.is_empty c.demand)) coflows
   in
   let intra_avg_and_time quantum =
+    (* Sys.time is process CPU time, summed over the pool's domains —
+       it stays comparable across quanta (same parallelism for each) *)
     let t0 = Sys.time () in
     let ccts =
-      List.map
+      Sunflow_parallel.Pool.run_list
         (fun (c : Coflow.t) ->
           (Sunflow.schedule ~quantum ~delta ~bandwidth
              { c with Coflow.arrival = 0. })

@@ -26,28 +26,26 @@ let run ?(settings = Common.default) () =
     in
     o.cct
   in
+  (* each Coflow is scheduled alone on its own PRT — one pool task per
+     (scheduler, Coflow) pair, per-scheduler results in trace order *)
+  let pmap f = Sunflow_parallel.Pool.run_list f coflows in
   let ccts_of = function
     | "sunflow" ->
-      List.map
-        (fun (c : Coflow.t) ->
+      pmap (fun (c : Coflow.t) ->
           (Sunflow.schedule ~delta ~bandwidth { c with Coflow.arrival = 0. })
             .finish)
-        coflows
     | "solstice" ->
-      List.map
+      pmap
         (baseline_cct (fun ~delta ~bandwidth c ->
              Sunflow_baselines.Solstice.schedule ~delta ~bandwidth c))
-        coflows
     | "tms" ->
-      List.map
+      pmap
         (baseline_cct (fun ~delta ~bandwidth c ->
              Sunflow_baselines.Tms.schedule ~delta ~bandwidth c))
-        coflows
     | "edmonds" ->
-      List.map
+      pmap
         (baseline_cct (fun ~delta ~bandwidth c ->
              Sunflow_baselines.Edmonds.schedule ~delta ~bandwidth c))
-        coflows
     | s -> invalid_arg s
   in
   let solstice = ccts_of "solstice" in

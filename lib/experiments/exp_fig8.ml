@@ -32,26 +32,28 @@ let run ?(settings = Common.default) ?(bandwidths = default_bandwidths) () =
       aalo_avg_cct = R.average_cct aalo;
     }
   in
-  let cells =
+  (* every (bandwidth, idleness) grid point simulates three schedulers
+     over an independent trace — one pool task per point, gathered in
+     grid order *)
+  let specs =
     List.concat_map
       (fun bandwidth ->
-        let orig_idle = Workload.idleness ~bandwidth original in
-        let orig_cell =
-          cell ~bandwidth ~label:"original" original.Trace.coflows orig_idle
-        in
-        let scaled =
-          List.map
-            (fun target ->
-              let t, _ =
-                Workload.scale_to_idleness ~bandwidth ~target original
-              in
-              cell ~bandwidth
-                ~label:(Format.asprintf "%.0f%% idleness" (100. *. target))
-                t.Trace.coflows target)
-            [ 0.20; 0.40 ]
-        in
-        orig_cell :: scaled)
+        (bandwidth, `Original) :: List.map (fun t -> (bandwidth, `Scaled t)) [ 0.20; 0.40 ])
       bandwidths
+  in
+  let cells =
+    Sunflow_parallel.Pool.run_list ~chunk:1
+      (fun (bandwidth, point) ->
+        match point with
+        | `Original ->
+          let orig_idle = Workload.idleness ~bandwidth original in
+          cell ~bandwidth ~label:"original" original.Trace.coflows orig_idle
+        | `Scaled target ->
+          let t, _ = Workload.scale_to_idleness ~bandwidth ~target original in
+          cell ~bandwidth
+            ~label:(Format.asprintf "%.0f%% idleness" (100. *. target))
+            t.Trace.coflows target)
+      specs
   in
   { cells; delta }
 

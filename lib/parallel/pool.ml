@@ -1,0 +1,164 @@
+(* Work-stealing-free shared-queue pool: one mutex-protected FIFO of
+   chunk closures, [domains - 1] spawned worker domains, and a
+   submitting domain that helps drain the queue so nested maps cannot
+   deadlock. Chunks write results into pre-assigned slots of the
+   output array, which makes the gather deterministic regardless of
+   scheduling (distinct slots, so the writes race with nothing). *)
+
+type t = {
+  n_domains : int;
+  mu : Mutex.t;
+  cv : Condition.t;  (* signalled on enqueue and on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.n_domains
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stop then None
+    else begin
+      Condition.wait t.cv t.mu;
+      next ()
+    end
+  in
+  let job = next () in
+  Mutex.unlock t.mu;
+  match job with
+  | None -> ()
+  | Some run ->
+    run ();
+    worker_loop t
+
+let create ~domains =
+  let n_domains = max 1 domains in
+  let t =
+    {
+      n_domains;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* The caller's share of the work: drain whatever is queued (possibly
+   chunks of other in-flight maps — running them early is harmless)
+   until the queue is momentarily empty. *)
+let rec help t =
+  Mutex.lock t.mu;
+  let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mu;
+  match job with
+  | None -> ()
+  | Some run ->
+    run ();
+    help t
+
+let sequential_map f arr = Array.map f arr
+
+let map ?chunk t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.n_domains <= 1 || t.stop || n = 1 then sequential_map f arr
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (t.n_domains * 8))
+    in
+    (* element 0 is computed here, before the fan-out: its result
+       seeds the output array (so the array has its final runtime
+       representation — no placeholder of the wrong shape, which
+       matters for flat float arrays), and the chunks cover 1..n-1 *)
+    let results = Array.make n (f arr.(0)) in
+    let n_chunks = (n - 1 + chunk - 1) / chunk in
+    let remaining = Atomic.make n_chunks in
+    let first_error = Atomic.make None in
+    let fin_mu = Mutex.create () and fin_cv = Condition.create () in
+    let run_chunk ci () =
+      let lo = 1 + (ci * chunk) in
+      let hi = min (lo + chunk) n - 1 in
+      (try
+         for i = lo to hi do
+           results.(i) <- f arr.(i)
+         done
+       with e ->
+         ignore (Atomic.compare_and_set first_error None (Some e) : bool));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last chunk: wake the submitter if it is already waiting *)
+        Mutex.lock fin_mu;
+        Condition.broadcast fin_cv;
+        Mutex.unlock fin_mu
+      end
+    in
+    Mutex.lock t.mu;
+    for ci = 0 to n_chunks - 1 do
+      Queue.push (run_chunk ci) t.queue
+    done;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu;
+    help t;
+    Mutex.lock fin_mu;
+    while Atomic.get remaining > 0 do
+      Condition.wait fin_cv fin_mu
+    done;
+    Mutex.unlock fin_mu;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    results
+  end
+
+let map_list ?chunk t f l = Array.to_list (map ?chunk t f (Array.of_list l))
+
+(* --- process-default pool --------------------------------------------- *)
+
+let clamp_jobs n = min 64 (max 1 n)
+
+let override = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "SUNFLOW_JOBS" with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let default_jobs () =
+  clamp_jobs
+    (match !override with
+    | Some n -> n
+    | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ()))
+
+let set_jobs n = override := n
+
+let shared : t option ref = ref None
+
+let get () =
+  let want = default_jobs () in
+  match !shared with
+  | Some p when p.n_domains = want && not p.stop -> p
+  | prev ->
+    Option.iter shutdown prev;
+    let p = create ~domains:want in
+    shared := Some p;
+    p
+
+let run ?chunk f arr = map ?chunk (get ()) f arr
+let run_list ?chunk f l = map_list ?chunk (get ()) f l

@@ -1,0 +1,73 @@
+(** A dependency-free fixed-size domain pool for embarrassingly
+    parallel sweeps (per-Coflow scheduling, (delta, policy) grid
+    points), built on stdlib [Domain]/[Mutex]/[Condition] only.
+
+    Design constraints, in order:
+
+    {ol
+    {- {b Determinism.} [map pool f arr] returns exactly what
+       [Array.map f arr] returns, for any pool size and chunking:
+       chunk [i] writes its results straight into slots
+       [i*chunk .. ] of the output array, so the gather is
+       input-ordered by construction and never depends on which
+       domain finished first. The only requirement on [f] is that its
+       {e result} be a function of its argument — [f] may freely
+       bump work counters or memo caches as the schedulers do.}
+    {- {b No deadlocks.} The submitting domain is itself a worker: it
+       drains the task queue alongside the pool, so a [map] issued
+       from inside a task (nested parallelism) completes even when
+       every pool domain is busy.}
+    {- {b Graceful degradation.} A pool with [domains <= 1] spawns no
+       domains at all and [map] reduces to [Array.map]; the library
+       works unchanged on a single-core machine.}}
+
+    Exceptions raised by [f] are caught in the worker, the remaining
+    chunks of that call still run to completion (so the pool is left
+    reusable), and the first exception observed is re-raised in the
+    caller. *)
+
+type t
+
+val create : domains:int -> t
+(** Pool that executes maps on [max 1 domains] domains in total: the
+    caller plus [domains - 1] spawned workers. The worker domains
+    idle on a condition variable between calls. *)
+
+val domains : t -> int
+(** Parallelism the pool was created with (always [>= 1]). *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Further [map] calls on the pool run
+    sequentially. Idempotent. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. [chunk] is the number of consecutive
+    elements handed to a worker at a time (default: enough to give
+    each domain several chunks for load balancing; tasks as heavy as
+    a full Coflow schedule do fine with [~chunk:1]). *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], same guarantees as {!map}. *)
+
+(** {1 Process-default pool}
+
+    The experiment harness, bench and CLI share one lazily created
+    pool sized by, in decreasing priority: {!set_jobs}, the
+    [SUNFLOW_JOBS] environment variable, and
+    [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** Parallelism the next {!get} will use (clamped to [1 .. 64]). *)
+
+val set_jobs : int option -> unit
+(** Override the default ([None] restores the environment-derived
+    default). The shared pool is resized on the next {!get}. *)
+
+val get : unit -> t
+(** The shared pool, (re)created on demand at {!default_jobs}. *)
+
+val run : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map (get ())]. *)
+
+val run_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list (get ())]. *)

@@ -30,5 +30,6 @@ let () =
       ("trace.synthetic", Test_synthetic.suite);
       ("trace.workload", Test_workload.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
     ]

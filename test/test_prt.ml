@@ -316,9 +316,42 @@ let prop_no_overlap =
          | Ok _ -> true
          | Error _ -> false))
 
+(* Hammer the work counters from several domains at once (each on its
+   own table — the table itself is single-owner; only the process-wide
+   stats are shared) and check no update is lost: after joining, the
+   deltas must equal the exact sequential sums. *)
+let test_concurrent_counters () =
+  let reserves = 60 and queries = 200 and n_domains = 4 in
+  let work () =
+    let t = Prt.create () in
+    for i = 0 to reserves - 1 do
+      Prt.reserve t
+        (r ~src:0 ~dst:0 ~start:(float_of_int i) ~setup:0.001 ~length:0.5 ())
+    done;
+    for i = 0 to queries - 1 do
+      ignore (Prt.free_at t (Prt.In 0) (float_of_int i *. 0.31) : bool)
+    done
+  in
+  let before = Prt.stats () in
+  let domains = Array.init n_domains (fun _ -> Domain.spawn work) in
+  Array.iter Domain.join domains;
+  let after = Prt.stats () in
+  Alcotest.(check int)
+    "reservations" (n_domains * reserves)
+    (after.Prt.reservations - before.Prt.reservations);
+  Alcotest.(check int)
+    "queries" (n_domains * queries)
+    (after.Prt.queries - before.Prt.queries);
+  (* every free_at probes at least once on a non-empty port *)
+  Alcotest.(check bool)
+    "scans counted" true
+    (after.Prt.scans - before.Prt.scans >= n_domains * queries)
+
 let suite =
   [
     Alcotest.test_case "free_at windows" `Quick test_free_at;
+    Alcotest.test_case "concurrent counters merge exactly" `Quick
+      test_concurrent_counters;
     Alcotest.test_case "in/out namespaces" `Quick test_in_out_namespaces;
     Alcotest.test_case "overlap rejected atomically" `Quick
       test_overlap_rejected;
