@@ -2,7 +2,12 @@
    file with a small self-contained JSON reader and checks the schema
    the perf-trajectory tooling relies on, so a malformed or truncated
    emission fails the alias instead of silently producing an unusable
-   data point. *)
+   data point.
+
+   Since schema /3 it also gates the observability layer: the modeled
+   disabled-path overhead must stay at or under 2%, and the trace file
+   the harness exported must pass [Sunflow_obs.Chrome_trace.validate]
+   (i.e. actually load in Perfetto) with the recorded event count. *)
 
 type json =
   | Null
@@ -230,9 +235,66 @@ let check_parallel root domains =
         | None -> bad "parallel: missing the %S determinism row" required)
       [ "fig8"; "baseline-gap" ]
 
-let check root =
+(* The obs section: overhead gate plus trace-file validation. The
+   ratio is recomputed from its inputs so the emitter cannot game the
+   gate; [json_dir] anchors the relative trace path next to the JSON
+   file itself (where the dune rule puts both). *)
+let check_obs root json_dir =
+  match field root "obs" with
+  | Null -> bad "obs: missing — the harness did not run the obs section"
+  | obs ->
+    let ns = as_num "obs.disabled_ns_per_probe" (field obs "disabled_ns_per_probe") in
+    if ns <= 0. then bad "obs.disabled_ns_per_probe: non-positive (%g)" ns;
+    if ns > 1000. then
+      bad "obs.disabled_ns_per_probe: %g ns — a disabled probe should be branch-cheap" ns;
+    let wall_disabled = as_num "obs.wall_disabled_s" (field obs "wall_disabled_s") in
+    let wall_enabled = as_num "obs.wall_enabled_s" (field obs "wall_enabled_s") in
+    if wall_disabled <= 0. || wall_enabled <= 0. then
+      bad "obs: non-positive workload wall time";
+    let events =
+      let x = as_num "obs.enabled_events" (field obs "enabled_events") in
+      if Float.of_int (Float.to_int x) <> x || x <= 0. then
+        bad "obs.enabled_events: expected a positive integer, got %g" x;
+      Float.to_int x
+    in
+    let ratio =
+      as_num "obs.disabled_overhead_ratio" (field obs "disabled_overhead_ratio")
+    in
+    let recomputed = float_of_int events *. ns /. (wall_disabled *. 1e9) in
+    if Float.abs (ratio -. recomputed) > 1e-6 *. Float.max ratio recomputed then
+      bad "obs.disabled_overhead_ratio: %g does not match its inputs (%g)"
+        ratio recomputed;
+    if ratio > 0.02 then
+      bad
+        "obs.disabled_overhead_ratio: %.4f%% exceeds the 2%% disabled-path \
+         budget"
+        (100. *. ratio);
+    let trace_file = as_str "obs.trace_file" (field obs "trace_file") in
+    let trace_path =
+      if Filename.is_relative trace_file then
+        Filename.concat json_dir trace_file
+      else trace_file
+    in
+    let trace =
+      match
+        let ic = open_in_bin trace_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | content -> content
+      | exception Sys_error msg -> bad "obs.trace_file: unreadable: %s" msg
+    in
+    (match Sunflow_obs.Chrome_trace.validate trace with
+    | Error msg -> bad "obs.trace_file %s: invalid Chrome trace: %s" trace_path msg
+    | Ok n ->
+      if n <> events then
+        bad "obs.trace_file %s: %d events in the file, %d recorded in the JSON"
+          trace_path n events)
+
+let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/2" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/3" then bad "unknown schema %S" schema;
   ignore (field root "fast");
   let domains =
     let x = as_num "domains" (field root "domains") in
@@ -267,6 +329,7 @@ let check root =
   let gate = "planning/sunflow/|C|=256" in
   if not (List.mem gate names) then
     bad "bechamel rows lack the %S regression gate" gate;
+  check_obs root json_dir;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then
@@ -282,7 +345,7 @@ let () =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  match check (parse content) with
+  match check (parse content) (Filename.dirname path) with
   | () -> Printf.printf "%s: ok\n" path
   | exception Bad msg ->
     Printf.eprintf "%s: INVALID: %s\n" path msg;

@@ -5,8 +5,15 @@
      classify     Table-4 category statistics of a trace
      bounds       per-Coflow lower bounds of a trace
      intra        schedule each Coflow alone: Sunflow vs the baselines
-     inter        replay a trace through a chosen fabric/scheduler
-     experiments  regenerate the paper's tables and figures *)
+     inter / sim  replay a trace through a chosen fabric/scheduler
+     experiments  regenerate the paper's tables and figures
+
+   intra, inter/sim and experiments take --trace-out FILE (Chrome
+   trace-event JSON of the run's scheduler spans, for Perfetto /
+   chrome://tracing) and --metrics-out FILE (the metrics registry as
+   JSON); inter/sim additionally takes --timeline-out FILE (the
+   per-Coflow simulated-time timeline as CSV, or JSON when FILE ends
+   in .json). *)
 
 open Cmdliner
 module Units = Sunflow_core.Units
@@ -17,6 +24,7 @@ module Trace = Sunflow_trace.Trace
 module Synthetic = Sunflow_trace.Synthetic
 module Workload = Sunflow_trace.Workload
 module D = Sunflow_stats.Descriptive
+module Obs = Sunflow_obs
 
 (* --- shared options --- *)
 
@@ -45,6 +53,69 @@ let trace_file_arg =
 let load_trace path = Trace.load path
 let to_bandwidth gbps = Units.gbps gbps
 let to_delta ms = Units.ms ms
+
+(* --- observability exports --- *)
+
+let trace_out_arg =
+  let doc =
+    "Record scheduler spans and write them as Chrome trace-event JSON to \
+     $(docv) (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the metrics registry (counters, gauges, histograms) as JSON to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let timeline_out_arg =
+  let doc =
+    "Write the per-Coflow timeline (arrival, circuit setups with their \
+     reconfiguration delay, flow finishes, CCT) to $(docv): JSON when $(docv) \
+     ends in .json, CSV otherwise."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "timeline-out" ] ~docv:"FILE" ~doc)
+
+(* Enable the obs layer around [f] when any export was requested, and
+   write the requested files afterwards. Without flags, [f] runs with
+   observability fully disabled (the default single-branch path). *)
+let with_obs ?timeline_out ~trace_out ~metrics_out f =
+  let timeline_out = Option.join timeline_out in
+  let wanted =
+    trace_out <> None || metrics_out <> None || timeline_out <> None
+  in
+  if wanted then begin
+    Obs.Control.set_enabled true;
+    Obs.Tracer.clear ();
+    Obs.Timeline.clear ()
+  end;
+  let result = f () in
+  if wanted then begin
+    Obs.Control.set_enabled false;
+    Option.iter
+      (fun path ->
+        Obs.Io.write_file path (Obs.Tracer.to_chrome_json ());
+        Format.printf "wrote %d trace events to %s (load in Perfetto)@."
+          (Obs.Tracer.event_count ()) path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Obs.Io.write_file path (Obs.Registry.to_json (Obs.Registry.snapshot ()));
+        Format.printf "wrote metrics to %s@." path)
+      metrics_out;
+    Option.iter
+      (fun path ->
+        let contents =
+          if Filename.check_suffix path ".json" then Obs.Timeline.to_json ()
+          else Obs.Timeline.to_csv ()
+        in
+        Obs.Io.write_file path contents;
+        Format.printf "wrote per-Coflow timeline to %s@." path)
+      timeline_out
+  end;
+  result
 
 (* --- gen-trace --- *)
 
@@ -140,8 +211,9 @@ let bounds_cmd =
 
 (* --- intra --- *)
 
-let intra path gbps ms jobs =
+let intra path gbps ms jobs trace_out metrics_out =
   set_jobs jobs;
+  with_obs ~trace_out ~metrics_out @@ fun () ->
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   let coflows =
@@ -188,13 +260,23 @@ let intra_cmd =
   Cmd.v
     (Cmd.info "intra"
        ~doc:"Intra-Coflow comparison: every Coflow scheduled alone.")
-    Term.(const intra $ trace_file_arg $ bandwidth_arg $ delta_arg $ jobs_arg)
+    Term.(
+      const intra $ trace_file_arg $ bandwidth_arg $ delta_arg $ jobs_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- inter --- *)
 
-let inter path gbps ms scheduler csv_out =
+let inter path gbps ms scheduler csv_out trace_out metrics_out timeline_out =
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
+  if trace.Trace.coflows = [] then begin
+    Format.eprintf
+      "trace %s contains no Coflows — nothing to replay (average CCT would \
+       be undefined)@."
+      path;
+    exit 1
+  end;
+  with_obs ~timeline_out ~trace_out ~metrics_out @@ fun () ->
   let result =
     match scheduler with
     | `Sunflow -> Sunflow_sim.Circuit_sim.run ~delta ~bandwidth trace.Trace.coflows
@@ -215,9 +297,7 @@ let inter path gbps ms scheduler csv_out =
   match csv_out with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc (Sunflow_sim.Sim_result.to_csv result);
-    close_out oc;
+    Obs.Io.write_file path (Sunflow_sim.Sim_result.to_csv result);
     Format.printf "per-Coflow CCTs written to %s@." path
 
 let csv_arg =
@@ -236,12 +316,23 @@ let scheduler_arg =
     & info [ "s"; "scheduler" ] ~docv:"SCHED"
         ~doc:"Scheduler: $(b,sunflow) (circuit switch), $(b,varys), $(b,aalo) or $(b,fair) (packet switch).")
 
+let inter_term =
+  Term.(
+    const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
+    $ csv_arg $ trace_out_arg $ metrics_out_arg $ timeline_out_arg)
+
 let inter_cmd =
   Cmd.v
     (Cmd.info "inter" ~doc:"Replay a trace with arrivals through a fabric.")
-    Term.(
-      const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
-      $ csv_arg)
+    inter_term
+
+(* [sim] is [inter] under the name the observability tooling
+   documents; both spellings stay valid. *)
+let sim_cmd =
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Replay a trace with arrivals through a fabric (alias of inter).")
+    inter_term
 
 (* --- gantt --- *)
 
@@ -283,8 +374,9 @@ let gantt_cmd =
 
 (* --- experiments --- *)
 
-let experiments names jobs =
+let experiments names jobs trace_out metrics_out =
   set_jobs jobs;
+  with_obs ~trace_out ~metrics_out @@ fun () ->
   let module E = Sunflow_experiments in
   let all =
     [
@@ -334,7 +426,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the synthetic trace.")
-    Term.(const experiments $ names $ jobs_arg)
+    Term.(
+      const experiments $ names $ jobs_arg $ trace_out_arg $ metrics_out_arg)
 
 let () =
   let info =
@@ -350,6 +443,7 @@ let () =
             bounds_cmd;
             intra_cmd;
             inter_cmd;
+            sim_cmd;
             gantt_cmd;
             experiments_cmd;
           ]))

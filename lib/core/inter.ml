@@ -33,6 +33,11 @@ type result = {
   per_coflow : (int * Sunflow.result) list;
 }
 
+module Obs = Sunflow_obs
+
+let m_rounds = Obs.Registry.counter "inter.rounds"
+let h_batch = Obs.Registry.histogram "inter.coflows_per_round"
+
 let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
     ~policy ~delta ~bandwidth coflows =
   (* [finish_of] keys the result on Coflow ids, so duplicates would
@@ -40,11 +45,22 @@ let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
   let ids = List.map (fun c -> c.Coflow.id) coflows in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
     invalid_arg "Inter.schedule: duplicate Coflow ids";
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr m_rounds;
+    Obs.Registry.observe h_batch (float_of_int (List.length coflows));
+    Obs.Tracer.begin_span ~cat:"core" "inter.schedule"
+  end;
   let prt = Prt.create () in
   let established_set = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace established_set c ()) established;
   let is_established c = Hashtbl.mem established_set c in
-  let ordered = sort policy ~bandwidth coflows in
+  let ordered =
+    if obs then
+      Obs.Tracer.with_span ~cat:"core" "inter.sort" (fun () ->
+          sort policy ~bandwidth coflows)
+    else sort policy ~bandwidth coflows
+  in
   let per_coflow =
     List.map
       (fun c ->
@@ -55,6 +71,7 @@ let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
         (c.Coflow.id, r))
       ordered
   in
+  if obs then Obs.Tracer.end_span ~cat:"core" "inter.schedule";
   { prt; per_coflow }
 
 let finish_of result id =

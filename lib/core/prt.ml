@@ -21,63 +21,64 @@ type stats = {
   rollbacks : int;
 }
 
-(* The counters are domain-local: each domain mutates its own record
-   with plain stores (no synchronisation on the hot path), and the
-   records live in a mutex-protected registry that [stats] folds over.
-   A [stats] snapshot taken while other domains are mid-flight may lag
-   their latest increments by a few, but totals read after the domains
-   are joined are exact — [Domain.join] orders their writes before the
-   read — which is what both the bench harness and the tests do. *)
+(* The counters live on the Sunflow_obs metrics registry (which
+   generalises the per-domain DLS-record + registry-mutex pattern
+   these counters pioneered): each domain mutates its own cells with
+   plain stores — no synchronisation on the hot path — and the
+   registry folds the cells on snapshot. This type and the functions
+   below are a façade kept for the bench harness and the tests;
+   totals are bit-identical to the pre-registry implementation. A
+   [stats] snapshot taken while other domains are mid-flight may lag
+   their latest increments by a few, but totals read after the
+   domains are joined are exact — [Domain.join] orders their writes
+   before the read — which is what both the bench harness and the
+   tests do.
 
+   The counters are always on (they bypass [Sunflow_obs.Control]):
+   the seed measured this cost on every hot path already, and the
+   bench gates regressions against it. *)
+
+module Registry = Sunflow_obs.Registry
+
+let m_queries = Registry.counter "prt.queries"
+let m_scans = Registry.counter "prt.scans"
+let m_reservations = Registry.counter "prt.reservations"
+let m_rollbacks = Registry.counter "prt.rollbacks"
+
+(* The calling domain's four cells, fetched through one DLS read per
+   public operation (as the seed fetched its one record) and then
+   updated with plain stores. *)
 type counters = {
-  mutable c_queries : int;
-  mutable c_scans : int;
-  mutable c_reservations : int;
-  mutable c_rollbacks : int;
+  c_queries : Registry.counter_cell;
+  c_scans : Registry.counter_cell;
+  c_reservations : Registry.counter_cell;
+  c_rollbacks : Registry.counter_cell;
 }
-
-let registry_mu = Mutex.create ()
-let registry : counters list ref = ref []
 
 let counters_key =
   Domain.DLS.new_key (fun () ->
-      let c =
-        { c_queries = 0; c_scans = 0; c_reservations = 0; c_rollbacks = 0 }
-      in
-      Mutex.lock registry_mu;
-      registry := c :: !registry;
-      Mutex.unlock registry_mu;
-      c)
+      {
+        c_queries = Registry.cell m_queries;
+        c_scans = Registry.cell m_scans;
+        c_reservations = Registry.cell m_reservations;
+        c_rollbacks = Registry.cell m_rollbacks;
+      })
 
 let counters () = Domain.DLS.get counters_key
 
 let stats () =
-  Mutex.lock registry_mu;
-  let s =
-    List.fold_left
-      (fun acc c ->
-        {
-          queries = acc.queries + c.c_queries;
-          scans = acc.scans + c.c_scans;
-          reservations = acc.reservations + c.c_reservations;
-          rollbacks = acc.rollbacks + c.c_rollbacks;
-        })
-      { queries = 0; scans = 0; reservations = 0; rollbacks = 0 }
-      !registry
-  in
-  Mutex.unlock registry_mu;
-  s
+  {
+    queries = Registry.counter_value m_queries;
+    scans = Registry.counter_value m_scans;
+    reservations = Registry.counter_value m_reservations;
+    rollbacks = Registry.counter_value m_rollbacks;
+  }
 
 let reset_stats () =
-  Mutex.lock registry_mu;
-  List.iter
-    (fun c ->
-      c.c_queries <- 0;
-      c.c_scans <- 0;
-      c.c_reservations <- 0;
-      c.c_rollbacks <- 0)
-    !registry;
-  Mutex.unlock registry_mu
+  Registry.counter_reset m_queries;
+  Registry.counter_reset m_scans;
+  Registry.counter_reset m_reservations;
+  Registry.counter_reset m_rollbacks
 
 let pp_stats ppf s =
   Format.fprintf ppf "queries=%d scans=%d reservations=%d rollbacks=%d"
@@ -147,7 +148,7 @@ let find_slot t p =
 let bsearch_gt c key arr len x =
   let lo = ref 0 and hi = ref len in
   while !lo < !hi do
-    c.c_scans <- c.c_scans + 1;
+    c.c_scans.v <- c.c_scans.v + 1;
     let mid = (!lo + !hi) / 2 in
     if key arr.(mid) <= x then lo := mid + 1 else hi := mid
   done;
@@ -163,7 +164,7 @@ let time_tolerance = 1e-9
 
 let free_at t p instant =
   let c = counters () in
-  c.c_queries <- c.c_queries + 1;
+  c.c_queries.v <- c.c_queries.v + 1;
   let s = find_slot t p in
   (* the only windows that can contain [instant] start at or before it;
      in a table of (tolerance-)disjoint windows that is the predecessor
@@ -173,7 +174,7 @@ let free_at t p instant =
   let rec covered j =
     if j < 0 then false
     else begin
-      c.c_scans <- c.c_scans + 1;
+      c.c_scans.v <- c.c_scans.v + 1;
       let st = stop s.res.(j) in
       if st > instant then true
       else if st > instant -. time_tolerance then covered (j - 1)
@@ -184,7 +185,7 @@ let free_at t p instant =
 
 let next_start_after t p instant =
   let c = counters () in
-  c.c_queries <- c.c_queries + 1;
+  c.c_queries.v <- c.c_queries.v + 1;
   let s = find_slot t p in
   let i = bsearch_gt c res_start s.res s.len instant in
   if i < s.len then s.res.(i).start else infinity
@@ -192,14 +193,14 @@ let next_start_after t p instant =
 (* fused free_at + next_start_after: one slot lookup, one search *)
 let probe t p instant =
   let c = counters () in
-  c.c_queries <- c.c_queries + 1;
+  c.c_queries.v <- c.c_queries.v + 1;
   let s = find_slot t p in
   let i = bsearch_gt c res_start s.res s.len instant in
   let next_start = if i < s.len then s.res.(i).start else infinity in
   let rec covered j =
     if j < 0 then false
     else begin
-      c.c_scans <- c.c_scans + 1;
+      c.c_scans.v <- c.c_scans.v + 1;
       let st = stop s.res.(j) in
       if st > instant then true
       else if st > instant -. time_tolerance then covered (j - 1)
@@ -215,13 +216,13 @@ let port_next_release c t p instant =
 
 let next_release_after t instant =
   let c = counters () in
-  c.c_queries <- c.c_queries + 1;
+  c.c_queries.v <- c.c_queries.v + 1;
   let i = bsearch_gt c float_id t.releases t.n_releases instant in
   if i < t.n_releases then t.releases.(i) else infinity
 
 let next_release_on_ports t ports instant =
   let c = counters () in
-  c.c_queries <- c.c_queries + 1;
+  c.c_queries.v <- c.c_queries.v + 1;
   List.fold_left
     (fun acc p -> Float.min acc (port_next_release c t p instant))
     infinity ports
@@ -262,7 +263,7 @@ let slot_insert c t p r =
      reach into [r] while their stops stay above [r.start] *)
   let rec check_left j =
     if j >= 0 then begin
-      c.c_scans <- c.c_scans + 1;
+      c.c_scans.v <- c.c_scans.v + 1;
       let e = s.res.(j) in
       if stop e > r.start then begin
         if overlaps e r then reject_overlap p r e;
@@ -274,7 +275,7 @@ let slot_insert c t p r =
   (* right neighbours: windows starting inside [r)'s span *)
   let rec check_right j =
     if j < s.len then begin
-      c.c_scans <- c.c_scans + 1;
+      c.c_scans.v <- c.c_scans.v + 1;
       let e = s.res.(j) in
       if e.start < stop r then begin
         if overlaps e r then reject_overlap p r e;
@@ -336,12 +337,12 @@ let reserve t r =
      insert so a failed reserve leaves the table exactly as it was *)
   (try ignore (slot_insert c t (Out r.dst) r : int)
    with e ->
-     c.c_rollbacks <- c.c_rollbacks + 1;
+     c.c_rollbacks.v <- c.c_rollbacks.v + 1;
      slot_remove c t (In r.src) k_in (stop r);
      raise e);
   release_insert c t (stop r);
   t.n_res <- t.n_res + 1;
-  c.c_reservations <- c.c_reservations + 1
+  c.c_reservations.v <- c.c_reservations.v + 1
 
 (* --- traversal -------------------------------------------------------- *)
 

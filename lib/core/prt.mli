@@ -51,8 +51,12 @@ type stats = {
     reservation count for the array-backed table).
 
     The counters are domain-safe: each domain accumulates into its own
-    record (plain stores, no hot-path synchronisation) and {!stats}
-    merges all of them. *)
+    cells (plain stores, no hot-path synchronisation) and {!stats}
+    merges all of them. They live on the [Sunflow_obs.Registry] under
+    the names [prt.queries], [prt.scans], [prt.reservations] and
+    [prt.rollbacks] — a metrics export therefore reports totals
+    bit-identical to {!stats} — and they are always on, regardless of
+    [Sunflow_obs.Control]. *)
 
 val stats : unit -> stats
 (** Snapshot of the process-wide counters: the sum over every domain

@@ -1,5 +1,15 @@
 type config = { n_ports : int; t_work : float; tau : float }
 
+(* Gated observability: one span per T (work) and per tau (guard)
+   sub-interval, plus counters for the rotation's promotions — each
+   starved Coflow actually served bytes by a guard-phase circuit
+   counts as one promotion. *)
+module Obs = Sunflow_obs
+
+let m_work_phases = Obs.Registry.counter "starvation.work_phases"
+let m_guard_phases = Obs.Registry.counter "starvation.guard_phases"
+let m_promotions = Obs.Registry.counter "starvation.promotions"
+
 let round_robin_assignment ~n_ports ~k =
   if n_ports <= 0 then invalid_arg "Starvation_guard: non-positive port count";
   let k = ((k mod n_ports) + n_ports) mod n_ports in
@@ -53,9 +63,14 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
   let live () =
     List.filter (fun st -> not (Demand.is_empty st.remaining)) states
   in
+  let obs = Obs.Control.enabled () in
   (* T sub-interval: run the priority scheduler for the prioritized
      Coflows only and execute its plan truncated to the window. *)
   let work_phase t0 t1 =
+    if obs then begin
+      Obs.Registry.incr m_work_phases;
+      Obs.Tracer.begin_span ~cat:"guard" "starvation.work"
+    end;
     let eligible =
       live ()
       |> List.filter (fun st -> List.mem st.coflow.Coflow.id prioritized_ids)
@@ -82,12 +97,17 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
             | None -> ()
           end)
         (Prt.all_reservations plan.Inter.prt)
-    end
+    end;
+    if obs then Obs.Tracer.end_span ~cat:"guard" "starvation.work"
   in
   (* tau sub-interval: circuits of A_k are set up (paying delta) and
      all Coflows with demand on a circuit share its bandwidth
      equally — water-filled so no circuit time is wasted. *)
   let guard_phase t0 t1 k =
+    if obs then begin
+      Obs.Registry.incr m_guard_phases;
+      Obs.Tracer.begin_span ~cat:"guard" "starvation.guard"
+    end;
     let capacity = (t1 -. t0 -. delta) *. bandwidth in
     if capacity > 0. then
       List.iter
@@ -95,6 +115,15 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
           let claimants =
             live () |> List.filter (fun st -> Demand.get st.remaining i j > 0.)
           in
+          if obs then
+            (* a starved Coflow reached by the rotation's circuit is a
+               promotion: the guard serves it regardless of priority *)
+            Obs.Registry.add m_promotions
+              (List.length
+                 (List.filter
+                    (fun st ->
+                      not (List.mem st.coflow.Coflow.id prioritized_ids))
+                    claimants));
           let rec share cap = function
             | [] -> ()
             | claimants ->
@@ -117,7 +146,8 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
               if rest <> [] && cap' > byte_eps then share cap' rest
           in
           share capacity claimants)
-        (round_robin_assignment ~n_ports:c.n_ports ~k)
+        (round_robin_assignment ~n_ports:c.n_ports ~k);
+    if obs then Obs.Tracer.end_span ~cat:"guard" "starvation.guard"
   in
   let period = c.t_work +. c.tau in
   let rec cycle t k =

@@ -4,6 +4,18 @@ type result = {
   setups : int;
 }
 
+(* Gated observability (spans and counters record only under
+   Sunflow_obs.Control.enabled; the PRT work counters underneath stay
+   always-on). The schedule is traced as one outer span with two
+   phase children: candidate selection (demand -> ordered pending
+   flows) and the reservation loop (PRT probe/reserve driven by the
+   wake heap). *)
+module Obs = Sunflow_obs
+
+let m_schedules = Obs.Registry.counter "sunflow.schedules"
+let m_wakes = Obs.Registry.counter "sunflow.wakes"
+let h_flows = Obs.Registry.histogram "sunflow.flows_per_schedule"
+
 (* One pending flow with its remaining processing time. [fresh] tracks
    whether the flow may still reuse a pre-established circuit (only
    before its first reservation, and only at the schedule start).
@@ -140,6 +152,12 @@ let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
   if delta < 0. then invalid_arg "Sunflow.schedule: negative delta";
   if now < 0. then invalid_arg "Sunflow.schedule: negative start time";
   let prt = match prt with Some p -> p | None -> Prt.create () in
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr m_schedules;
+    Obs.Tracer.begin_span ~cat:"core" "sunflow.schedule";
+    Obs.Tracer.begin_span ~cat:"core" "sunflow.candidates"
+  end;
   let to_processing bytes =
     let p = bytes /. bandwidth in
     if quantum > 0. then quantum *. Float.ceil (p /. quantum) else p
@@ -152,13 +170,20 @@ let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
     |> List.mapi (fun idx (src, dst, remaining) ->
            { src; dst; idx; remaining; fresh = true })
   in
+  if obs then begin
+    Obs.Registry.observe h_flows (float_of_int (List.length pending));
+    Obs.Tracer.end_span ~cat:"core" "sunflow.candidates";
+    Obs.Tracer.begin_span ~cat:"core" "sunflow.reserve"
+  end;
   let wakes = Wakes.create () in
   List.iter (fun p -> Wakes.push wakes now p) pending;
   let made = ref [] in
+  let n_wakes = ref 0 in
   let rec drain () =
     match Wakes.pop wakes with
     | None -> ()
     | Some (t, p) ->
+      incr n_wakes;
       (match
          make_reservation prt ~coflow:coflow.Coflow.id ~now ~delta ~established
            t p
@@ -178,6 +203,11 @@ let schedule ?prt ?(now = 0.) ?(order = Order.Ordered_port)
       drain ()
   in
   drain ();
+  if obs then begin
+    Obs.Registry.add m_wakes !n_wakes;
+    Obs.Tracer.end_span ~cat:"core" "sunflow.reserve";
+    Obs.Tracer.end_span ~cat:"core" "sunflow.schedule"
+  end;
   let reservations = List.rev !made in
   let finish =
     List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) now reservations

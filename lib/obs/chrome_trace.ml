@@ -1,0 +1,74 @@
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let known_phases = [ "B"; "E"; "X"; "i"; "I"; "M" ]
+
+let validate s =
+  let* root = Json.of_string s in
+  match Json.member "traceEvents" root with
+  | None -> err "traceEvents: missing (root must be the object format)"
+  | Some (Json.Arr evs) ->
+    (* per-(pid,tid) track: (open B count, last ts seen) *)
+    let tracks : (float * float, int * float) Hashtbl.t = Hashtbl.create 8 in
+    let count = ref 0 in
+    let rec go i = function
+      | [] ->
+        let unbalanced =
+          Hashtbl.fold
+            (fun _ (open_spans, _) acc -> acc + open_spans)
+            tracks 0
+        in
+        if unbalanced <> 0 then
+          err "unbalanced spans: %d begin events never ended" unbalanced
+        else Ok !count
+      | ev :: rest -> (
+        let str key =
+          match Json.member key ev with
+          | Some (Json.Str v) -> Ok v
+          | _ -> err "event %d: missing string %S" i key
+        in
+        let num key =
+          match Json.member key ev with
+          | Some (Json.Num v) -> Ok v
+          | _ -> err "event %d: missing numeric %S" i key
+        in
+        let* _name = str "name" in
+        let* ph = str "ph" in
+        if not (List.mem ph known_phases) then
+          err "event %d: unknown phase %S" i ph
+        else
+          let* pid = num "pid" in
+          let* tid = num "tid" in
+          if ph = "M" then go (i + 1) rest
+          else
+            let* ts = num "ts" in
+            if not (Float.is_finite ts) then err "event %d: non-finite ts" i
+            else begin
+              incr count;
+              let key = (pid, tid) in
+              let open_spans, last_ts =
+                Option.value (Hashtbl.find_opt tracks key)
+                  ~default:(0, neg_infinity)
+              in
+              if ts < last_ts then
+                err "event %d: ts %g goes backwards on track (%g, %g)" i ts
+                  pid tid
+              else
+                let open_spans =
+                  match ph with
+                  | "B" -> open_spans + 1
+                  | "E" -> open_spans - 1
+                  | _ -> open_spans
+                in
+                if open_spans < 0 then
+                  err "event %d: end without a matching begin on track (%g, %g)"
+                    i pid tid
+                else begin
+                  Hashtbl.replace tracks key (open_spans, ts);
+                  go (i + 1) rest
+                end
+            end)
+    in
+    go 0 evs
+  | Some _ -> err "traceEvents: expected an array"

@@ -1,0 +1,18 @@
+(** Schema validation for exported Chrome trace-event JSON. Used by
+    the obs test suite and the bench checker to prove a
+    [--trace-out] / bench trace file will actually load in Perfetto
+    or chrome://tracing. *)
+
+val validate : string -> (int, string) result
+(** Parse a trace produced by {!Tracer.to_chrome_json} (or any trace
+    in the JSON-object flavour of the format) and check:
+
+    - the root is an object with a [traceEvents] array;
+    - every event is an object with a string [name], a string [ph]
+      of one of the known phases ([B E X i I M]), a finite numeric
+      [ts] (except metadata), and numeric [pid]/[tid];
+    - per [(pid, tid)] track, [B]/[E] events balance: never more
+      ends than begins, and zero open spans at the end;
+    - per track, timestamps never decrease in file order.
+
+    Returns the number of non-metadata events on success. *)

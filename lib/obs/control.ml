@@ -1,0 +1,4 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+let now_ns () = Monotonic_clock.now ()

@@ -1,0 +1,27 @@
+(** Global observability switch.
+
+    Every gated instrumentation site in the scheduler and the
+    simulators starts with [if Control.enabled () then ...]; when the
+    switch is off that is the whole cost — one atomic load and one
+    branch, no allocation, no clock read. The bench harness measures
+    the disabled per-probe cost and gates it below 2% of scheduler
+    wall time (see bench/main.ml, "obs" section).
+
+    Always-on metrics (the PRT work counters, which predate this
+    library and whose totals must stay bit-identical to the seed's
+    [Prt.stats]) bypass the switch — they use {!Registry} handles
+    directly. *)
+
+val enabled : unit -> bool
+(** Whether gated instrumentation (spans, timeline, optional metrics)
+    records anything. Off by default. *)
+
+val set_enabled : bool -> unit
+(** Flip the switch. Meant for process start-up (CLI flags, bench
+    sections); flipping it while worker domains run is safe — sites
+    observe the new value on their next probe — but events from
+    mid-flight operations may be partially recorded. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds since an arbitrary origin
+    (CLOCK_MONOTONIC via bechamel's stub). *)

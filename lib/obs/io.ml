@@ -1,0 +1,8 @@
+let with_out_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let write_file path contents =
+  with_out_file path (fun oc ->
+      output_string oc contents;
+      flush oc)

@@ -1,0 +1,12 @@
+(** Leak-proof file writing, shared by every obs exporter, the CLI
+    and the bench harness (the bug class PR 1 fixed in
+    [Trace.load]/[Trace.save]: an exception between [open_out] and
+    [close_out] leaked the descriptor and could drop buffered
+    output). *)
+
+val with_out_file : string -> (out_channel -> 'a) -> 'a
+(** [with_out_file path f] opens [path] for writing, runs [f] on the
+    channel and closes it even when [f] raises. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — [with_out_file] + [output_string]. *)

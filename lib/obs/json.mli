@@ -1,0 +1,19 @@
+(** A minimal JSON reader (no dependency on a JSON library — the
+    project hand-rolls its emitters, and this parser keeps them
+    honest). Shared by the obs tests, the bench checker and
+    {!Chrome_trace.validate}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] pinpoints the offset
+    of the first syntax error. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)

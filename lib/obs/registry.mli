@@ -1,0 +1,107 @@
+(** Metrics registry: named counters, gauges and log-scale histograms
+    with O(1) hot-path updates, safe under multiple domains.
+
+    Domain safety follows the pattern [Prt]'s work counters
+    established: each metric hands every domain its own mutable cell
+    (created lazily through a per-metric [Domain.DLS] key and
+    registered in a mutex-protected cell list), so hot-path updates
+    are plain stores with no synchronisation. A snapshot folds the
+    cells under the metric's mutex: exact once the contributing
+    domains have been joined — [Domain.join] orders their writes
+    before the read — and at worst a few increments stale while they
+    still run.
+
+    Metrics are registered by name, find-or-create: the same name
+    always returns the same handle, so independent modules can share
+    a metric. Names are unique across kinds — reusing a counter name
+    for a histogram raises [Invalid_argument]. *)
+
+(** {1 Counters} *)
+
+type counter
+
+type counter_cell = { mutable v : int }
+(** One domain's slice of a counter. The field is exposed so
+    instrumentation sites can increment it with a plain store
+    ([cell.v <- cell.v + 1]) exactly as the seed's [Prt] counter
+    records did; treat it as private to instrumentation code. *)
+
+val counter : string -> counter
+(** Find-or-create the counter registered under [name]. *)
+
+val cell : counter -> counter_cell
+(** The calling domain's cell. Fetch once per operation (a DLS read),
+    then update fields directly in the hot loop. *)
+
+val incr : counter -> unit
+(** [cell c].v + 1 — convenience for cold sites. *)
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+(** Sum over every domain's cell (see the staleness caveat above). *)
+
+val counter_reset : counter -> unit
+
+(** {1 Gauges}
+
+    A gauge holds a float per domain; a snapshot {e sums} the
+    domains' values. [gauge_add] therefore accumulates a process-wide
+    total (e.g. simulated reconfiguration seconds, per-domain busy
+    time), while [gauge_set] only makes sense for single-writer
+    gauges. *)
+
+type gauge
+
+val gauge : string -> gauge
+val gauge_set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_reset : gauge -> unit
+
+(** {1 Histograms}
+
+    Log-scale (power-of-two) buckets: a positive sample [v] lands in
+    the bucket [[2^(e-1), 2^e)] where [e] is its binary exponent
+    ([Float.frexp]), clamped to exponents [-64 .. 64]; zero, negative
+    and NaN samples land in the underflow bucket, [+inf] and values
+    at or above [2^64] in the overflow bucket. Bucketing is O(1) —
+    one [frexp], no search. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [+inf] when empty *)
+  h_max : float;  (** [-inf] when empty *)
+  h_buckets : (float * float * int) list;
+      (** non-empty buckets as [(lo, hi, count)], ascending; underflow
+          reports [lo = neg_infinity], overflow [hi = infinity] *)
+}
+
+val histogram_value : histogram -> histogram_snapshot
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Merge every registered metric. Exactness: see the module header. *)
+
+val reset : unit -> unit
+(** Zero every cell of every metric (the metrics stay registered). *)
+
+val to_json : snapshot -> string
+(** Render as a JSON object:
+    [{"schema": "sunflow-obs-metrics/1", "counters": {..}, "gauges":
+    {..}, "histograms": {name: {count, sum, min, max, buckets:
+    [{lo, hi, count}]}}}]. Keys sorted, floats emitted with [%.9g]
+    ([null] for non-finite), so equal snapshots render identically. *)

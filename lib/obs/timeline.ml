@@ -1,0 +1,147 @@
+type event =
+  | Arrival of { coflow : int; t : float }
+  | Setup of { coflow : int; src : int; dst : int; t : float; delta : float }
+  | Flow_finish of { coflow : int; src : int; dst : int; t : float }
+  | Finish of { coflow : int; t : float; cct : float }
+
+let mu = Mutex.create ()
+let recorded : (event * int) list ref = ref []
+let seq = ref 0
+
+let record ev =
+  if Control.enabled () then begin
+    Mutex.lock mu;
+    recorded := (ev, !seq) :: !recorded;
+    incr seq;
+    Mutex.unlock mu
+  end
+
+let clear () =
+  Mutex.lock mu;
+  recorded := [];
+  seq := 0;
+  Mutex.unlock mu
+
+let time_of = function
+  | Arrival { t; _ } | Setup { t; _ } | Flow_finish { t; _ } | Finish { t; _ }
+    ->
+    t
+
+let indexed_events () =
+  Mutex.lock mu;
+  let l = !recorded in
+  Mutex.unlock mu;
+  List.sort
+    (fun (a, ai) (b, bi) -> compare (time_of a, ai) (time_of b, bi))
+    l
+
+let events () = List.map fst (indexed_events ())
+
+(* --- exports ----------------------------------------------------------- *)
+
+let fmt_f v = Printf.sprintf "%.9g" v
+
+let to_csv () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "coflow,event,t_seconds,src,dst,delta_seconds\n";
+  let first_setup_seen = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let line =
+        match ev with
+        | Arrival { coflow; t } ->
+          Printf.sprintf "%d,arrival,%s,,,\n" coflow (fmt_f t)
+        | Setup { coflow; src; dst; t; delta } ->
+          let tag =
+            if Hashtbl.mem first_setup_seen coflow then "setup"
+            else begin
+              Hashtbl.replace first_setup_seen coflow ();
+              "first_circuit"
+            end
+          in
+          Printf.sprintf "%d,%s,%s,%d,%d,%s\n" coflow tag (fmt_f t) src dst
+            (fmt_f delta)
+        | Flow_finish { coflow; src; dst; t } ->
+          Printf.sprintf "%d,flow_finish,%s,%d,%d,\n" coflow (fmt_f t) src dst
+        | Finish { coflow; t; cct } ->
+          (* the delta column doubles as the CCT on finish lines *)
+          Printf.sprintf "%d,finish,%s,,,%s\n" coflow (fmt_f t) (fmt_f cct)
+      in
+      Buffer.add_string buf line)
+    (events ());
+  Buffer.contents buf
+
+type per_coflow = {
+  mutable arrival : float option;
+  mutable setups : (float * int * int * float) list;  (* reversed *)
+  mutable flow_finishes : (float * int * int) list;  (* reversed *)
+  mutable finish : float option;
+  mutable cct : float option;
+}
+
+let to_json () =
+  let tbl : (int, per_coflow) Hashtbl.t = Hashtbl.create 16 in
+  let entry id =
+    match Hashtbl.find_opt tbl id with
+    | Some e -> e
+    | None ->
+      let e =
+        { arrival = None; setups = []; flow_finishes = []; finish = None;
+          cct = None }
+      in
+      Hashtbl.replace tbl id e;
+      e
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Arrival { coflow; t } ->
+        let e = entry coflow in
+        if e.arrival = None then e.arrival <- Some t
+      | Setup { coflow; src; dst; t; delta } ->
+        let e = entry coflow in
+        e.setups <- (t, src, dst, delta) :: e.setups
+      | Flow_finish { coflow; src; dst; t } ->
+        let e = entry coflow in
+        e.flow_finishes <- (t, src, dst) :: e.flow_finishes
+      | Finish { coflow; t; cct } ->
+        let e = entry coflow in
+        e.finish <- Some t;
+        e.cct <- Some cct)
+    (events ());
+  let ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] |> List.sort compare
+  in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let opt = function Some v -> fmt_f v | None -> "null" in
+  add "[\n";
+  List.iteri
+    (fun i id ->
+      let e = Hashtbl.find tbl id in
+      let setups = List.rev e.setups in
+      let first_circuit =
+        match setups with (t, _, _, _) :: _ -> Some t | [] -> None
+      in
+      add "  {\"coflow\": %d, \"arrival\": %s, \"first_circuit\": %s, " id
+        (opt e.arrival) (opt first_circuit);
+      add "\"setups\": [";
+      List.iteri
+        (fun j (t, src, dst, delta) ->
+          add "%s{\"t\": %s, \"src\": %d, \"dst\": %d, \"delta\": %s}"
+            (if j = 0 then "" else ", ")
+            (fmt_f t) src dst (fmt_f delta))
+        setups;
+      add "], \"flow_finishes\": [";
+      List.iteri
+        (fun j (t, src, dst) ->
+          add "%s{\"t\": %s, \"src\": %d, \"dst\": %d}"
+            (if j = 0 then "" else ", ")
+            (fmt_f t) src dst)
+        (List.rev e.flow_finishes);
+      add "], \"finish\": %s, \"cct\": %s}%s\n" (opt e.finish) (opt e.cct)
+        (if i = List.length ids - 1 then "" else ",");
+      ())
+    ids;
+  add "]\n";
+  Buffer.contents buf

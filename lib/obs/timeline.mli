@@ -1,0 +1,49 @@
+(** Per-Coflow timeline: lifecycle events in {e simulated} time (the
+    tracer's spans are wall time — where the program spends cycles;
+    this module is where the simulated fabric spends seconds).
+
+    The simulators record, when {!Control.enabled}: each Coflow's
+    arrival, every circuit setup executed on its behalf together with
+    the reconfiguration delay paid, each subflow (src, dst) drained,
+    and the Coflow's completion with its CCT. The exports derive the
+    first-circuit instant — the paper's "time to first byte" seam —
+    from the earliest setup.
+
+    Events from concurrent recorders are mutex-serialised; recording
+    happens at simulator-event granularity (arrivals, plan windows,
+    completions), not in scheduler hot loops, so the lock is cold. *)
+
+type event =
+  | Arrival of { coflow : int; t : float }
+  | Setup of {
+      coflow : int;
+      src : int;
+      dst : int;
+      t : float;
+      delta : float;  (** reconfiguration seconds paid by this setup *)
+    }
+  | Flow_finish of { coflow : int; src : int; dst : int; t : float }
+  | Finish of { coflow : int; t : float; cct : float }
+
+val record : event -> unit
+(** No-op when {!Control.enabled} is false. Prefer gating at the call
+    site anyway ([if Control.enabled () then record ...]) so the
+    disabled path does not even allocate the event. *)
+
+val events : unit -> event list
+(** Recorded events sorted by [(time, record order)]. *)
+
+val clear : unit -> unit
+
+val to_csv : unit -> string
+(** Flat export, one event per line:
+    [coflow,event,t_seconds,src,dst,delta_seconds] with [arrival],
+    [setup], [first_circuit] (the first setup of each Coflow),
+    [flow_finish] and [finish] (whose [delta_seconds] column carries
+    the CCT) event tags. *)
+
+val to_json : unit -> string
+(** Grouped export: a JSON array of per-Coflow objects
+    [{coflow, arrival, first_circuit, setups: [{t, src, dst, delta}],
+    flow_finishes: [{t, src, dst}], finish, cct}], sorted by Coflow
+    id; instants the run never produced are [null]. *)

@@ -1,0 +1,60 @@
+(** Span/event tracer: begin/end spans and instant events on the
+    monotonic clock, recorded into per-domain buffers (plain appends,
+    no locking on the hot path) and exported as Chrome trace-event
+    JSON loadable in Perfetto / chrome://tracing.
+
+    Every emitter is gated on {!Control.enabled}: when tracing is off
+    an emit call is one atomic load and a branch. When on, an emit is
+    one clock read plus an append into the calling domain's buffer;
+    buffers register themselves in a mutex-protected list on the
+    domain's first event (the [Prt]/{!Registry} DLS pattern), so
+    domains never contend with each other while tracing.
+
+    Spans nest per domain: Perfetto matches a [B] (begin) event with
+    the next [E] (end) on the same thread track, so sites must emit
+    balanced begin/end pairs in LIFO order — {!with_span} does this
+    for you, exception-safely; hot paths that cannot afford a closure
+    use {!begin_span}/{!end_span} directly.
+
+    Each domain keeps at most [2^20] events; beyond that, events are
+    dropped (counted in {!dropped}) rather than growing without
+    bound. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  ts : int64;  (** monotonic nanoseconds *)
+  tid : int;  (** recording domain's id *)
+}
+
+val begin_span : ?cat:string -> string -> unit
+val end_span : ?cat:string -> string -> unit
+val instant : ?cat:string -> string -> unit
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f ()] with a begin/end pair; the end
+    event is emitted even when [f] raises. When tracing is disabled
+    this is exactly [f ()]. *)
+
+val event_count : unit -> int
+(** Events currently buffered, over all domains. *)
+
+val dropped : unit -> int
+(** Events discarded to per-domain capacity, over all domains. *)
+
+val events : unit -> event list
+(** All buffered events, sorted by [(ts, tid, append order)]. Within
+    one domain the order is exactly emission order (the clock is
+    monotonic and ties keep the append order). *)
+
+val clear : unit -> unit
+(** Drop all buffered events (buffers stay registered). *)
+
+val to_chrome_json : unit -> string
+(** The buffered events in Chrome trace-event JSON object format:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one
+    [thread_name] metadata record per domain. Timestamps are
+    microseconds relative to the earliest buffered event. *)

@@ -5,6 +5,17 @@
    output array, which makes the gather deterministic regardless of
    scheduling (distinct slots, so the writes race with nothing). *)
 
+(* Gated observability: chunk spans land on each executing domain's
+   trace track (so Perfetto shows per-domain busy/idle), the busy
+   gauge accumulates per-domain busy seconds (summed on snapshot),
+   and the queue-depth histogram samples the backlog at every
+   enqueue. All behind Sunflow_obs.Control. *)
+module Obs = Sunflow_obs
+
+let m_chunks = Obs.Registry.counter "pool.chunks"
+let g_busy = Obs.Registry.gauge "pool.busy_s"
+let h_queue_depth = Obs.Registry.histogram "pool.queue_depth"
+
 type t = {
   n_domains : int;
   mu : Mutex.t;
@@ -93,6 +104,9 @@ let map ?chunk t f arr =
     let first_error = Atomic.make None in
     let fin_mu = Mutex.create () and fin_cv = Condition.create () in
     let run_chunk ci () =
+      let obs = Obs.Control.enabled () in
+      if obs then Obs.Tracer.begin_span ~cat:"pool" "pool.chunk";
+      let w0 = if obs then Obs.Control.now_ns () else 0L in
       let lo = 1 + (ci * chunk) in
       let hi = min (lo + chunk) n - 1 in
       (try
@@ -101,6 +115,12 @@ let map ?chunk t f arr =
          done
        with e ->
          ignore (Atomic.compare_and_set first_error None (Some e) : bool));
+      if obs then begin
+        Obs.Registry.incr m_chunks;
+        Obs.Registry.gauge_add g_busy
+          (Int64.to_float (Int64.sub (Obs.Control.now_ns ()) w0) /. 1e9);
+        Obs.Tracer.end_span ~cat:"pool" "pool.chunk"
+      end;
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         (* last chunk: wake the submitter if it is already waiting *)
         Mutex.lock fin_mu;
@@ -112,6 +132,8 @@ let map ?chunk t f arr =
     for ci = 0 to n_chunks - 1 do
       Queue.push (run_chunk ci) t.queue
     done;
+    if Obs.Control.enabled () then
+      Obs.Registry.observe h_queue_depth (float_of_int (Queue.length t.queue));
     Condition.broadcast t.cv;
     Mutex.unlock t.mu;
     help t;

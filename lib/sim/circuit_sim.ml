@@ -8,6 +8,19 @@ module Sunflow = Sunflow_core.Sunflow
 
 type active = { orig : Coflow.t; remaining : Demand.t }
 
+(* Gated observability: wall-time spans around each scheduling event
+   and each replan, counters/gauges for the event loop's work (δ
+   seconds paid, setups and teardowns executed), and the per-Coflow
+   simulated-time timeline (arrival, setups with their δ, subflow
+   finishes, completion). All behind Sunflow_obs.Control. *)
+module Obs = Sunflow_obs
+
+let m_events = Obs.Registry.counter "sim.events"
+let m_setups = Obs.Registry.counter "sim.setups"
+let m_teardowns = Obs.Registry.counter "sim.teardowns"
+let g_delta = Obs.Registry.gauge "sim.delta_s"
+let h_plan = Obs.Registry.histogram "sim.plan_s"
+
 let byte_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
 
 let snap_demand ~bandwidth d =
@@ -33,6 +46,7 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
   List.iter
     (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
     (List.sort Coflow.compare_arrival coflows);
+  let obs = Obs.Control.enabled () in
   let active : active list ref = ref [] in
   let ccts = ref [] and finishes = ref [] in
   let n_events = ref 0 and setups = ref 0 in
@@ -40,15 +54,22 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
   let admit t =
     List.iter
       (fun (_, (c : Coflow.t)) ->
+        if obs then
+          Obs.Timeline.record
+            (Obs.Timeline.Arrival { coflow = c.id; t = c.arrival });
         if Demand.is_empty c.demand then begin
           ccts := (c.id, 0.) :: !ccts;
-          finishes := (c.id, c.arrival) :: !finishes
+          finishes := (c.id, c.arrival) :: !finishes;
+          if obs then
+            Obs.Timeline.record
+              (Obs.Timeline.Finish { coflow = c.id; t = c.arrival; cct = 0. })
         end
         else active := { orig = c; remaining = Demand.copy c.demand } :: !active)
       (Event_queue.drain_until arrivals t)
   in
   let rec loop t ~established =
     incr n_events;
+    if obs then Obs.Registry.incr m_events;
     match (!active, Event_queue.peek arrivals) with
     | [], None -> ()
     | [], Some (ta, _) ->
@@ -56,9 +77,21 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
       (* an idle gap: no circuit survives it *)
       loop ta ~established:[]
     | actives, next_arrival ->
-      let plan =
+      let replan () =
         Inter.schedule ~now:t ~order ~established ~policy ~delta ~bandwidth
           (List.map (fun a -> Coflow.with_demand a.orig a.remaining) actives)
+      in
+      let plan =
+        if not obs then replan ()
+        else begin
+          Obs.Tracer.begin_span ~cat:"sim" "sim.replan";
+          let w0 = Obs.Control.now_ns () in
+          let plan = replan () in
+          Obs.Registry.observe h_plan
+            (Int64.to_float (Int64.sub (Obs.Control.now_ns ()) w0) /. 1e9);
+          Obs.Tracer.end_span ~cat:"sim" "sim.replan";
+          plan
+        end
       in
       let planned_finish (a : active) =
         match Inter.finish_of plan a.orig.Coflow.id with
@@ -79,7 +112,26 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
       let reservations = Prt.all_reservations plan.Inter.prt in
       List.iter
         (fun (r : Prt.reservation) ->
-          if r.setup > 0. && r.start >= t && r.start < t_next then incr setups)
+          if r.setup > 0. && r.start >= t && r.start < t_next then begin
+            incr setups;
+            if obs then begin
+              Obs.Registry.incr m_setups;
+              Obs.Registry.gauge_add g_delta r.setup;
+              Obs.Timeline.record
+                (Obs.Timeline.Setup
+                   {
+                     coflow = r.coflow;
+                     src = r.src;
+                     dst = r.dst;
+                     t = r.start;
+                     delta = r.setup;
+                   })
+            end
+          end;
+          if obs && Prt.stop r > t && Prt.stop r <= t_next then
+            (* the circuit's window closes inside this execution slice:
+               its ports are released (a teardown under not-all-stop) *)
+            Obs.Registry.incr m_teardowns)
         reservations;
       let by_id =
         List.map (fun a -> (a.orig.Coflow.id, a)) actives
@@ -89,7 +141,20 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
           let seconds = Schedule.transmission_overlap r ~t0:t ~t1:t_next in
           if seconds > 0. then
             match List.assoc_opt r.coflow by_id with
-            | Some a -> Demand.drain a.remaining r.src r.dst (seconds *. bandwidth)
+            | Some a ->
+              Demand.drain a.remaining r.src r.dst (seconds *. bandwidth);
+              if
+                obs
+                && Demand.get a.remaining r.src r.dst <= byte_eps bandwidth
+              then
+                Obs.Timeline.record
+                  (Obs.Timeline.Flow_finish
+                     {
+                       coflow = r.coflow;
+                       src = r.src;
+                       dst = r.dst;
+                       t = Float.min (Prt.stop r) t_next;
+                     })
             | None -> invalid_arg "Circuit_sim.run: reservation for unknown Coflow")
         reservations;
       List.iter (fun a -> snap_demand ~bandwidth a.remaining) actives;
@@ -101,6 +166,14 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
           ccts := (a.orig.Coflow.id, t_next -. a.orig.Coflow.arrival) :: !ccts;
           finishes := (a.orig.Coflow.id, t_next) :: !finishes;
           makespan := Float.max !makespan t_next;
+          if obs then
+            Obs.Timeline.record
+              (Obs.Timeline.Finish
+                 {
+                   coflow = a.orig.Coflow.id;
+                   t = t_next;
+                   cct = t_next -. a.orig.Coflow.arrival;
+                 });
           List.iter
             (fun (c : Coflow.t) ->
               if c.arrival < t_next then

@@ -1,5 +1,9 @@
 module Coflow = Sunflow_core.Coflow
 module Bounds = Sunflow_core.Bounds
+module Obs = Sunflow_obs
+
+let m_circuit_coflows = Obs.Registry.counter "hybrid.circuit_coflows"
+let m_packet_coflows = Obs.Registry.counter "hybrid.packet_coflows"
 
 let best_bound ~delta ~circuit_bandwidth ~packet_bandwidth (c : Coflow.t) =
   if Sunflow_core.Demand.is_empty c.demand then `Packet
@@ -15,15 +19,32 @@ let run ?policy ?(packet_scheduler = Sunflow_packet.Fair.allocate) ~delta
     ~circuit_bandwidth ~packet_bandwidth ~classify coflows =
   if circuit_bandwidth <= 0. || packet_bandwidth <= 0. then
     invalid_arg "Hybrid_sim.run: non-positive bandwidth";
+  let obs = Obs.Control.enabled () in
   let circuit, packet =
-    List.partition (fun c -> classify c = `Circuit) coflows
+    if not obs then List.partition (fun c -> classify c = `Circuit) coflows
+    else
+      Obs.Tracer.with_span ~cat:"sim" "hybrid.classify" (fun () ->
+          List.partition (fun c -> classify c = `Circuit) coflows)
   in
+  if obs then begin
+    Obs.Registry.add m_circuit_coflows (List.length circuit);
+    Obs.Registry.add m_packet_coflows (List.length packet)
+  end;
   let circuit_result =
-    Circuit_sim.run ?policy ~delta ~bandwidth:circuit_bandwidth circuit
+    if not obs then
+      Circuit_sim.run ?policy ~delta ~bandwidth:circuit_bandwidth circuit
+    else
+      Obs.Tracer.with_span ~cat:"sim" "hybrid.circuit_fabric" (fun () ->
+          Circuit_sim.run ?policy ~delta ~bandwidth:circuit_bandwidth circuit)
   in
   let packet_result =
-    Packet_sim.run ~scheduler:packet_scheduler ~bandwidth:packet_bandwidth
-      packet
+    if not obs then
+      Packet_sim.run ~scheduler:packet_scheduler ~bandwidth:packet_bandwidth
+        packet
+    else
+      Obs.Tracer.with_span ~cat:"sim" "hybrid.packet_fabric" (fun () ->
+          Packet_sim.run ~scheduler:packet_scheduler
+            ~bandwidth:packet_bandwidth packet)
   in
   let merge sel =
     List.sort (fun (a, _) (b, _) -> compare a b)

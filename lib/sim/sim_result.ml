@@ -11,10 +11,18 @@ let cct_of t id =
 
 let cct_list t = List.map snd t.ccts
 
-let average_cct t =
+let average_cct_opt t =
   match t.ccts with
-  | [] -> invalid_arg "Sim_result.average_cct: empty result"
-  | l -> List.fold_left (fun a (_, c) -> a +. c) 0. l /. float_of_int (List.length l)
+  | [] -> None
+  | l ->
+    Some
+      (List.fold_left (fun a (_, c) -> a +. c) 0. l
+      /. float_of_int (List.length l))
+
+let average_cct t =
+  match average_cct_opt t with
+  | None -> invalid_arg "Sim_result.average_cct: empty result"
+  | Some avg -> avg
 
 let pp ppf t =
   Format.fprintf ppf "coflows=%d events=%d setups=%d makespan=%a"

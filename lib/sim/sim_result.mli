@@ -18,6 +18,10 @@ val cct_of : t -> int -> float
 val average_cct : t -> float
 (** Raises [Invalid_argument] on an empty result. *)
 
+val average_cct_opt : t -> float option
+(** [None] on an empty result — the form callers that may replay an
+    empty trace (the CLI) should use. *)
+
 val cct_list : t -> float list
 (** CCTs in Coflow-id order. *)
 

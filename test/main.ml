@@ -31,5 +31,6 @@ let () =
       ("trace.workload", Test_workload.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
     ]

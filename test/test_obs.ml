@@ -1,0 +1,293 @@
+(* The observability layer's contract: registry merges are exact once
+   workers have synchronised (1/2/4 domains), histogram bucketing puts
+   boundaries where the docs say, tracer events keep emission order
+   within a domain and export as Chrome trace JSON that validates, and
+   the always-on PRT counters stay bit-identical whether or not gated
+   instrumentation runs. *)
+
+module Obs = Sunflow_obs
+module Registry = Obs.Registry
+module Tracer = Obs.Tracer
+module Pool = Sunflow_parallel.Pool
+module Units = Sunflow_core.Units
+
+(* Run [f] with tracing enabled, then restore the disabled default and
+   drop anything it buffered so later suites see a clean slate. *)
+let with_tracing f =
+  Obs.Control.set_enabled true;
+  Tracer.clear ();
+  Obs.Timeline.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.set_enabled false;
+      Tracer.clear ();
+      Obs.Timeline.clear ())
+    f
+
+(* --- registry merges --------------------------------------------------- *)
+
+let test_counter_merge_across_domains () =
+  let c = Registry.counter "test.obs.merge_counter" in
+  let g = Registry.gauge "test.obs.merge_gauge" in
+  let h = Registry.histogram "test.obs.merge_hist" in
+  let n = 1000 in
+  let expected_sum = n * (n - 1) / 2 in
+  List.iter
+    (fun domains ->
+      Registry.counter_reset c;
+      Registry.gauge_reset g;
+      let pool = Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          ignore
+            (Pool.map ~chunk:7 pool
+               (fun i ->
+                 Registry.incr c;
+                 Registry.add c i;
+                 Registry.gauge_add g (float_of_int i);
+                 Registry.observe h 1.5;
+                 i)
+               (Array.init n Fun.id)
+              : int array));
+      let label fmt = Printf.sprintf fmt domains in
+      Alcotest.(check int)
+        (label "counter exact at %d domains")
+        (n + expected_sum) (Registry.counter_value c);
+      Alcotest.(check (float 1e-9))
+        (label "gauge sums domains at %d domains")
+        (float_of_int expected_sum) (Registry.gauge_value g))
+    [ 1; 2; 4 ];
+  (* the histogram accumulated across all three pool sizes *)
+  let snap = Registry.histogram_value h in
+  Alcotest.(check int) "histogram count over all runs" (3 * n) snap.h_count;
+  Alcotest.(check (float 1e-6)) "histogram sum" (3. *. float_of_int n *. 1.5)
+    snap.h_sum
+
+let test_metric_identity_and_kind_clash () =
+  let c1 = Registry.counter "test.obs.shared" in
+  let c2 = Registry.counter "test.obs.shared" in
+  Registry.counter_reset c1;
+  Registry.incr c1;
+  Registry.incr c2;
+  Alcotest.(check int) "same name, same counter" 2 (Registry.counter_value c2);
+  Alcotest.check_raises "name reuse across kinds rejected"
+    (Invalid_argument
+       "Registry.histogram: \"test.obs.shared\" is already a different kind")
+    (fun () -> ignore (Registry.histogram "test.obs.shared"))
+
+(* --- histogram bucket boundaries --------------------------------------- *)
+
+let test_histogram_buckets () =
+  let h = Registry.histogram "test.obs.buckets" in
+  List.iter (Registry.observe h) [ 1.0; 2.0; 3.0; 0.5; 0.0; -4.0; infinity ];
+  let snap = Registry.histogram_value h in
+  Alcotest.(check int) "count" 7 snap.h_count;
+  Alcotest.(check (float 0.)) "min" (-4.0) snap.h_min;
+  Alcotest.(check (float 0.)) "max" infinity snap.h_max;
+  let bucket_of v =
+    List.find_opt (fun (lo, hi, _) -> lo <= v && v < hi) snap.h_buckets
+  in
+  (* 1.0 sits at the bottom of [1, 2); the exact power-of-two 2.0 lands
+     in the upper bucket [2, 4) together with 3.0; 0.5 in [0.5, 1) *)
+  Alcotest.(check (option (triple (float 0.) (float 0.) int)))
+    "[1,2) holds 1.0"
+    (Some (1.0, 2.0, 1))
+    (bucket_of 1.0);
+  Alcotest.(check (option (triple (float 0.) (float 0.) int)))
+    "[2,4) holds 2.0 and 3.0"
+    (Some (2.0, 4.0, 2))
+    (bucket_of 2.0);
+  Alcotest.(check (option (triple (float 0.) (float 0.) int)))
+    "[0.5,1) holds 0.5"
+    (Some (0.5, 1.0, 1))
+    (bucket_of 0.5);
+  (* zero and negatives underflow; infinity overflows *)
+  (match snap.h_buckets with
+  | (lo, _, k) :: _ ->
+    Alcotest.(check (float 0.)) "underflow lo" neg_infinity lo;
+    Alcotest.(check int) "underflow holds 0.0 and -4.0" 2 k
+  | [] -> Alcotest.fail "no buckets");
+  (match List.rev snap.h_buckets with
+  | (_, hi, k) :: _ ->
+    Alcotest.(check (float 0.)) "overflow hi" infinity hi;
+    Alcotest.(check int) "overflow holds infinity" 1 k
+  | [] -> Alcotest.fail "no buckets");
+  let total = List.fold_left (fun a (_, _, k) -> a + k) 0 snap.h_buckets in
+  Alcotest.(check int) "bucket counts sum to the sample count" 7 total;
+  (* NaN counts as a sample (underflow) without being lost *)
+  let h2 = Registry.histogram "test.obs.buckets_nan" in
+  Registry.observe h2 Float.nan;
+  Alcotest.(check int) "nan counted" 1 (Registry.histogram_value h2).h_count
+
+(* --- tracer ------------------------------------------------------------ *)
+
+let test_tracer_ordering () =
+  with_tracing (fun () ->
+      Tracer.begin_span "outer";
+      Tracer.instant "mark";
+      Tracer.begin_span "inner";
+      Tracer.end_span "inner";
+      Tracer.end_span "outer";
+      let evs = Tracer.events () in
+      Alcotest.(check int) "event count" 5 (List.length evs);
+      Alcotest.(check (list string))
+        "emission order preserved within the domain"
+        [ "B outer"; "i mark"; "B inner"; "E inner"; "E outer" ]
+        (List.map
+           (fun (e : Tracer.event) ->
+             let ph =
+               match e.ph with Begin -> "B" | End -> "E" | Instant -> "i"
+             in
+             ph ^ " " ^ e.name)
+           evs);
+      let rec non_decreasing = function
+        | (a : Tracer.event) :: (b :: _ as rest) ->
+          a.ts <= b.ts && non_decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps non-decreasing" true
+        (non_decreasing evs))
+
+let test_with_span_exception_safe () =
+  with_tracing (fun () ->
+      Alcotest.check_raises "exception passes through" (Failure "boom")
+        (fun () -> Tracer.with_span "risky" (fun () -> failwith "boom"));
+      match Tracer.events () with
+      | [ b; e ] ->
+        Alcotest.(check bool) "begin then end" true
+          (b.Tracer.ph = Tracer.Begin && e.Tracer.ph = Tracer.End)
+      | evs -> Alcotest.failf "expected a balanced pair, got %d events"
+                 (List.length evs))
+
+let test_disabled_records_nothing () =
+  Obs.Control.set_enabled false;
+  Tracer.clear ();
+  Tracer.begin_span "ghost";
+  Tracer.instant "ghost";
+  Tracer.end_span "ghost";
+  Obs.Timeline.clear ();
+  Obs.Timeline.record (Obs.Timeline.Arrival { coflow = 0; t = 0. });
+  Alcotest.(check int) "no tracer events" 0 (Tracer.event_count ());
+  Alcotest.(check int) "no timeline events" 0
+    (List.length (Obs.Timeline.events ()))
+
+(* --- exports ----------------------------------------------------------- *)
+
+let test_chrome_trace_valid () =
+  with_tracing (fun () ->
+      Tracer.with_span "outer" (fun () ->
+          Tracer.with_span ~cat:"test" "inner" Fun.id);
+      Tracer.instant "mark";
+      let json = Tracer.to_chrome_json () in
+      (match Obs.Json.of_string json with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg);
+      match Obs.Chrome_trace.validate json with
+      | Ok n -> Alcotest.(check int) "non-metadata events" 5 n
+      | Error msg -> Alcotest.failf "trace JSON does not validate: %s" msg)
+
+let test_metrics_json_parses () =
+  ignore (Registry.counter "test.obs.merge_counter" : Registry.counter);
+  let json = Registry.to_json (Registry.snapshot ()) in
+  match Obs.Json.of_string json with
+  | Ok (Obs.Json.Obj _ as root) ->
+    (match Obs.Json.member "schema" root with
+    | Some (Obs.Json.Str "sunflow-obs-metrics/1") -> ()
+    | _ -> Alcotest.fail "schema field missing or wrong");
+    (match Obs.Json.member "counters" root with
+    | Some (Obs.Json.Obj _) -> ()
+    | _ -> Alcotest.fail "counters object missing")
+  | Ok _ -> Alcotest.fail "metrics JSON root is not an object"
+  | Error msg -> Alcotest.failf "metrics JSON does not parse: %s" msg
+
+let test_timeline_exports () =
+  with_tracing (fun () ->
+      let open Obs.Timeline in
+      record (Arrival { coflow = 3; t = 1.0 });
+      record (Setup { coflow = 3; src = 1; dst = 2; t = 1.0; delta = 0.01 });
+      record (Flow_finish { coflow = 3; src = 1; dst = 2; t = 1.5 });
+      record (Setup { coflow = 3; src = 4; dst = 5; t = 1.5; delta = 0.01 });
+      record (Finish { coflow = 3; t = 2.0; cct = 1.0 });
+      let csv = Obs.Timeline.to_csv () in
+      let lines = String.split_on_char '\n' (String.trim csv) in
+      Alcotest.(check string)
+        "header" "coflow,event,t_seconds,src,dst,delta_seconds"
+        (List.hd lines);
+      Alcotest.(check int) "one row per event" 6 (List.length lines);
+      let tagged tag =
+        List.length
+          (List.filter
+             (fun l ->
+               match String.split_on_char ',' l with
+               | _ :: t :: _ -> t = tag
+               | _ -> false)
+             lines)
+      in
+      Alcotest.(check int) "exactly one first_circuit" 1 (tagged "first_circuit");
+      Alcotest.(check int) "the second setup stays a plain setup" 1
+        (tagged "setup");
+      match Obs.Json.of_string (Obs.Timeline.to_json ()) with
+      | Ok (Obs.Json.Arr [ coflow ]) ->
+        (match Obs.Json.member "cct" coflow with
+        | Some (Obs.Json.Num c) -> Alcotest.(check (float 0.)) "cct" 1.0 c
+        | _ -> Alcotest.fail "cct missing from the timeline JSON")
+      | Ok _ -> Alcotest.fail "timeline JSON is not a one-Coflow array"
+      | Error msg -> Alcotest.failf "timeline JSON does not parse: %s" msg)
+
+(* --- the PRT façade ----------------------------------------------------- *)
+
+(* The acceptance bar for the whole layer: running with gated
+   instrumentation on must not change the always-on PRT counters by a
+   single increment, and the registry's prt.* metrics must be the same
+   numbers [Prt.stats] reports. *)
+let test_prt_stats_bit_identical_under_obs () =
+  let module Prt = Sunflow_core.Prt in
+  let module Sunflow = Sunflow_core.Sunflow in
+  let coflow =
+    let demand = Sunflow_core.Demand.create () in
+    for i = 0 to 5 do
+      for j = 0 to 5 do
+        Sunflow_core.Demand.set demand i (6 + j) (Units.mb (float_of_int (1 + ((i + j) mod 7))))
+      done
+    done;
+    Sunflow_core.Coflow.make ~id:0 demand
+  in
+  let run () =
+    Prt.reset_stats ();
+    ignore (Sunflow.schedule ~delta:0.01 ~bandwidth:(Units.gbps 1.) coflow);
+    Prt.stats ()
+  in
+  let off = run () in
+  let on = with_tracing run in
+  Alcotest.(check bool) "Prt.stats bit-identical with tracing on" true
+    (off = on);
+  let reg name = Registry.counter_value (Registry.counter name) in
+  Alcotest.(check int) "prt.queries façade" on.Prt.queries (reg "prt.queries");
+  Alcotest.(check int) "prt.scans façade" on.Prt.scans (reg "prt.scans");
+  Alcotest.(check int) "prt.reservations façade" on.Prt.reservations
+    (reg "prt.reservations");
+  Alcotest.(check int) "prt.rollbacks façade" on.Prt.rollbacks
+    (reg "prt.rollbacks")
+
+let suite =
+  [
+    Alcotest.test_case "registry merge exact at 1/2/4 domains" `Quick
+      test_counter_merge_across_domains;
+    Alcotest.test_case "metric identity and kind clash" `Quick
+      test_metric_identity_and_kind_clash;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "tracer preserves emission order" `Quick
+      test_tracer_ordering;
+    Alcotest.test_case "with_span is exception-safe" `Quick
+      test_with_span_exception_safe;
+    Alcotest.test_case "disabled switch records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "chrome trace export validates" `Quick
+      test_chrome_trace_valid;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    Alcotest.test_case "timeline exports" `Quick test_timeline_exports;
+    Alcotest.test_case "PRT stats bit-identical under tracing" `Quick
+      test_prt_stats_bit_identical_under_obs;
+  ]

@@ -127,6 +127,19 @@ let test_circuit_policy_fifo_vs_scf () =
   Alcotest.(check bool) "fifo big not preempted" true
     (R.cct_of fifo 0 <= R.cct_of scf 0 +. 1e-9)
 
+let test_empty_trace () =
+  let r = Circuit_sim.run ~delta ~bandwidth:b [] in
+  Alcotest.(check int) "no completions" 0 (List.length r.R.ccts);
+  Alcotest.(check (float 0.)) "zero makespan" 0. r.R.makespan;
+  Alcotest.(check bool) "average_cct_opt is None" true
+    (R.average_cct_opt r = None);
+  Alcotest.check_raises "average_cct raises"
+    (Invalid_argument "Sim_result.average_cct: empty result") (fun () ->
+      ignore (R.average_cct r));
+  (* pp must not itself compute the undefined average *)
+  let s = Format.asprintf "%a" R.pp r in
+  Alcotest.(check bool) "pp survives emptiness" true (Util.contains s "coflows=0")
+
 let test_sim_result_helpers () =
   let r = Circuit_sim.run ~delta ~bandwidth:b (small_trace ()) in
   Alcotest.(check int) "cct list length" 4 (List.length (R.cct_list r));
@@ -190,6 +203,7 @@ let suite =
     Alcotest.test_case "circuit: fifo vs shortest-first" `Quick
       test_circuit_policy_fifo_vs_scf;
     Alcotest.test_case "sim result helpers" `Quick test_sim_result_helpers;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
     prop_circuit_completes_everything;
     prop_packet_completes_everything;
   ]
