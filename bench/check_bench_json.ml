@@ -7,7 +7,12 @@
    Since schema /3 it also gates the observability layer: the modeled
    disabled-path overhead must stay at or under 2%, and the trace file
    the harness exported must pass [Sunflow_obs.Chrome_trace.validate]
-   (i.e. actually load in Perfetto) with the recorded event count. *)
+   (i.e. actually load in Perfetto) with the recorded event count.
+
+   Since schema /4 it additionally gates the validation layer: the
+   harness must have run the [Sunflow_check] plan validator and the
+   differential switch oracle on non-trivial inputs, with zero
+   violations. *)
 
 type json =
   | Null
@@ -292,9 +297,33 @@ let check_obs root json_dir =
         bad "obs.trace_file %s: %d events in the file, %d recorded in the JSON"
           trace_path n events)
 
+(* The validation section (schema /4): the harness ran the plan
+   validator and the differential switch oracle, both on non-trivial
+   inputs, and neither reported a violation. *)
+let check_check root =
+  match field root "check" with
+  | Null -> bad "check: missing — the harness did not run the validation layer"
+  | ck ->
+    let nat what =
+      let x = as_num what (field ck what) in
+      if Float.of_int (Float.to_int x) <> x || x < 0. then
+        bad "check.%s: expected a non-negative integer, got %g" what x;
+      Float.to_int x
+    in
+    if nat "plans" = 0 then bad "check.plans: no plans were validated";
+    if nat "traces" = 0 then bad "check.traces: the oracle replayed nothing";
+    if nat "compared" = 0 then bad "check.compared: no finish was compared";
+    let pv = nat "plan_violations" and ov = nat "oracle_violations" in
+    if pv > 0 then bad "check.plan_violations: %d plan invariants broken" pv;
+    if ov > 0 then
+      bad "check.oracle_violations: %d simulator/switch divergences" ov;
+    let worst = as_num "check.worst_err_s" (field ck "worst_err_s") in
+    if not (Float.is_finite worst) || worst < 0. then
+      bad "check.worst_err_s: expected a finite non-negative gap, got %g" worst
+
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/3" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/4" then bad "unknown schema %S" schema;
   ignore (field root "fast");
   let domains =
     let x = as_num "domains" (field root "domains") in
@@ -330,6 +359,7 @@ let check root json_dir =
   if not (List.mem gate names) then
     bad "bechamel rows lack the %S regression gate" gate;
   check_obs root json_dir;
+  check_check root;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

@@ -309,6 +309,81 @@ let obs_section ppf s =
     (100. *. disabled_overhead_ratio)
     trace_file
 
+(* --- validation layer -------------------------------------------------
+
+   Run the Sunflow_check validator over every intra plan of the
+   settings trace and the differential switch oracle over randomized
+   arrival traces, so @bench-smoke fails when a scheduler change
+   breaks an invariant instead of merely slowing down. *)
+
+type check_row = {
+  k_plans : int;
+  k_plan_violations : int;
+  k_traces : int;
+  k_compared : int;
+  k_worst_err_s : float;
+  k_oracle_violations : int;
+  k_wall_s : float;
+}
+
+let check_row : check_row option ref = ref None
+
+let check_section ppf s =
+  let module Check = Sunflow_check in
+  let module Coflow = Sunflow_core.Coflow in
+  let module Demand = Sunflow_core.Demand in
+  E.Common.section ppf "CHECK: plan validator + differential switch oracle";
+  let delta = s.E.Common.delta and bandwidth = s.E.Common.bandwidth in
+  let t0 = Unix.gettimeofday () in
+  let coflows =
+    List.filter
+      (fun (c : Coflow.t) -> not (Demand.is_empty c.Coflow.demand))
+      (E.Common.raw_trace s).Sunflow_trace.Trace.coflows
+  in
+  let vspec = Check.Plan_check.spec ~delta ~bandwidth () in
+  let plan_violations =
+    Pool.run_list
+      (fun (c : Coflow.t) ->
+        let c0 = { c with Coflow.arrival = 0. } in
+        Check.Plan_check.intra vspec c0
+          (Sunflow_core.Sunflow.schedule ~delta ~bandwidth c0))
+      coflows
+    |> List.concat
+  in
+  let traces = if fast () then 25 else 200 in
+  let stats =
+    Check.Diff_oracle.fuzz ~seed:11 ~traces ~n_ports:8 ~max_coflows:6
+      ~span:1.5 ~max_mb:40. ~delta ~bandwidth ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun v -> Format.fprintf ppf "  PLAN %a@." Check.Violation.pp v)
+    plan_violations;
+  List.iter
+    (fun v -> Format.fprintf ppf "  ORACLE %a@." Check.Violation.pp v)
+    stats.Check.Diff_oracle.total_violations;
+  check_row :=
+    Some
+      {
+        k_plans = List.length coflows;
+        k_plan_violations = List.length plan_violations;
+        k_traces = stats.Check.Diff_oracle.traces;
+        k_compared = stats.Check.Diff_oracle.total_compared;
+        k_worst_err_s = stats.Check.Diff_oracle.worst_err_s;
+        k_oracle_violations =
+          List.length stats.Check.Diff_oracle.total_violations;
+        k_wall_s = wall;
+      };
+  Format.fprintf ppf
+    "  %d intra plans validated (%d violations);  oracle: %d traces, %d \
+     finishes compared, worst gap %.3g s (%d violations)  [%.2fs]@."
+    (List.length coflows)
+    (List.length plan_violations)
+    stats.Check.Diff_oracle.traces stats.Check.Diff_oracle.total_compared
+    stats.Check.Diff_oracle.worst_err_s
+    (List.length stats.Check.Diff_oracle.total_violations)
+    wall
+
 (* --- JSON emission ----------------------------------------------------
 
    Hand-rolled (no JSON library in the dependency set); the shapes are
@@ -342,7 +417,7 @@ let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/3\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/4\",\n";
   add "  \"fast\": %b,\n" (fast ());
   add "  \"domains\": %d,\n" domains;
   add
@@ -404,6 +479,16 @@ let emit_json path s domains =
       o.enabled_events
       (json_float o.disabled_overhead_ratio)
       (json_escape o.trace_file));
+  (match !check_row with
+  | None -> add "  \"check\": null,\n"
+  | Some k ->
+    add
+      "  \"check\": {\"plans\": %d, \"plan_violations\": %d, \"traces\": %d, \
+       \"compared\": %d, \"worst_err_s\": %s, \"oracle_violations\": %d, \
+       \"wall_s\": %s},\n"
+      k.k_plans k.k_plan_violations k.k_traces k.k_compared
+      (json_float k.k_worst_err_s)
+      k.k_oracle_violations (json_float k.k_wall_s));
   add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
   add "}\n";
   Obs.Io.write_file path (Buffer.contents buf)
@@ -424,6 +509,7 @@ let () =
   run_bechamel ppf s;
   speedup_section ppf s domains;
   obs_section ppf s;
+  check_section ppf s;
   let json_path =
     match Sys.getenv_opt "SUNFLOW_BENCH_JSON" with
     | Some p when p <> "" -> p

@@ -7,6 +7,12 @@
      intra        schedule each Coflow alone: Sunflow vs the baselines
      inter / sim  replay a trace through a chosen fabric/scheduler
      experiments  regenerate the paper's tables and figures
+     check        validate plans + run the differential switch oracle
+
+   intra, inter/sim and experiments also take --validate, which runs
+   the Sunflow_check plan validator on every plan produced (and the
+   conservation checker on every simulator result) and exits non-zero
+   on any violation.
 
    intra, inter/sim and experiments take --trace-out FILE (Chrome
    trace-event JSON of the run's scheduler spans, for Perfetto /
@@ -25,6 +31,7 @@ module Synthetic = Sunflow_trace.Synthetic
 module Workload = Sunflow_trace.Workload
 module D = Sunflow_stats.Descriptive
 module Obs = Sunflow_obs
+module Check = Sunflow_check
 
 (* --- shared options --- *)
 
@@ -53,6 +60,21 @@ let trace_file_arg =
 let load_trace path = Trace.load path
 let to_bandwidth gbps = Units.gbps gbps
 let to_delta ms = Units.ms ms
+
+let validate_arg =
+  let doc =
+    "Run the $(b,Sunflow_check) plan validator on every plan produced and \
+     the conservation checker on every simulator result; exit 1 on any \
+     violation."
+  in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
+(* Print a validation section; [true] when anything is broken. The
+   caller decides when to [exit 1] — after the obs exports are
+   written, so --validate composes with --trace-out. *)
+let report_violations ~what vs =
+  Format.printf "%s: %a@." what Check.Violation.pp_report vs;
+  vs <> []
 
 (* --- observability exports --- *)
 
@@ -211,9 +233,10 @@ let bounds_cmd =
 
 (* --- intra --- *)
 
-let intra path gbps ms jobs trace_out metrics_out =
+let intra path gbps ms jobs validate trace_out metrics_out =
   set_jobs jobs;
-  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let failed =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   let coflows =
@@ -227,15 +250,26 @@ let intra path gbps ms jobs trace_out metrics_out =
       (D.mean ratios) (D.percentile 95. ratios)
       (snd (D.min_max ratios))
   in
-  let sunflow_ratios =
+  let vspec = Check.Plan_check.spec ~delta ~bandwidth () in
+  let sunflow_data =
     pmap (fun (c : Coflow.t) ->
         let tcl = Bounds.circuit_lower ~bandwidth ~delta c.demand in
-        (Sunflow_core.Sunflow.schedule ~delta ~bandwidth
-           { c with Coflow.arrival = 0. })
-          .finish
-        /. tcl)
+        let c0 = { c with Coflow.arrival = 0. } in
+        let r = Sunflow_core.Sunflow.schedule ~delta ~bandwidth c0 in
+        let violations =
+          if validate then Check.Plan_check.intra vspec c0 r else []
+        in
+        (r.finish /. tcl, violations))
   in
-  summary "sunflow" sunflow_ratios;
+  summary "sunflow" (List.map fst sunflow_data);
+  let vfail =
+    validate
+    && report_violations
+         ~what:
+           (Printf.sprintf "validate: %d intra plans"
+              (List.length sunflow_data))
+         (List.concat_map snd sunflow_data)
+  in
   List.iter
     (fun (name, run) ->
       let ratios =
@@ -254,7 +288,10 @@ let intra path gbps ms jobs trace_out metrics_out =
         Sunflow_baselines.Tms.schedule ~delta ~bandwidth c);
       ("edmonds", fun ~delta ~bandwidth c ->
         Sunflow_baselines.Edmonds.schedule ~delta ~bandwidth c);
-    ]
+    ];
+  vfail
+  in
+  if failed then exit 1
 
 let intra_cmd =
   Cmd.v
@@ -262,11 +299,12 @@ let intra_cmd =
        ~doc:"Intra-Coflow comparison: every Coflow scheduled alone.")
     Term.(
       const intra $ trace_file_arg $ bandwidth_arg $ delta_arg $ jobs_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ validate_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- inter --- *)
 
-let inter path gbps ms scheduler csv_out trace_out metrics_out timeline_out =
+let inter path gbps ms scheduler validate csv_out trace_out metrics_out
+    timeline_out =
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   if trace.Trace.coflows = [] then begin
@@ -276,10 +314,22 @@ let inter path gbps ms scheduler csv_out trace_out metrics_out timeline_out =
       path;
     exit 1
   end;
-  with_obs ~timeline_out ~trace_out ~metrics_out @@ fun () ->
+  let failed =
+    with_obs ~timeline_out ~trace_out ~metrics_out @@ fun () ->
+  let plan_violations = ref [] and n_plans = ref 0 in
+  let on_slice ~t ~t_next:_ ~established ~coflows (plan : _) =
+    incr n_plans;
+    let sp = Check.Plan_check.spec ~now:t ~established ~delta ~bandwidth () in
+    plan_violations :=
+      List.rev_append (Check.Plan_check.inter sp ~coflows plan)
+        !plan_violations
+  in
   let result =
     match scheduler with
-    | `Sunflow -> Sunflow_sim.Circuit_sim.run ~delta ~bandwidth trace.Trace.coflows
+    | `Sunflow ->
+      Sunflow_sim.Circuit_sim.run
+        ?on_slice:(if validate then Some on_slice else None)
+        ~delta ~bandwidth trace.Trace.coflows
     | `Varys ->
       Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Varys.allocate
         ~bandwidth trace.Trace.coflows
@@ -294,11 +344,27 @@ let inter path gbps ms scheduler csv_out trace_out metrics_out timeline_out =
         ~bandwidth trace.Trace.coflows
   in
   Format.printf "%a@." Sunflow_sim.Sim_result.pp result;
-  match csv_out with
+  let vfail =
+    validate
+    &&
+    (* the conservation checker applies to every scheduler; the plan
+       validator only to the circuit fabric, whose slices we hooked *)
+    let conservation =
+      Check.Sim_check.result ~bandwidth ~coflows:trace.Trace.coflows result
+    in
+    report_violations
+      ~what:
+        (Printf.sprintf "validate: %d slice plans, conservation" !n_plans)
+      (List.rev !plan_violations @ conservation)
+  in
+  (match csv_out with
   | None -> ()
   | Some path ->
     Obs.Io.write_file path (Sunflow_sim.Sim_result.to_csv result);
-    Format.printf "per-Coflow CCTs written to %s@." path
+    Format.printf "per-Coflow CCTs written to %s@." path);
+  vfail
+  in
+  if failed then exit 1
 
 let csv_arg =
   Arg.(
@@ -319,7 +385,8 @@ let scheduler_arg =
 let inter_term =
   Term.(
     const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
-    $ csv_arg $ trace_out_arg $ metrics_out_arg $ timeline_out_arg)
+    $ validate_arg $ csv_arg $ trace_out_arg $ metrics_out_arg
+    $ timeline_out_arg)
 
 let inter_cmd =
   Cmd.v
@@ -374,10 +441,54 @@ let gantt_cmd =
 
 (* --- experiments --- *)
 
-let experiments names jobs trace_out metrics_out =
+let experiments names jobs validate trace_out metrics_out =
   set_jobs jobs;
-  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let failed =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
   let module E = Sunflow_experiments in
+  let vfail =
+    validate
+    &&
+    (* Prove the schedules behind the tables before printing them:
+       every intra plan of the raw trace through the validator, and
+       the inter replay of the paper-replica trace through both the
+       simulator and the physical switch. *)
+    let s = E.Common.default in
+    let delta = s.E.Common.delta and bandwidth = s.E.Common.bandwidth in
+    let raw = E.Common.raw_trace s in
+    let vspec = Check.Plan_check.spec ~delta ~bandwidth () in
+    let intra_vs =
+      Sunflow_parallel.Pool.run_list
+        (fun (c : Coflow.t) ->
+          let c0 = { c with Coflow.arrival = 0. } in
+          Check.Plan_check.intra vspec c0
+            (Sunflow_core.Sunflow.schedule ~delta ~bandwidth c0))
+        (List.filter
+           (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+           raw.Trace.coflows)
+    in
+    let intra_fail =
+      report_violations
+        ~what:
+          (Printf.sprintf "validate: %d intra plans" (List.length intra_vs))
+        (List.concat intra_vs)
+    in
+    let original = E.Common.original_trace s in
+    let o =
+      Check.Diff_oracle.replay ~delta ~bandwidth
+        ~n_ports:original.Trace.n_ports original.Trace.coflows
+    in
+    let oracle_fail =
+      report_violations
+        ~what:
+          (Printf.sprintf
+             "validate: inter replay vs physical switch (%d Coflows \
+              compared, worst gap %.3g s)"
+             o.Check.Diff_oracle.compared o.Check.Diff_oracle.max_err_s)
+        o.Check.Diff_oracle.violations
+    in
+    intra_fail || oracle_fail
+  in
   let all =
     [
       ("table4", E.Exp_table4.report);
@@ -414,7 +525,10 @@ let experiments names jobs trace_out metrics_out =
   in
   List.iter
     (fun (_, report) -> report ?settings:None Format.std_formatter)
-    selected
+    selected;
+  vfail
+  in
+  if failed then exit 1
 
 let experiments_cmd =
   let names =
@@ -427,7 +541,92 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the synthetic trace.")
     Term.(
-      const experiments $ names $ jobs_arg $ trace_out_arg $ metrics_out_arg)
+      const experiments $ names $ jobs_arg $ validate_arg $ trace_out_arg
+      $ metrics_out_arg)
+
+(* --- check --- *)
+
+let check path fuzz seed gbps ms jobs =
+  set_jobs jobs;
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let failed = ref false in
+  let verdict what vs = if report_violations ~what vs then failed := true in
+  (match path with
+  | Some path ->
+    let trace = load_trace path in
+    let coflows =
+      List.filter
+        (fun (c : Coflow.t) -> not (Demand.is_empty c.demand))
+        trace.Trace.coflows
+    in
+    let vspec = Check.Plan_check.spec ~delta ~bandwidth () in
+    let intra_vs =
+      Sunflow_parallel.Pool.run_list
+        (fun (c : Coflow.t) ->
+          let c0 = { c with Coflow.arrival = 0. } in
+          Check.Plan_check.intra vspec c0
+            (Sunflow_core.Sunflow.schedule ~delta ~bandwidth c0))
+        coflows
+    in
+    verdict
+      (Printf.sprintf "%d intra plans" (List.length intra_vs))
+      (List.concat intra_vs);
+    let o =
+      Check.Diff_oracle.replay ~delta ~bandwidth ~n_ports:trace.Trace.n_ports
+        trace.Trace.coflows
+    in
+    verdict
+      (Printf.sprintf
+         "inter replay vs physical switch (%d Coflows compared, worst gap \
+          %.3g s)"
+         o.Check.Diff_oracle.compared o.Check.Diff_oracle.max_err_s)
+      o.Check.Diff_oracle.violations
+  | None -> ());
+  let fuzz = match (path, fuzz) with None, 0 -> 200 | _ -> fuzz in
+  if fuzz > 0 then begin
+    let s =
+      Check.Diff_oracle.fuzz ~seed ~traces:fuzz ~n_ports:8 ~max_coflows:6
+        ~span:1.5 ~max_mb:40. ~delta ~bandwidth ()
+    in
+    verdict
+      (Printf.sprintf
+         "%d randomized traces (%d finishes compared, worst gap %.3g s)"
+         s.Check.Diff_oracle.traces s.Check.Diff_oracle.total_compared
+         s.Check.Diff_oracle.worst_err_s)
+      s.Check.Diff_oracle.total_violations
+  end;
+  if !failed then begin
+    Format.printf "FAIL@.";
+    exit 1
+  end
+  else Format.printf "PASS@."
+
+let check_cmd =
+  let trace =
+    let doc =
+      "Trace file to validate (intra plans + differential inter replay). \
+       Without a trace, the fuzzer runs alone."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let fuzz =
+    let doc =
+      "Also replay $(docv) randomized traces with arrivals through both the \
+       analytical simulator and the physical switch model (default 200 when \
+       no trace file is given)."
+    in
+    Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Fuzzer RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate Sunflow plans and cross-check the simulator against the \
+          physical switch model.")
+    Term.(
+      const check $ trace $ fuzz $ seed $ bandwidth_arg $ delta_arg $ jobs_arg)
 
 let () =
   let info =
@@ -446,4 +645,5 @@ let () =
             sim_cmd;
             gantt_cmd;
             experiments_cmd;
+            check_cmd;
           ]))

@@ -1,0 +1,76 @@
+(** Differential oracle: the analytical inter-Coflow replay against
+    the executable switch.
+
+    {!Sunflow_sim.Circuit_sim} computes finish times from reservation
+    arithmetic; {!Sunflow_switch.Controller} executes plans against
+    the physical switch model (ports, reconfiguration, VOQs). The
+    oracle replays a trace {e with arrivals} through both: it records
+    the slice of every plan the simulator actually executed (each
+    reservation clipped to its slice [[t, t_next)]), concatenates the
+    fragments into one physical plan — carried circuits line up
+    exactly at the slice boundaries, exercising the not-all-stop
+    continuation and the preemption path — and asserts that the
+    switch drains every byte, performs exactly the setups the
+    simulator counted, and finishes every Coflow at the simulator's
+    instant.
+
+    The seed's intra-Coflow oracle ([experiments/exp_oracle.ml])
+    covers single Coflows on an idle fabric; this one covers the
+    carry-over and preemption machinery where the subtle bugs live. *)
+
+type outcome = {
+  compared : int;  (** Coflows with demand whose finish was compared *)
+  max_err_s : float;
+      (** largest |simulated - physical| finish gap, seconds *)
+  violations : Violation.t list;
+}
+
+val replay :
+  ?policy:Sunflow_core.Inter.policy ->
+  ?order:Sunflow_core.Order.t ->
+  ?carry_circuits:bool ->
+  ?validate_plans:bool ->
+  ?tol:float ->
+  delta:float ->
+  bandwidth:float ->
+  n_ports:int ->
+  Sunflow_core.Coflow.t list ->
+  outcome
+(** Replay one trace through both models. [delta] must be positive —
+    the physical switch cannot distinguish a zero-delay setup from a
+    carried circuit. [carry_circuits] defaults to [true] (the paper's
+    not-all-stop mode). With [validate_plans] (default [true]) every
+    slice plan also runs through {!Plan_check}, so a single fuzz pass
+    exercises the validator and the oracle together. [tol] is the
+    permitted finish-time gap in seconds; the default allows for the
+    simulator's byte-residue snapping
+    ([2 * max (1e-3 / bandwidth) 1e-6]). Duplicate ids or ports
+    outside [[0, n_ports)] are reported as violations, not raised. *)
+
+type stats = {
+  traces : int;  (** randomized traces replayed *)
+  total_compared : int;
+  worst_err_s : float;
+  total_violations : Violation.t list;
+      (** every violation across all traces, messages prefixed with
+          the trace's seed for reproduction *)
+}
+
+val fuzz :
+  ?policy:Sunflow_core.Inter.policy ->
+  ?tol:float ->
+  seed:int ->
+  traces:int ->
+  n_ports:int ->
+  max_coflows:int ->
+  span:float ->
+  max_mb:float ->
+  delta:float ->
+  bandwidth:float ->
+  unit ->
+  stats
+(** Replay [traces] randomized traces (uniform arrivals over [span]
+    seconds, 2..[max_coflows] Coflows of 1..4 flows up to [max_mb] MB
+    each, ports drawn from [[0, n_ports)]) derived deterministically
+    from [seed]. Every third trace is additionally replayed with
+    [carry_circuits = false], covering the all-stop ablation. *)

@@ -1,0 +1,86 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Bounds = Sunflow_core.Bounds
+module Sim_result = Sunflow_sim.Sim_result
+module V = Violation
+
+let result ?bandwidth ?(tol = 1e-9) ~coflows (r : Sim_result.t) =
+  let vs = ref [] in
+  let push v = vs := v :: !vs in
+  let slack x = tol +. (1e-9 *. Float.max 1. (Float.abs x)) in
+  let ids_of l = List.map fst l in
+  let input_ids =
+    List.sort compare (List.map (fun (c : Coflow.t) -> c.id) coflows)
+  in
+  let check_cover what l =
+    if List.sort compare (ids_of l) <> input_ids then
+      push
+        (V.v V.Unknown_coflow
+           "%s covers %d Coflows, the input trace has %d (or the ids differ)"
+           what (List.length l) (List.length coflows));
+    let rec ascending = function
+      | a :: (b :: _ as tl) ->
+        if fst a >= fst b then
+          push
+            (V.v ~coflow:(fst b) V.Conservation
+               "%s is not sorted by ascending Coflow id" what);
+        ascending tl
+      | _ -> ()
+    in
+    ascending l
+  in
+  check_cover "finishes" r.finishes;
+  check_cover "ccts" r.ccts;
+  let empty_max = ref 0. and busy_max = ref 0. and any_busy = ref false in
+  List.iter
+    (fun (c : Coflow.t) ->
+      match
+        (List.assoc_opt c.id r.finishes, List.assoc_opt c.id r.ccts)
+      with
+      | Some finish, Some cct ->
+        if finish +. slack finish < c.arrival then
+          push
+            (V.v ~coflow:c.id ~at:finish V.Conservation
+               "finish %.9g precedes the arrival %.9g" finish c.arrival);
+        if Float.abs (cct -. (finish -. c.arrival)) > slack finish then
+          push
+            (V.v ~coflow:c.id ~at:finish V.Conservation
+               "cct %.9g is not finish - arrival = %.9g" cct
+               (finish -. c.arrival));
+        if Demand.is_empty c.demand then
+          empty_max := Float.max !empty_max finish
+        else begin
+          any_busy := true;
+          busy_max := Float.max !busy_max finish;
+          Option.iter
+            (fun bandwidth ->
+              let tpl = Bounds.packet_lower ~bandwidth c.demand in
+              if finish +. slack finish < c.arrival +. tpl then
+                push
+                  (V.v ~coflow:c.id ~at:finish V.Conservation
+                     "finish %.9g beats the bottleneck lower bound arrival + \
+                      T_L^p = %.9g"
+                     finish (c.arrival +. tpl)))
+            bandwidth
+        end
+      | _ -> ())
+    (* a missing id was already reported by the coverage check *)
+    coflows;
+  let expected_makespan = if !any_busy then !busy_max else 0. in
+  if Float.abs (r.makespan -. expected_makespan) > slack expected_makespan
+  then
+    push
+      (V.v ~at:r.makespan V.Conservation
+         "makespan %.9g is not the latest finish among Coflows with demand \
+          (%.9g)"
+         r.makespan expected_makespan);
+  if r.n_events < 0 || r.total_setups < 0 then
+    push
+      (V.v V.Conservation "negative counters: %d events, %d setups" r.n_events
+         r.total_setups);
+  if !any_busy && r.n_events < 1 then
+    push
+      (V.v V.Conservation
+         "replay of a non-empty trace recorded %d scheduling events"
+         r.n_events);
+  List.rev !vs

@@ -1,0 +1,30 @@
+(** Conservation checks for simulator results.
+
+    Applies to any {!Sunflow_sim.Sim_result.t} — circuit, packet or
+    hybrid replay — and proves the bookkeeping that every downstream
+    statistic relies on:
+
+    - the result covers exactly the input Coflow ids, each once, in
+      ascending id order;
+    - every finish is at or after its Coflow's arrival, and
+      [cct = finish - arrival] exactly (to float tolerance);
+    - with [bandwidth] given, no Coflow beats the policy-independent
+      bottleneck bound: [finish >= arrival + T_L^p] (paper Eq. 2).
+      Pass the {e total} per-port rate — for a hybrid fabric that is
+      the sum of the circuit and packet rates;
+    - the makespan is the latest finish. Coflows with empty demand
+      complete instantly at their arrival without extending the
+      makespan, so the makespan must equal the latest finish among
+      Coflows with demand (or [0.] when there are none), and no finish
+      of any kind may exceed it unless it belongs to an empty Coflow;
+    - event and setup counters are non-negative, and a non-empty
+      replay observed at least one event. *)
+
+val result :
+  ?bandwidth:float ->
+  ?tol:float ->
+  coflows:Sunflow_core.Coflow.t list ->
+  Sunflow_sim.Sim_result.t ->
+  Violation.t list
+(** [tol] is the absolute slack (seconds) allowed on the finish /
+    cct / makespan identities, default [1e-9]. *)

@@ -1,0 +1,54 @@
+type code =
+  | Malformed_window
+  | Port_overlap
+  | Delta_violation
+  | Preemption
+  | Under_service
+  | Over_service
+  | Unknown_coflow
+  | Switching_excess
+  | Lemma1_exceeded
+  | Lemma2_exceeded
+  | Result_mismatch
+  | Conservation
+  | Divergence
+  | Rejected_plan
+
+type t = {
+  code : code;
+  coflow : int option;
+  at : float option;
+  message : string;
+}
+
+let v ?coflow ?at code fmt =
+  Printf.ksprintf (fun message -> { code; coflow; at; message }) fmt
+
+let code_name = function
+  | Malformed_window -> "malformed-window"
+  | Port_overlap -> "port-overlap"
+  | Delta_violation -> "delta-violation"
+  | Preemption -> "preemption"
+  | Under_service -> "under-service"
+  | Over_service -> "over-service"
+  | Unknown_coflow -> "unknown-coflow"
+  | Switching_excess -> "switching-excess"
+  | Lemma1_exceeded -> "lemma1-exceeded"
+  | Lemma2_exceeded -> "lemma2-exceeded"
+  | Result_mismatch -> "result-mismatch"
+  | Conservation -> "conservation"
+  | Divergence -> "divergence"
+  | Rejected_plan -> "rejected-plan"
+
+let pp ppf t =
+  Format.fprintf ppf "%s" (code_name t.code);
+  Option.iter (fun id -> Format.fprintf ppf " coflow %d" id) t.coflow;
+  Option.iter (fun at -> Format.fprintf ppf " at %g" at) t.at;
+  Format.fprintf ppf ": %s" t.message
+
+let pp_report ppf = function
+  | [] -> Format.fprintf ppf "ok"
+  | vs ->
+    Format.fprintf ppf "%d violation%s:" (List.length vs)
+      (if List.length vs = 1 then "" else "s");
+    List.iter (fun t -> Format.fprintf ppf "@.  %a" pp t) vs

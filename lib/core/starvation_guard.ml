@@ -82,6 +82,11 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
              (fun st -> Coflow.with_demand st.coflow st.remaining)
              eligible)
       in
+      (* A Coflow finishes at the latest instant any of its entries
+         drains inside the window, not at the stop of whichever
+         reservation the PRT iteration happens to visit last — that
+         timestamp depended on iteration order. *)
+      let drained_at = Hashtbl.create 8 in
       List.iter
         (fun (r : Prt.reservation) ->
           let seconds = Schedule.transmission_overlap r ~t0 ~t1 in
@@ -90,13 +95,32 @@ let run ?(policy = Inter.Shortest_first) ~delta ~bandwidth ~horizon
               List.find_opt (fun st -> st.coflow.Coflow.id = r.coflow) eligible
             with
             | Some st ->
+              let want = Demand.get st.remaining r.src r.dst in
               Demand.drain st.remaining r.src r.dst (seconds *. bandwidth);
               if Demand.get st.remaining r.src r.dst <= byte_eps then
                 Demand.set st.remaining r.src r.dst 0.;
-              finish_if_drained (Float.min (Prt.stop r) t1) st
+              if want > 0. && Demand.get st.remaining r.src r.dst = 0. then begin
+                let tx0 = Float.max (r.start +. r.setup) t0 in
+                let at =
+                  Float.min
+                    (tx0 +. (want /. bandwidth))
+                    (Float.min (Prt.stop r) t1)
+                in
+                let prev =
+                  Option.value ~default:t0
+                    (Hashtbl.find_opt drained_at r.coflow)
+                in
+                Hashtbl.replace drained_at r.coflow (Float.max prev at)
+              end
             | None -> ()
           end)
-        (Prt.all_reservations plan.Inter.prt)
+        (Prt.all_reservations plan.Inter.prt);
+      List.iter
+        (fun st ->
+          match Hashtbl.find_opt drained_at st.coflow.Coflow.id with
+          | Some at -> finish_if_drained at st
+          | None -> ())
+        eligible
     end;
     if obs then Obs.Tracer.end_span ~cat:"guard" "starvation.work"
   in

@@ -37,8 +37,8 @@ let check_unique_ids coflows =
 let no_release _ _ = []
 
 let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(on_complete = no_release) ~delta ~bandwidth
-    coflows =
+    ?(carry_circuits = true) ?(on_complete = no_release) ?on_slice ~delta
+    ~bandwidth coflows =
   if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
   if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
   check_unique_ids coflows;
@@ -51,6 +51,14 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
   let ccts = ref [] and finishes = ref [] in
   let n_events = ref 0 and setups = ref 0 in
   let makespan = ref 0. in
+  (* Circuits physically established (their window paid a setup) and
+     not yet torn down. A teardown is counted only when one of these
+     actually closes — when its window stops inside a slice, or when a
+     rescheduling instant drops it from the next plan — so the
+     [sim.setups] / [sim.teardowns] counters balance; carried-over
+     windows (zero setup at the replan instant) keep their circuit
+     alive without touching either counter. *)
+  let live : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
   let admit t =
     List.iter
       (fun (_, (c : Coflow.t)) ->
@@ -77,9 +85,12 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
       (* an idle gap: no circuit survives it *)
       loop ta ~established:[]
     | actives, next_arrival ->
+      let scheduled =
+        List.map (fun a -> Coflow.with_demand a.orig a.remaining) actives
+      in
       let replan () =
         Inter.schedule ~now:t ~order ~established ~policy ~delta ~bandwidth
-          (List.map (fun a -> Coflow.with_demand a.orig a.remaining) actives)
+          scheduled
       in
       let plan =
         if not obs then replan ()
@@ -108,12 +119,36 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
         | Some (ta, _) -> Float.min ta t_done
         | None -> t_done
       in
+      (match on_slice with
+      | Some f -> f ~t ~t_next ~established ~coflows:scheduled plan
+      | None -> ());
       (* execute the plan over [t, t_next) *)
       let reservations = Prt.all_reservations plan.Inter.prt in
+      (* circuits the new plan carries over without a fresh setup *)
+      let reused = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Prt.reservation) ->
+          if r.setup = 0. && r.start = t then
+            Hashtbl.replace reused (r.src, r.dst) ())
+        reservations;
+      (* a live circuit the plan does not reuse was torn down at the
+         rescheduling instant *)
+      let stale =
+        Hashtbl.fold
+          (fun circuit () acc ->
+            if Hashtbl.mem reused circuit then acc else circuit :: acc)
+          live []
+      in
+      List.iter
+        (fun circuit ->
+          Hashtbl.remove live circuit;
+          if obs then Obs.Registry.incr m_teardowns)
+        stale;
       List.iter
         (fun (r : Prt.reservation) ->
           if r.setup > 0. && r.start >= t && r.start < t_next then begin
             incr setups;
+            Hashtbl.replace live (r.src, r.dst) ();
             if obs then begin
               Obs.Registry.incr m_setups;
               Obs.Registry.gauge_add g_delta r.setup;
@@ -128,10 +163,16 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
                    })
             end
           end;
-          if obs && Prt.stop r > t && Prt.stop r <= t_next then
-            (* the circuit's window closes inside this execution slice:
+          if
+            Prt.stop r > t
+            && Prt.stop r <= t_next
+            && Hashtbl.mem live (r.src, r.dst)
+          then begin
+            (* an established window closes inside this execution slice:
                its ports are released (a teardown under not-all-stop) *)
-            Obs.Registry.incr m_teardowns)
+            Hashtbl.remove live (r.src, r.dst);
+            if obs then Obs.Registry.incr m_teardowns
+          end)
         reservations;
       let by_id =
         List.map (fun a -> (a.orig.Coflow.id, a)) actives
@@ -196,6 +237,10 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
   | Some (t0, _) ->
     admit t0;
     loop t0 ~established:[]);
+  (* the fabric goes dark when the replay ends: whatever is still
+     established at the last finish is torn down *)
+  if obs then Obs.Registry.add m_teardowns (Hashtbl.length live);
+  Hashtbl.reset live;
   let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
   {
     Sim_result.ccts = sorted !ccts;

@@ -16,6 +16,13 @@ val run :
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
   ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
+  ?on_slice:
+    (t:float ->
+    t_next:float ->
+    established:(int * int) list ->
+    coflows:Sunflow_core.Coflow.t list ->
+    Sunflow_core.Inter.result ->
+    unit) ->
   delta:float ->
   bandwidth:float ->
   Sunflow_core.Coflow.t list ->
@@ -32,7 +39,17 @@ val run :
     [on_complete id t] is called once per completed Coflow and may
     release new Coflows into the fabric (their arrivals must be
     [>= t]) — the hook multi-stage jobs use to chain dependent
-    Coflows. *)
+    Coflows.
+
+    [on_slice ~t ~t_next ~established ~coflows plan] is called once
+    per scheduling event, after the plan for the slice [[t, t_next)]
+    has been computed and before any demand is drained: [coflows] are
+    the active Coflows with their remaining demand as of [t] (their
+    demand objects are the simulator's own and mutate once the hook
+    returns — copy anything kept), [established] the circuits carried
+    over into the replan. The validation layer ({!Sunflow_check})
+    hooks here to check every plan and to reconstruct the executed
+    schedule for the differential oracle. *)
 
 val intra_cct :
   ?order:Sunflow_core.Order.t ->

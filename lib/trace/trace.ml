@@ -87,9 +87,15 @@ let parse text =
       if List.length rest <> n_coflows then
         fail line0 "header promises %d coflows, file has %d" n_coflows
           (List.length rest);
+      let seen = Hashtbl.create 64 in
       let coflows =
         List.map
-          (fun (line, l) -> parse_coflow ~n_ports ~line (tokens_of_line l))
+          (fun (line, l) ->
+            let c = parse_coflow ~n_ports ~line (tokens_of_line l) in
+            if Hashtbl.mem seen c.Coflow.id then
+              fail line "duplicate Coflow id %d" c.Coflow.id;
+            Hashtbl.replace seen c.Coflow.id ();
+            c)
           rest
       in
       { n_ports; coflows }
@@ -104,17 +110,108 @@ let load path =
   in
   parse content
 
+(* --- full-precision serialisation ---
+
+   The format stores arrivals as decimal milliseconds and sizes as
+   decimal MB. The writer used to print ["%.0f"] / ["%.6g"], so a
+   save/load cycle quantised arrivals to whole milliseconds and sizes
+   to six significant digits — silently perturbing every replay of a
+   re-saved trace. We now emit, for each value, a decimal literal
+   whose *parse* (divide the ms by 1e3; scale the MB by 1e6, split it
+   over the mappers and re-sum the shares) reproduces the in-memory
+   float bit-for-bit whenever such a literal exists. *)
+
+(* Shortest decimal literal that [float_of_string]s back to [x]
+   exactly; 17 significant digits always suffice for a double. *)
+let shortest_exact x =
+  if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.0f" x
+  else begin
+    let rec go p =
+      if p >= 17 then Printf.sprintf "%.17g" x
+      else
+        let s = Printf.sprintf "%.*g" p x in
+        if float_of_string s = x then s else go (p + 1)
+    in
+    go 1
+  end
+
+(* Find a non-negative double [y] with [replay y = target], starting
+   the search at [guess]. [replay] must be monotone non-decreasing
+   (both of ours are: [y /. 1e3], and a sum of [n] copies of
+   [y *. 1e6 /. n]), so the preimage can be bisected over the float
+   bit patterns. Not every double has one — a target outside the
+   image of [replay] (possible for values that never came from a
+   trace file) falls back to the nearest achievable double. *)
+let exact_preimage ~replay ~guess ~target =
+  if replay guess = target then guess
+  else begin
+    let max_bits = Int64.bits_of_float infinity in
+    let clamp b =
+      if Int64.compare b 0L < 0 then 0L
+      else if Int64.compare b max_bits > 0 then max_bits
+      else b
+    in
+    let g = Int64.bits_of_float guess in
+    let rec widen step lo hi =
+      let rlo = replay (Int64.float_of_bits lo)
+      and rhi = replay (Int64.float_of_bits hi) in
+      if (rlo <= target && target <= rhi) || step > 62 then (lo, hi)
+      else
+        let d = Int64.shift_left 1L step in
+        widen (step + 1)
+          (if rlo > target then clamp (Int64.sub lo d) else lo)
+          (if rhi < target then clamp (Int64.add hi d) else hi)
+    in
+    let rec bisect lo hi =
+      if Int64.compare (Int64.sub hi lo) 1L <= 0 then (lo, hi)
+      else
+        let mid = Int64.add lo (Int64.div (Int64.sub hi lo) 2L) in
+        if replay (Int64.float_of_bits mid) < target then bisect mid hi
+        else bisect lo mid
+    in
+    let lo, hi = widen 0 g g in
+    let lo, hi = bisect lo hi in
+    let err y = Float.abs (replay y -. target) in
+    List.fold_left
+      (fun best y -> if err y < err best then y else best)
+      guess
+      [ Int64.float_of_bits lo; Int64.float_of_bits hi ]
+  end
+
+let arrival_token arrival =
+  shortest_exact
+    (exact_preimage ~replay:(fun y -> y /. 1e3) ~guess:(arrival *. 1e3)
+       ~target:arrival)
+
+(* The parser splits each reducer total over the mappers and the
+   column sum re-adds the [n] equal shares, so the replay must follow
+   the same float path. *)
+let reducer_token ~n_mappers total =
+  let n = float_of_int n_mappers in
+  let replay y =
+    let share = Units.mb y /. n in
+    let acc = ref 0. in
+    for _ = 1 to n_mappers do
+      acc := !acc +. share
+    done;
+    !acc
+  in
+  shortest_exact (exact_preimage ~replay ~guess:(Units.to_mb total) ~target:total)
+
 let coflow_line buf (c : Coflow.t) =
   let senders = Demand.senders c.demand in
   let receivers = Demand.receivers c.demand in
   Buffer.add_string buf
-    (Printf.sprintf "%d %.0f %d" c.id (c.arrival *. 1e3) (List.length senders));
+    (Printf.sprintf "%d %s %d" c.id (arrival_token c.arrival)
+       (List.length senders));
   List.iter (fun m -> Buffer.add_string buf (Printf.sprintf " %d" m)) senders;
   Buffer.add_string buf (Printf.sprintf " %d" (List.length receivers));
   List.iter
     (fun r ->
-      let mb = Units.to_mb (Demand.col_sum c.demand r) in
-      Buffer.add_string buf (Printf.sprintf " %d:%.6g" r mb))
+      Buffer.add_string buf
+        (Printf.sprintf " %d:%s" r
+           (reducer_token ~n_mappers:(List.length senders)
+              (Demand.col_sum c.demand r))))
     receivers;
   Buffer.add_char buf '\n'
 

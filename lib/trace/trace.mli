@@ -26,8 +26,8 @@ exception Parse_error of { line : int; message : string }
 val parse : string -> t
 (** Parse the format from a string. Raises {!Parse_error} with a
     1-based line number on malformed input (bad counts, rack out of
-    range, non-positive size, negative arrival). Blank lines and lines
-    starting with [#] are skipped. *)
+    range, non-positive size, negative arrival, duplicate Coflow id).
+    Blank lines and lines starting with [#] are skipped. *)
 
 val load : string -> t
 (** [parse] the contents of a file. The input channel is closed even
@@ -35,16 +35,26 @@ val load : string -> t
 
 val to_string : t -> string
 (** Serialise. Senders become the mapper list; each receiver's column
-    sum becomes its reducer total (in MB, 6 significant digits).
+    sum becomes its reducer total (in decimal MB).
+
+    Arrivals (decimal ms) and reducer totals are written with full
+    precision: the emitted literal is chosen so that re-parsing it
+    reproduces the in-memory arrival and per-receiver column sums
+    bit-for-bit whenever the value has an exact decimal preimage
+    under the parser's arithmetic — which every value that itself
+    came from a trace file does. (An arrival synthesised in code with
+    no exact [ms /. 1e3] preimage degrades to the nearest
+    representable value, within one ulp.)
 
     Because the reducer-total format keeps no per-mapper breakdown, a
     [to_string] / {!parse} round trip redistributes each reducer's
     bytes {e evenly} across the Coflow's mappers: a Coflow where mapper
     0 sends 9 MB and mapper 1 sends 1 MB to the same reducer comes back
     as 5 MB from each. Totals per reducer (and so per Coflow) are
-    preserved; the per-flow split is only exact for Coflows that were
-    already even (the shuffle shape the benchmark trace encodes). This
-    is inherent to the coflow-benchmark format, not a parser choice. *)
+    preserved at full precision; the per-flow split is only exact for
+    Coflows that were already even (the shuffle shape the benchmark
+    trace encodes). This per-reducer column-sum granularity is
+    inherent to the coflow-benchmark format, not a parser choice. *)
 
 val save : string -> t -> unit
 (** Write {!to_string} to a file. The channel is closed even if the

@@ -29,6 +29,7 @@ let () =
       ("trace.format", Test_trace.suite);
       ("trace.synthetic", Test_synthetic.suite);
       ("trace.workload", Test_workload.suite);
+      ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);

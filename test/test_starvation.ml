@@ -93,6 +93,48 @@ let test_both_classes_complete () =
   in
   Alcotest.(check int) "all four drained" 4 (List.length o.Guard.finishes)
 
+(* Regression: the work phase used to record a Coflow's finish at the
+   stop of whichever reservation the PRT iteration happened to visit
+   last, so a short parallel circuit visited after the long one
+   stamped the finish early. The finish must be the latest draining
+   instant — for a lone prioritized Coflow inside the first work
+   phase, exactly the intra-Sunflow completion time. *)
+let test_work_phase_finish_exact () =
+  let wide = { Guard.n_ports = 8; t_work = 2.; tau = 0.1 } in
+  let circuits = [ (0, 4); (1, 5); (2, 6); (3, 7) ] in
+  let check_one name flows =
+    let c = Coflow.make ~id:0 (Demand.of_list flows) in
+    let expected =
+      (Sunflow_core.Sunflow.schedule ~delta ~bandwidth:b c).Sunflow_core.Sunflow.finish
+    in
+    let o =
+      Guard.run ~delta ~bandwidth:b ~horizon:20. ~prioritized:[ c ] ~starved:[]
+        wide
+    in
+    match List.assoc_opt 0 o.Guard.finishes with
+    | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: finish %.6f = plan %.6f" name t expected)
+        true
+        (Float.abs (t -. expected) <= 1e-9)
+    | None -> Alcotest.fail (name ^ ": never finished")
+  in
+  (* deterministic: 0.4 s and 0.1 s circuits in parallel; recording
+     the short circuit's stop would report 0.11 instead of 0.41 *)
+  check_one "two parallel circuits"
+    [ ((0, 4), Units.mb 50.); ((1, 5), Units.mb 12.5) ];
+  (* randomized shapes: up to four parallel circuits of random length *)
+  let rng = Sunflow_stats.Rng.create 42 in
+  for i = 1 to 25 do
+    let n = 2 + Sunflow_stats.Rng.int rng 3 in
+    let flows =
+      List.filteri (fun k _ -> k < n) circuits
+      |> List.map (fun circ ->
+             (circ, Units.mb (1. +. Sunflow_stats.Rng.float rng 20.)))
+    in
+    check_one (Printf.sprintf "random shape %d" i) flows
+  done
+
 let test_validation () =
   let c = Coflow.make ~id:0 (Demand.of_list [ ((9, 1), 1.) ]) in
   Alcotest.check_raises "port outside fabric"
@@ -113,5 +155,7 @@ let suite =
     Alcotest.test_case "prioritized unharmed" `Quick test_prioritized_unharmed;
     Alcotest.test_case "both classes complete" `Quick
       test_both_classes_complete;
+    Alcotest.test_case "work-phase finish is the latest drain" `Quick
+      test_work_phase_finish_exact;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

@@ -49,7 +49,9 @@ let test_parse_errors () =
   (* truncated mapper list *)
   expect_error ~line:2 "10 1\n0 0 3 1 2\n";
   (* negative arrival *)
-  expect_error ~line:2 "10 1\n0 -5 1 0 1 1:5\n"
+  expect_error ~line:2 "10 1\n0 -5 1 0 1 1:5\n";
+  (* duplicate Coflow id: the second occurrence is the offender *)
+  expect_error ~line:3 "10 2\n0 0 1 0 1 1:5\n0 5 1 0 1 1:5\n"
 
 let test_roundtrip_even_shuffle () =
   let t = Trace.parse sample_text in
@@ -62,6 +64,74 @@ let test_roundtrip_even_shuffle () =
         true
         (Demand.equal ~eps:1. a.demand b.demand))
     t.Trace.coflows t'.Trace.coflows
+
+(* The writer used to quantise arrivals to whole milliseconds and
+   sizes to six significant digits; both must now survive a round
+   trip bit-for-bit. *)
+let test_roundtrip_full_precision () =
+  let text = "10 1\n0 0.123456789 2 1 2 1 5:3.141592653589793\n" in
+  let t = Trace.parse text in
+  let t' = Trace.parse (Trace.to_string t) in
+  match (t.Trace.coflows, t'.Trace.coflows) with
+  | [ a ], [ b ] ->
+    Alcotest.(check bool)
+      "sub-ms arrival exact" true
+      (a.Coflow.arrival = b.Coflow.arrival);
+    Alcotest.(check bool)
+      "17-digit size exact" true
+      (Demand.col_sum a.Coflow.demand 5 = Demand.col_sum b.Coflow.demand 5)
+  | _ -> Alcotest.fail "wrong shape"
+
+(* QCheck: parse ∘ to_string is the identity on ports, ids, arrivals
+   and per-receiver column sums for any trace in the parse image (the
+   only per-flow information the format stores; see the .mli). One
+   round trip is also a serialisation fixed point. *)
+let prop_roundtrip_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"roundtrip identity on the parse image"
+       ~count:300
+       QCheck2.Gen.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Sunflow_stats.Rng.create seed in
+         let n_ports = 8 in
+         let n = 1 + Sunflow_stats.Rng.int rng 4 in
+         let buf = Buffer.create 256 in
+         Buffer.add_string buf (Printf.sprintf "%d %d\n" n_ports n);
+         for id = 0 to n - 1 do
+           let n_mappers = 1 + Sunflow_stats.Rng.int rng 3 in
+           let mappers = List.init n_mappers (fun i -> i * 2) in
+           Buffer.add_string buf
+             (Printf.sprintf "%d %.17g %d" id
+                (Sunflow_stats.Rng.float rng 5000.)
+                n_mappers);
+           List.iter
+             (fun m -> Buffer.add_string buf (Printf.sprintf " %d" m))
+             mappers;
+           let n_reducers = 1 + Sunflow_stats.Rng.int rng 2 in
+           Buffer.add_string buf (Printf.sprintf " %d" n_reducers);
+           for r = 0 to n_reducers - 1 do
+             Buffer.add_string buf
+               (Printf.sprintf " %d:%.17g"
+                  ((r * 2) + 1)
+                  (0.1 +. Sunflow_stats.Rng.float rng 500.))
+           done;
+           Buffer.add_char buf '\n'
+         done;
+         let t1 = Trace.parse (Buffer.contents buf) in
+         let s1 = Trace.to_string t1 in
+         let t2 = Trace.parse s1 in
+         List.for_all2
+           (fun (a : Coflow.t) (b : Coflow.t) ->
+             a.id = b.id
+             && a.arrival = b.arrival
+             && Demand.senders a.demand = Demand.senders b.demand
+             && Demand.receivers a.demand = Demand.receivers b.demand
+             && List.for_all
+                  (fun r ->
+                    Demand.col_sum a.demand r = Demand.col_sum b.demand r)
+                  (Demand.receivers a.demand))
+           t1.Trace.coflows t2.Trace.coflows
+         && Trace.to_string t2 = s1))
 
 let test_save_load () =
   let t = Trace.parse sample_text in
@@ -83,6 +153,9 @@ let suite =
       test_parse_errors;
     Alcotest.test_case "roundtrip even shuffle" `Quick
       test_roundtrip_even_shuffle;
+    Alcotest.test_case "roundtrip full precision" `Quick
+      test_roundtrip_full_precision;
+    prop_roundtrip_identity;
     Alcotest.test_case "save and load" `Quick test_save_load;
     Alcotest.test_case "totals" `Quick test_totals;
   ]
