@@ -12,7 +12,15 @@
    Since schema /4 it additionally gates the validation layer: the
    harness must have run the [Sunflow_check] plan validator and the
    differential switch oracle on non-trivial inputs, with zero
-   violations. *)
+   violations.
+
+   Since schema /5 it gates the incremental replanning engine: every
+   replayed trace must carry all three engine rows (full, rebuild,
+   incremental) with the rebuild and incremental digests identical —
+   the suffix-only engine is bit-equal to its from-scratch oracle at
+   benchmark scale — and on the full harness's >= 50k-Coflow synthetic
+   trace the incremental engine must beat full replanning by at least
+   2x wall time. *)
 
 type json =
   | Null
@@ -321,10 +329,99 @@ let check_check root =
     if not (Float.is_finite worst) || worst < 0. then
       bad "check.worst_err_s: expected a finite non-negative gap, got %g" worst
 
+(* The replay section (schema /5): full vs rebuild vs incremental
+   replanning on each trace. Rebuild is the incremental engine's
+   differential oracle, so their digests must match exactly; full
+   mode's digest is informational (its semantics drift from the
+   anchored modes in the last float bits by design). A non-fast
+   emission must carry the >= 50k-Coflow trace and show the
+   incremental engine at least 2x faster than full replanning on it. *)
+let check_replay root fast =
+  let rows = as_arr "replay" (field root "replay") in
+  if rows = [] then bad "replay: empty";
+  let parsed =
+    List.map
+      (fun row ->
+        let trace = as_str "replay.trace" (field row "trace") in
+        let mode = as_str (trace ^ ".mode") (field row "mode") in
+        let what = Printf.sprintf "replay.%s.%s" trace mode in
+        if as_str (what ^ ".policy") (field row "policy") = "" then
+          bad "%s.policy: empty" what;
+        let n =
+          let x = as_num (what ^ ".n_coflows") (field row "n_coflows") in
+          if Float.of_int (Float.to_int x) <> x || x <= 0. then
+            bad "%s.n_coflows: expected a positive integer, got %g" what x;
+          Float.to_int x
+        in
+        let wall = as_num (what ^ ".wall_s") (field row "wall_s") in
+        if wall <= 0. then bad "%s: non-positive wall time" what;
+        let events =
+          let x = as_num (what ^ ".events") (field row "events") in
+          if Float.of_int (Float.to_int x) <> x || x <= 0. then
+            bad "%s.events: expected a positive integer, got %g" what x;
+          Float.to_int x
+        in
+        let eps = as_num (what ^ ".events_per_s") (field row "events_per_s") in
+        let recomputed = float_of_int events /. wall in
+        if Float.abs (eps -. recomputed) > 1e-6 *. Float.max eps recomputed
+        then
+          bad "%s.events_per_s: %g does not match its inputs (%g)" what eps
+            recomputed;
+        let digest = as_str (what ^ ".digest") (field row "digest") in
+        if digest = "" then bad "%s.digest: empty" what;
+        (trace, mode, n, wall, digest))
+      rows
+  in
+  let traces =
+    List.sort_uniq compare (List.map (fun (t, _, _, _, _) -> t) parsed)
+  in
+  let cell trace mode =
+    match
+      List.find_opt (fun (t, m, _, _, _) -> t = trace && m = mode) parsed
+    with
+    | Some (_, _, n, wall, digest) -> (n, wall, digest)
+    | None -> bad "replay.%s: missing the %S engine row" trace mode
+  in
+  List.iter
+    (fun trace ->
+      let _, _, d_rebuild = cell trace "rebuild" in
+      let _, _, d_incr = cell trace "incremental" in
+      ignore (cell trace "full");
+      if d_rebuild <> d_incr then
+        bad
+          "replay.%s: incremental digest %S differs from its rebuild oracle \
+           %S — the rollback/suffix machinery corrupted the replay"
+          trace d_incr d_rebuild)
+    traces;
+  if not fast then begin
+    let big =
+      List.filter (fun (_, m, n, _, _) -> m = "full" && n >= 50_000) parsed
+    in
+    if big = [] then
+      bad "replay: a full (non-fast) run must include a >= 50k-Coflow trace";
+    List.iter
+      (fun (trace, _, _, wall_full, _) ->
+        let _, wall_incr, _ = cell trace "incremental" in
+        if wall_incr > wall_full then
+          bad "replay.%s: the incremental engine (%.2fs) is slower than full \
+               replanning (%.2fs)"
+            trace wall_incr wall_full;
+        if wall_full /. wall_incr < 2. then
+          bad
+            "replay.%s: incremental speedup %.2fx over full replanning is \
+             below the 2x gate"
+            trace (wall_full /. wall_incr))
+      big
+  end
+
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/4" then bad "unknown schema %S" schema;
-  ignore (field root "fast");
+  if schema <> "sunflow-bench-prt/5" then bad "unknown schema %S" schema;
+  let fast =
+    match field root "fast" with
+    | Bool b -> b
+    | _ -> bad "fast: expected a boolean"
+  in
   let domains =
     let x = as_num "domains" (field root "domains") in
     if Float.of_int (Float.to_int x) <> x || x < 1. then
@@ -360,6 +457,7 @@ let check root json_dir =
     bad "bechamel rows lack the %S regression gate" gate;
   check_obs root json_dir;
   check_check root;
+  check_replay root fast;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

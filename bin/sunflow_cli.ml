@@ -303,7 +303,7 @@ let intra_cmd =
 
 (* --- inter --- *)
 
-let inter path gbps ms scheduler validate csv_out trace_out metrics_out
+let inter path gbps ms scheduler replan validate csv_out trace_out metrics_out
     timeline_out =
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
@@ -329,7 +329,7 @@ let inter path gbps ms scheduler validate csv_out trace_out metrics_out
     | `Sunflow ->
       Sunflow_sim.Circuit_sim.run
         ?on_slice:(if validate then Some on_slice else None)
-        ~delta ~bandwidth trace.Trace.coflows
+        ~replan ~delta ~bandwidth trace.Trace.coflows
     | `Varys ->
       Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Varys.allocate
         ~bandwidth trace.Trace.coflows
@@ -382,10 +382,27 @@ let scheduler_arg =
     & info [ "s"; "scheduler" ] ~docv:"SCHED"
         ~doc:"Scheduler: $(b,sunflow) (circuit switch), $(b,varys), $(b,aalo) or $(b,fair) (packet switch).")
 
+let replan_arg =
+  let values =
+    [ ("full", `Full); ("rebuild", `Rebuild); ("incremental", `Incremental) ]
+  in
+  Arg.(
+    value
+    & opt (enum values) `Full
+    & info [ "replan" ] ~docv:"MODE"
+        ~doc:
+          "Replanning engine for the circuit fabric (ignored by the packet \
+           schedulers): $(b,full) re-plans every active Coflow at each \
+           event, $(b,incremental) reschedules only the priority-order \
+           suffix an event invalidates (rollback-capable reservation \
+           table), $(b,rebuild) makes the incremental decisions from a \
+           fresh table each event — the differential oracle for \
+           $(b,incremental).")
+
 let inter_term =
   Term.(
     const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
-    $ validate_arg $ csv_arg $ trace_out_arg $ metrics_out_arg
+    $ replan_arg $ validate_arg $ csv_arg $ trace_out_arg $ metrics_out_arg
     $ timeline_out_arg)
 
 let inter_cmd =

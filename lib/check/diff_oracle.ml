@@ -23,8 +23,8 @@ let default_tol bandwidth = 2. *. Float.max (1e-3 /. bandwidth) 1e-6
 let snap_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
 
 let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(validate_plans = true) ?tol ~delta ~bandwidth
-    ~n_ports coflows =
+    ?(carry_circuits = true) ?(replan = `Full) ?(validate_plans = true) ?tol
+    ~delta ~bandwidth ~n_ports coflows =
   let tol = match tol with Some t -> t | None -> default_tol bandwidth in
   let vs = ref [] in
   let push v = vs := v :: !vs in
@@ -86,7 +86,7 @@ let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
         (Prt.all_reservations plan.Inter.prt)
     in
     let sim =
-      Circuit_sim.run ~policy ~order ~carry_circuits ~on_slice ~delta
+      Circuit_sim.run ~policy ~order ~carry_circuits ~replan ~on_slice ~delta
         ~bandwidth coflows
     in
     List.iter push (Sim_check.result ~bandwidth ~coflows sim);
@@ -190,12 +190,32 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
         o.violations
     in
     record "" (replay ~policy ?tol ~delta ~bandwidth ~n_ports trace);
+    (* the incremental engine replays the same trace through the
+       physical oracle too, with its per-slice plan views validated;
+       Plan_check.replay_equiv separately pins it to the rebuild mode *)
+    record ", incremental"
+      (replay ~policy ~replan:`Incremental ?tol ~delta ~bandwidth ~n_ports
+         trace);
+    List.iter
+      (fun (v : V.t) ->
+        vs :=
+          {
+            v with
+            V.message =
+              Printf.sprintf "[trace seed %d, equiv] %s" trace_seed v.V.message;
+          }
+          :: !vs)
+      (Plan_check.replay_equiv ~policy ~delta ~bandwidth trace);
     (* every third trace also runs the all-stop ablation, where no
        circuit survives a rescheduling instant *)
-    if i mod 3 = 2 then
+    if i mod 3 = 2 then begin
       record ", all-stop"
         (replay ~policy ~carry_circuits:false ?tol ~delta ~bandwidth ~n_ports
-           trace)
+           trace);
+      record ", all-stop incremental"
+        (replay ~policy ~carry_circuits:false ~replan:`Incremental ?tol ~delta
+           ~bandwidth ~n_ports trace)
+    end
   done;
   {
     traces;

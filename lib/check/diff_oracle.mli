@@ -29,6 +29,7 @@ val replay :
   ?policy:Sunflow_core.Inter.policy ->
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
+  ?replan:Sunflow_sim.Circuit_sim.replan ->
   ?validate_plans:bool ->
   ?tol:float ->
   delta:float ->
@@ -39,13 +40,27 @@ val replay :
 (** Replay one trace through both models. [delta] must be positive —
     the physical switch cannot distinguish a zero-delay setup from a
     carried circuit. [carry_circuits] defaults to [true] (the paper's
-    not-all-stop mode). With [validate_plans] (default [true]) every
-    slice plan also runs through {!Plan_check}, so a single fuzz pass
-    exercises the validator and the oracle together. [tol] is the
-    permitted finish-time gap in seconds; the default allows for the
-    simulator's byte-residue snapping
+    not-all-stop mode). [replan] (default [`Full]) selects the
+    simulator's replanning engine, so the physical oracle also covers
+    the incremental path's executed schedule. With [validate_plans]
+    (default [true]) every slice plan also runs through {!Plan_check},
+    so a single fuzz pass exercises the validator and the oracle
+    together. [tol] is the permitted finish-time gap in seconds; the
+    default allows for the simulator's byte-residue snapping
     ([2 * max (1e-3 / bandwidth) 1e-6]). Duplicate ids or ports
     outside [[0, n_ports)] are reported as violations, not raised. *)
+
+val random_trace :
+  Sunflow_stats.Rng.t ->
+  n_ports:int ->
+  max_coflows:int ->
+  span:float ->
+  max_mb:float ->
+  Sunflow_core.Coflow.t list
+(** One randomized arrival trace as {!fuzz} draws them:
+    2..[max_coflows] Coflows of 1..4 flows of 0.5..[max_mb] MB each,
+    ports from [[0, n_ports)], arrivals uniform over [span] seconds
+    (Coflow 0 at 0). Exposed so tests can reuse the generator. *)
 
 type stats = {
   traces : int;  (** randomized traces replayed *)
@@ -72,5 +87,8 @@ val fuzz :
 (** Replay [traces] randomized traces (uniform arrivals over [span]
     seconds, 2..[max_coflows] Coflows of 1..4 flows up to [max_mb] MB
     each, ports drawn from [[0, n_ports)]) derived deterministically
-    from [seed]. Every third trace is additionally replayed with
+    from [seed]. Each trace runs through the physical oracle twice —
+    full replan and incremental — plus {!Plan_check.replay_equiv}'s
+    bit-identity check of incremental against rebuild. Every third
+    trace additionally repeats both replays with
     [carry_circuits = false], covering the all-stop ablation. *)

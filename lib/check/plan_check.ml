@@ -366,3 +366,66 @@ let inter spec ~coflows (res : Inter.result) =
     | [] -> []
   in
   vs @ agreement @ cover @ per_coflow @ head
+
+(* --- incremental vs from-scratch replay equivalence --- *)
+
+module Circuit_sim = Sunflow_sim.Circuit_sim
+module Sim_result = Sunflow_sim.Sim_result
+
+let replay_equiv ?policy ?order ?carry_circuits ~delta ~bandwidth coflows =
+  let capture replan =
+    let slices = ref [] in
+    let on_slice ~t ~t_next ~established ~coflows:_ (plan : Inter.result) =
+      slices := (t, t_next, established, plan.Inter.per_coflow) :: !slices
+    in
+    let r =
+      Circuit_sim.run ?policy ?order ?carry_circuits ~replan ~on_slice ~delta
+        ~bandwidth coflows
+    in
+    (r, List.rev !slices)
+  in
+  let ri, si = capture `Incremental in
+  let rr, sr = capture `Rebuild in
+  let vs = ref [] in
+  let push v = vs := v :: !vs in
+  let field name get =
+    if get ri <> get rr then
+      push
+        (V.v V.Result_mismatch
+           "incremental replay disagrees with the from-scratch rebuild on \
+            Sim_result.%s"
+           name)
+  in
+  field "finishes" (fun r -> r.Sim_result.finishes);
+  field "ccts" (fun r -> r.Sim_result.ccts);
+  field "makespan" (fun r -> [ (0, r.Sim_result.makespan) ]);
+  field "n_events" (fun r -> [ (r.Sim_result.n_events, 0.) ]);
+  field "total_setups" (fun r -> [ (r.Sim_result.total_setups, 0.) ]);
+  if List.length si <> List.length sr then
+    push
+      (V.v V.Divergence
+         "incremental replay executed %d slices, the rebuild %d"
+         (List.length si) (List.length sr))
+  else
+    List.iteri
+      (fun i ((ti, tni, ei, pi), (tr, tnr, er, pr)) ->
+        if ti <> tr || tni <> tnr then
+          push
+            (V.v ~at:ti V.Divergence
+               "slice %d spans [%.17g, %.17g) incrementally but [%.17g, \
+                %.17g) in the rebuild"
+               i ti tni tr tnr)
+        else if ei <> er then
+          push
+            (V.v ~at:ti V.Divergence
+               "slice %d: carried-circuit sets differ between incremental \
+                and rebuild"
+               i)
+        else if pi <> pr then
+          push
+            (V.v ~at:ti V.Divergence
+               "slice %d: per-Coflow plans are not bit-identical between \
+                incremental and rebuild"
+               i))
+      (List.combine si sr);
+  List.rev !vs

@@ -77,3 +77,20 @@ val inter :
     the PRT and the per-Coflow reservation lists, and the fresh-table
     guarantees for the first Coflow in service order (the only one
     whose view of the table was empty). *)
+
+val replay_equiv :
+  ?policy:Sunflow_core.Inter.policy ->
+  ?order:Sunflow_core.Order.t ->
+  ?carry_circuits:bool ->
+  delta:float ->
+  bandwidth:float ->
+  Sunflow_core.Coflow.t list ->
+  Violation.t list
+(** Replay the trace through [Circuit_sim.run] twice — [`Incremental]
+    (rollback-capable persistent PRT, suffix-only rescheduling) and
+    [`Rebuild] (the same decisions recomputed from a fresh table at
+    every event) — and require them bit-identical: every [Sim_result]
+    field compared with structural equality (no tolerance), and every
+    slice's span, carried-circuit set and per-Coflow plan compared
+    window for window. Any report means the rollback/ownership
+    machinery corrupted port state. *)

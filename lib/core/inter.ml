@@ -5,22 +5,24 @@ type policy =
   | Custom of (Coflow.t -> Coflow.t -> int)
 
 let sort policy ~bandwidth coflows =
-  let cmp =
-    match policy with
-    | Fifo -> Coflow.compare_arrival
-    | Shortest_first ->
-      fun a b ->
-        let ta = Bounds.packet_lower ~bandwidth a.Coflow.demand in
-        let tb = Bounds.packet_lower ~bandwidth b.Coflow.demand in
-        (match compare ta tb with 0 -> Coflow.compare_arrival a b | c -> c)
-    | Priority_classes class_of ->
-      fun a b ->
-        (match compare (class_of a) (class_of b) with
-        | 0 -> Coflow.compare_arrival a b
-        | c -> c)
-    | Custom cmp -> cmp
-  in
-  List.stable_sort cmp coflows
+  match policy with
+  | Fifo -> List.stable_sort Coflow.compare_arrival coflows
+  | Shortest_first ->
+    (* decorate-sort-undecorate: the packet lower bound walks the whole
+       demand matrix, so compute it once per Coflow rather than twice
+       per comparison *)
+    coflows
+    |> List.map (fun c -> (Bounds.packet_lower ~bandwidth c.Coflow.demand, c))
+    |> List.stable_sort (fun ((ta : float), a) (tb, b) ->
+           match compare ta tb with 0 -> Coflow.compare_arrival a b | c -> c)
+    |> List.map snd
+  | Priority_classes class_of ->
+    coflows
+    |> List.map (fun c -> (class_of c, c))
+    |> List.stable_sort (fun ((ka : int), a) (kb, b) ->
+           match compare ka kb with 0 -> Coflow.compare_arrival a b | c -> c)
+    |> List.map snd
+  | Custom cmp -> List.stable_sort cmp coflows
 
 let policy_name = function
   | Fifo -> "fifo"
@@ -77,3 +79,328 @@ let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
 let finish_of result id =
   List.assoc_opt id result.per_coflow
   |> Option.map (fun (r : Sunflow.result) -> r.finish)
+
+(* --- incremental replanning engine ------------------------------------
+
+   Keeps a persistent plan across replay events instead of re-running
+   every active Coflow through [Sunflow.schedule] at each one.
+   Soundness rests on non-preemption: a Coflow's reservations depend
+   only on the table contents written by Coflows sorting before it, so
+   an arrival invalidates exactly the suffix of the priority order at
+   or after its insertion point, and a finish invalidates nothing (its
+   windows all stop at or before the finish instant, and every table
+   query the suffix makes is a strict-greater successor search at or
+   after it — removal is invisible).
+
+   Priority keys are fixed at admission (the Coflow's original demand),
+   whereas [schedule] re-keys [Shortest_first] on remaining demand at
+   every event; the engine's plans are anchored at each Coflow's last
+   (re)scheduling instant rather than recomputed from the current
+   remaining demand. Both are faithful Sunflow semantics, but they
+   round differently at the ulp level, so the engine's oracle is its
+   own [rebuild] mode — same decisions recomputed from a fresh table
+   every event — not [schedule]. *)
+
+type entry = {
+  e_coflow : Coflow.t;  (* original record: fixed priority-key inputs *)
+  e_key : float;  (* cached priority key (policy-dependent) *)
+  mutable e_plan : Sunflow.result;
+  mutable e_mark : Prt.checkpoint;  (* undo-log position when scheduled *)
+}
+
+type engine = {
+  g_policy : policy;
+  g_order : Order.t;
+  g_delta : float;
+  g_bandwidth : float;
+  g_carry : bool;
+  g_rebuild : bool;
+  g_cmp : entry -> entry -> int;
+  mutable g_entries : entry array;  (* active Coflows in service order *)
+  mutable g_n : int;
+  mutable g_prt : Prt.t;
+  mutable g_established : (int * int) list;
+  g_index : (int, entry) Hashtbl.t;
+}
+
+let entry_key policy ~bandwidth c =
+  match policy with
+  | Fifo | Custom _ -> 0.
+  | Shortest_first -> Bounds.packet_lower ~bandwidth c.Coflow.demand
+  | Priority_classes class_of -> float_of_int (class_of c)
+
+(* total order: every policy comparator falls back to (arrival, id), so
+   distinct Coflows never compare equal and binary search finds exact
+   positions. [Custom] comparators get the same tiebreak appended. *)
+let entry_cmp policy =
+  match policy with
+  | Fifo -> fun a b -> Coflow.compare_arrival a.e_coflow b.e_coflow
+  | Shortest_first | Priority_classes _ ->
+    fun a b ->
+      (match compare a.e_key b.e_key with
+      | 0 -> Coflow.compare_arrival a.e_coflow b.e_coflow
+      | c -> c)
+  | Custom cmp ->
+    fun a b ->
+      (match cmp a.e_coflow b.e_coflow with
+      | 0 -> Coflow.compare_arrival a.e_coflow b.e_coflow
+      | c -> c)
+
+let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
+    ?(rebuild = false) ~policy ~delta ~bandwidth () =
+  {
+    g_policy = policy;
+    g_order = order;
+    g_delta = delta;
+    g_bandwidth = bandwidth;
+    g_carry = carry_circuits;
+    g_rebuild = rebuild;
+    g_cmp = entry_cmp policy;
+    g_entries = [||];
+    g_n = 0;
+    g_prt = Prt.create ();
+    g_established = [];
+    g_index = Hashtbl.create 64;
+  }
+
+(* first index whose entry sorts at or after [e] *)
+let lower_bound g e =
+  let lo = ref 0 and hi = ref g.g_n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if g.g_cmp g.g_entries.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let insert_entry g e =
+  let k = lower_bound g e in
+  let cap = Array.length g.g_entries in
+  if g.g_n = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) e in
+    Array.blit g.g_entries 0 arr 0 g.g_n;
+    g.g_entries <- arr
+  end;
+  Array.blit g.g_entries k g.g_entries (k + 1) (g.g_n - k);
+  g.g_entries.(k) <- e;
+  g.g_n <- g.g_n + 1
+
+let remove_entry g e =
+  let k = lower_bound g e in
+  assert (k < g.g_n && g.g_entries.(k) == e);
+  Array.blit g.g_entries (k + 1) g.g_entries k (g.g_n - k - 1);
+  g.g_n <- g.g_n - 1
+
+let engine_size g = g.g_n
+let engine_established g = g.g_established
+
+let engine_finish g id =
+  match Hashtbl.find_opt g.g_index id with
+  | Some e -> Some e.e_plan.Sunflow.finish
+  | None -> None
+
+let engine_min_finish g =
+  let m = ref infinity in
+  for i = 0 to g.g_n - 1 do
+    m := Float.min !m g.g_entries.(i).e_plan.Sunflow.finish
+  done;
+  !m
+
+let m_steps = Obs.Registry.counter "inter.incremental_steps"
+
+let schedule_incremental g ~now ~arrivals ~finished ~remaining =
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr m_rounds;
+    Obs.Registry.incr m_steps;
+    Obs.Tracer.begin_span ~cat:"core" "inter.step"
+  end;
+  (* 1. retire finished Coflows. Every window of a finished Coflow
+     stops at or before its recorded finish <= now, and every table
+     query made on behalf of the remaining Coflows is a strict-greater
+     successor search at an instant >= now, so the removal is invisible
+     to them: no rescheduling. *)
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt g.g_index id with
+      | None -> invalid_arg "Inter.schedule_incremental: unknown finished id"
+      | Some e ->
+        remove_entry g e;
+        Hashtbl.remove g.g_index id;
+        if not g.g_rebuild then ignore (Prt.retract_coflow g.g_prt id : int))
+    finished;
+  (* 2. admit arrivals at their priority positions *)
+  let dirty = Hashtbl.create 8 in
+  let arrived = Hashtbl.create 8 in
+  let fresh_mark = Prt.checkpoint g.g_prt in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem g.g_index c.Coflow.id then
+        invalid_arg "Inter.schedule_incremental: duplicate Coflow id";
+      let e =
+        {
+          e_coflow = c;
+          e_key = entry_key g.g_policy ~bandwidth:g.g_bandwidth c;
+          e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
+          e_mark = fresh_mark;
+        }
+      in
+      insert_entry g e;
+      Hashtbl.replace g.g_index c.Coflow.id e;
+      Hashtbl.replace arrived c.Coflow.id ();
+      Hashtbl.replace dirty c.Coflow.id ())
+    arrivals;
+  (* 3. further dirty sources. Without carry-over every event restarts
+     every circuit (all-stop), so everything is dirty. *)
+  if not g.g_carry then
+    for i = 0 to g.g_n - 1 do
+      Hashtbl.replace dirty g.g_entries.(i).e_coflow.Coflow.id ()
+    done;
+  (* circuits physically up at [now], read before any rollback (a
+     rolled-back Coflow's transmitting circuit is still up, and its
+     replacement plan may carry it delta-free). Windows of retired
+     Coflows are filtered out in both modes: [rebuild] keeps them in
+     its stale table, the incremental path has already retracted them. *)
+  let covering =
+    List.filter
+      (fun r -> Hashtbl.mem g.g_index r.Prt.coflow)
+      (Prt.covering_at g.g_prt now)
+  in
+  g.g_established <-
+    (if g.g_carry then
+       covering
+       |> List.filter_map (fun r ->
+              if r.Prt.start +. r.Prt.setup <= now then
+                Some (r.Prt.src, r.Prt.dst)
+              else None)
+       |> List.sort_uniq compare
+     else []);
+  (* a window whose reconfiguration straddles [now] is neither an
+     established circuit nor a fresh one; [schedule] restarts such
+     setups from scratch at every replan, and the executed timeline
+     cannot express a half-paid delta — so its owner is rescheduled *)
+  List.iter
+    (fun r ->
+      if r.Prt.start +. r.Prt.setup > now then
+        Hashtbl.replace dirty r.Prt.coflow ())
+    covering;
+  (* defensive: a stored finish at or before [now] with demand left
+     would stall the event loop; re-anchor such plans *)
+  for i = 0 to g.g_n - 1 do
+    let e = g.g_entries.(i) in
+    let id = e.e_coflow.Coflow.id in
+    if
+      e.e_plan.Sunflow.finish <= now
+      && (not (Hashtbl.mem dirty id))
+      && not (Demand.is_empty (remaining id))
+    then Hashtbl.replace dirty id ()
+  done;
+  (* 4. the dirty suffix starts at the first dirty position *)
+  let dirty_pos =
+    let p = ref g.g_n in
+    (try
+       for i = 0 to g.g_n - 1 do
+         if Hashtbl.mem dirty g.g_entries.(i).e_coflow.Coflow.id then begin
+           p := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !p
+  in
+  (* 5. bring the table to prefix-only *)
+  if g.g_rebuild then begin
+    (* oracle mode: identical decisions recomputed from scratch — fresh
+       table, re-reserving the retained prefix's stored windows *)
+    g.g_prt <- Prt.create ();
+    for i = 0 to dirty_pos - 1 do
+      List.iter (Prt.reserve g.g_prt)
+        g.g_entries.(i).e_plan.Sunflow.reservations
+    done
+  end
+  else if dirty_pos < g.g_n then begin
+    (* marks increase with position among retained entries, so the
+       oldest mark in the suffix is the first non-arrival's; an all-new
+       suffix rolls back to the current log end, a no-op *)
+    let mark = ref fresh_mark in
+    (try
+       for i = dirty_pos to g.g_n - 1 do
+         let e = g.g_entries.(i) in
+         if not (Hashtbl.mem arrived e.e_coflow.Coflow.id) then begin
+           mark := e.e_mark;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Prt.rollback g.g_prt !mark
+  end;
+  (* 6. re-run Sunflow for the suffix, in priority order, against the
+     retained prefix *)
+  let est_set = Hashtbl.create 16 in
+  List.iter (fun cc -> Hashtbl.replace est_set cc ()) g.g_established;
+  let is_established cc = Hashtbl.mem est_set cc in
+  for i = dirty_pos to g.g_n - 1 do
+    let e = g.g_entries.(i) in
+    e.e_mark <- Prt.checkpoint g.g_prt;
+    let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
+    e.e_plan <-
+      Sunflow.schedule ~prt:g.g_prt ~now ~order:g.g_order
+        ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c
+  done;
+  if obs then begin
+    Obs.Registry.observe h_batch (float_of_int (g.g_n - dirty_pos));
+    Obs.Tracer.end_span ~cat:"core" "inter.step"
+  end
+
+(* windows overlapping [t0, t1), straddlers clipped to start at [t0].
+   After a [schedule_incremental] at [t0] no straddler is mid-setup
+   (its owner would have been rescheduled), so clipped setups are 0 —
+   the [Float.max] is defensive. *)
+let clip_from t0 r =
+  if r.Prt.start < t0 then
+    {
+      r with
+      Prt.start = t0;
+      setup = Float.max 0. (r.Prt.start +. r.Prt.setup -. t0);
+      length = Prt.stop r -. t0;
+    }
+  else r
+
+let engine_slice g ~t0 ~t1 =
+  List.map (clip_from t0) (Prt.reservations_in g.g_prt t0 t1)
+
+(* materialise the persistent plan as a [result] equivalent to what a
+   from-scratch replan at [now] would describe, for the validation
+   hooks: stored windows still ahead of [now], straddlers clipped,
+   windows of flows with no remaining demand dropped, each Coflow's
+   finish/setups recomputed over the kept windows. Only built when a
+   caller actually asks (the on_slice hook). *)
+let engine_view g ~now ~remaining =
+  let per_coflow =
+    let acc = ref [] in
+    for i = g.g_n - 1 downto 0 do
+      let e = g.g_entries.(i) in
+      let id = e.e_coflow.Coflow.id in
+      let rem = remaining id in
+      let kept =
+        List.filter_map
+          (fun r ->
+            if Prt.stop r <= now then None
+            else if Demand.get rem r.Prt.src r.Prt.dst <= 0. then None
+            else Some (clip_from now r))
+          e.e_plan.Sunflow.reservations
+      in
+      let finish =
+        List.fold_left (fun acc r -> Float.max acc (Prt.stop r)) now kept
+      in
+      let setups =
+        List.fold_left (fun n r -> if r.Prt.setup > 0. then n + 1 else n) 0 kept
+      in
+      acc := (id, { Sunflow.reservations = kept; finish; setups }) :: !acc
+    done;
+    !acc
+  in
+  let prt = Prt.create () in
+  List.iter
+    (fun (_, (r : Sunflow.result)) -> List.iter (Prt.reserve prt) r.reservations)
+    per_coflow;
+  { prt; per_coflow }

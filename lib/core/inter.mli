@@ -23,7 +23,9 @@ type policy =
       (** arbitrary comparator *)
 
 val sort : policy -> bandwidth:float -> Coflow.t list -> Coflow.t list
-(** Stable priority ordering of Coflows under a policy. *)
+(** Stable priority ordering of Coflows under a policy. Derived sort
+    keys ([Shortest_first]'s packet lower bound, [Priority_classes]'s
+    class) are computed once per Coflow, not per comparison. *)
 
 val policy_name : policy -> string
 
@@ -53,3 +55,86 @@ val schedule :
 
 val finish_of : result -> int -> float option
 (** Planned finish time of a Coflow by id. *)
+
+(** {1 Incremental replanning}
+
+    A persistent plan maintained across replay events. Non-preemption
+    makes suffix-only rescheduling sound: a Coflow's reservations are
+    a function of the table contents written by the Coflows sorting
+    before it, so an arrival invalidates only the priority-order
+    suffix from its insertion point on, and a finish invalidates
+    nothing at all (the finished Coflow's windows all stop at or
+    before [now], where no successor query ever looks).
+
+    Semantics differ from calling {!schedule} at every event in two
+    deliberate ways: priority keys are fixed at admission (computed
+    from the Coflow's original demand, cached), and a retained
+    Coflow's plan stays anchored at its last (re)scheduling instant
+    instead of being re-derived from the remaining demand — which
+    re-rounds every boundary at each event. The engine's bit-exact
+    oracle is therefore its own [rebuild] mode, which makes the same
+    decisions while reconstructing the table from scratch at every
+    event instead of rolling back. *)
+
+type engine
+
+val engine :
+  ?order:Order.t ->
+  ?carry_circuits:bool ->
+  ?rebuild:bool ->
+  policy:policy ->
+  delta:float ->
+  bandwidth:float ->
+  unit ->
+  engine
+(** A fresh engine with no admitted Coflows. [carry_circuits] mirrors
+    [Circuit_sim.run]: with it off (all-stop) every event reschedules
+    everything. [rebuild] selects the from-scratch oracle mode.
+    [Custom] comparators get an [(arrival, id)] tiebreak appended, so
+    they need not be total themselves. *)
+
+val schedule_incremental :
+  engine ->
+  now:float ->
+  arrivals:Coflow.t list ->
+  finished:int list ->
+  remaining:(int -> Demand.t) ->
+  unit
+(** Advance the plan to the event at [now]: retire [finished] (their
+    reservations are withdrawn with no rescheduling), admit [arrivals]
+    at their priority positions, and re-run [Sunflow.schedule] — at
+    [now], on the remaining demand reported by [remaining] — for
+    exactly the Coflows whose plans the event invalidated: everything
+    from the first arrival's position on, plus any Coflow whose
+    reservation was mid-reconfiguration at [now]. Raises
+    [Invalid_argument] on an unknown finished id or a duplicate
+    arrival id. O(changed Coflows), not O(active Coflows), per event
+    when circuits carry. *)
+
+val engine_size : engine -> int
+(** Number of Coflows currently admitted and unfinished. *)
+
+val engine_established : engine -> (int * int) list
+(** Circuits physically transmitting at the last step's [now]
+    (deduplicated, sorted) — the carry-over set that step's
+    rescheduling was allowed to reuse delta-free. *)
+
+val engine_finish : engine -> int -> float option
+(** The stored plan's finish for an admitted Coflow. *)
+
+val engine_min_finish : engine -> float
+(** Earliest stored finish over all admitted Coflows, [infinity] when
+    none — the replay loop's next completion event. *)
+
+val engine_slice : engine -> t0:float -> t1:float -> Prt.reservation list
+(** The persistent plan's windows overlapping [[t0, t1)], straddlers
+    clipped to start at [t0] (with the already-elapsed setup removed),
+    sorted by full window identity. This is what executes during the
+    slice. *)
+
+val engine_view : engine -> now:float -> remaining:(int -> Demand.t) -> result
+(** Materialise the persistent plan as the {!result} a from-scratch
+    replan at [now] would describe: windows at or before [now] and
+    windows of flows with no remaining demand dropped, straddlers
+    clipped, per-Coflow finish/setups recomputed over the kept
+    windows. Built for validation hooks; O(active plan). *)

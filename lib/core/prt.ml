@@ -112,10 +112,28 @@ type t = {
   mutable releases : float array;
   mutable n_releases : int;
   mutable n_res : int;
+  (* ownership index: Coflow id -> the windows it currently holds, so a
+     finished Coflow's reservations can be retired in O(own windows)
+     without scanning the table *)
+  owners : (int, reservation list ref) Hashtbl.t;
+  (* undo log: every successful [reserve] in order. [checkpoint] marks a
+     position; [rollback] replays the suffix backwards with
+     remove-if-present semantics, so entries already retired through
+     [retract_coflow] are skipped rather than double-freed. *)
+  mutable journal : reservation array;
+  mutable n_journal : int;
 }
 
 let create () =
-  { ports = Hashtbl.create 64; releases = [||]; n_releases = 0; n_res = 0 }
+  {
+    ports = Hashtbl.create 64;
+    releases = [||];
+    n_releases = 0;
+    n_res = 0;
+    owners = Hashtbl.create 64;
+    journal = [||];
+    n_journal = 0;
+  }
 
 let copy t =
   let ports = Hashtbl.create (Hashtbl.length t.ports) in
@@ -124,11 +142,16 @@ let copy t =
       Hashtbl.replace ports p
         { res = Array.sub s.res 0 s.len; stops = Array.sub s.stops 0 s.len; len = s.len })
     t.ports;
+  let owners = Hashtbl.create (Hashtbl.length t.owners) in
+  Hashtbl.iter (fun id l -> Hashtbl.replace owners id (ref !l)) t.owners;
   {
     ports;
     releases = Array.sub t.releases 0 t.n_releases;
     n_releases = t.n_releases;
     n_res = t.n_res;
+    owners;
+    journal = Array.sub t.journal 0 t.n_journal;
+    n_journal = t.n_journal;
   }
 
 let is_empty t = t.n_res = 0
@@ -326,6 +349,16 @@ let release_insert c t v =
   t.releases.(k) <- v;
   t.n_releases <- t.n_releases + 1
 
+let journal_push t r =
+  let cap = Array.length t.journal in
+  if t.n_journal = cap then begin
+    let arr = Array.make (grow_cap cap) r in
+    Array.blit t.journal 0 arr 0 t.n_journal;
+    t.journal <- arr
+  end;
+  t.journal.(t.n_journal) <- r;
+  t.n_journal <- t.n_journal + 1
+
 let reserve t r =
   if r.length <= 0. then invalid_arg "Prt.reserve: non-positive length";
   if r.setup < 0. || r.setup > r.length then
@@ -342,7 +375,87 @@ let reserve t r =
      raise e);
   release_insert c t (stop r);
   t.n_res <- t.n_res + 1;
+  journal_push t r;
+  (match Hashtbl.find_opt t.owners r.coflow with
+   | Some l -> l := r :: !l
+   | None -> Hashtbl.add t.owners r.coflow (ref [ r ]));
   c.c_reservations.v <- c.c_reservations.v + 1
+
+(* --- removal / rollback ----------------------------------------------- *)
+
+(* index of a window physically equal to [r] in the slot's start-sorted
+   array, or -1. Equal starts are contiguous, so only that run is
+   probed. *)
+let slot_find c (s : slot) r =
+  let i = ref (bsearch_gt c res_start s.res s.len r.start - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !i >= 0 && s.res.(!i).start = r.start do
+    c.c_scans.v <- c.c_scans.v + 1;
+    if s.res.(!i) = r then found := !i else decr i
+  done;
+  !found
+
+(* remove exactly one release-index entry equal to [v] *)
+let release_remove c t v =
+  let i = bsearch_gt c float_id t.releases t.n_releases v - 1 in
+  assert (i >= 0 && t.releases.(i) = v);
+  Array.blit t.releases (i + 1) t.releases i (t.n_releases - i - 1);
+  t.n_releases <- t.n_releases - 1
+
+let owner_remove t r =
+  match Hashtbl.find_opt t.owners r.coflow with
+  | None -> ()
+  | Some l ->
+    let rec drop = function
+      | [] -> []
+      | x :: tl -> if x = r then tl else x :: drop tl
+    in
+    (match drop !l with
+     | [] -> Hashtbl.remove t.owners r.coflow
+     | l' -> l := l')
+
+let remove t r =
+  let c = counters () in
+  c.c_queries.v <- c.c_queries.v + 1;
+  let s_in = find_slot t (In r.src) in
+  let k = slot_find c s_in r in
+  if k < 0 then false
+  else begin
+    slot_remove c t (In r.src) k (stop r);
+    let k_out = slot_find c (find_slot t (Out r.dst)) r in
+    assert (k_out >= 0);
+    slot_remove c t (Out r.dst) k_out (stop r);
+    release_remove c t (stop r);
+    t.n_res <- t.n_res - 1;
+    owner_remove t r;
+    c.c_rollbacks.v <- c.c_rollbacks.v + 1;
+    true
+  end
+
+let retract_coflow t id =
+  match Hashtbl.find_opt t.owners id with
+  | None -> 0
+  | Some l ->
+    let windows = !l in
+    (* drop the bucket first so [remove]'s per-window owner upkeep is a
+       no-op instead of O(|windows|) list surgery per window *)
+    Hashtbl.remove t.owners id;
+    List.iter (fun r -> ignore (remove t r : bool)) windows;
+    List.length windows
+
+type checkpoint = int
+
+let checkpoint t = t.n_journal
+
+let rollback t mark =
+  if mark < 0 || mark > t.n_journal then
+    invalid_arg "Prt.rollback: stale checkpoint";
+  while t.n_journal > mark do
+    t.n_journal <- t.n_journal - 1;
+    (* remove-if-present: the entry may already be gone if its Coflow
+       was retired through [retract_coflow] after the checkpoint *)
+    ignore (remove t t.journal.(t.n_journal) : bool)
+  done
 
 (* --- traversal -------------------------------------------------------- *)
 
@@ -371,6 +484,73 @@ let established_at t instant =
            Some (r.src, r.dst)
          else None)
   |> List.sort_uniq compare
+
+(* all windows with [start <= instant < stop], by per-port predecessor
+   search plus the dust walk-back (same argument as [free_at]: anything
+   further left stops more than [time_tolerance] before a window that
+   itself stops at or before [instant - time_tolerance], so it cannot
+   reach [instant]) *)
+let covering_at t instant =
+  let c = counters () in
+  c.c_queries.v <- c.c_queries.v + 1;
+  Hashtbl.fold
+    (fun p s acc ->
+      match p with
+      | Out _ -> acc
+      | In _ ->
+        let i = bsearch_gt c res_start s.res s.len instant - 1 in
+        let rec walk j acc =
+          if j < 0 then acc
+          else begin
+            c.c_scans.v <- c.c_scans.v + 1;
+            let st = stop s.res.(j) in
+            if st > instant then walk (j - 1) (s.res.(j) :: acc)
+            else if st > instant -. time_tolerance then walk (j - 1) acc
+            else acc
+          end
+        in
+        walk i acc)
+    t.ports []
+
+(* deterministic physical order for slice execution: equal-start dust
+   twins are insertion-order independent in the arrays, so callers that
+   must iterate identically across differently-built tables sort on the
+   full window identity *)
+let physical_order a b =
+  compare
+    (a.start, a.src, a.dst, a.coflow, a.setup, a.length)
+    (b.start, b.src, b.dst, b.coflow, b.setup, b.length)
+
+let reservations_in t t0 t1 =
+  let c = counters () in
+  c.c_queries.v <- c.c_queries.v + 1;
+  Hashtbl.fold
+    (fun p s acc ->
+      match p with
+      | Out _ -> acc
+      | In _ ->
+        let i = bsearch_gt c res_start s.res s.len t0 in
+        (* windows starting at or before [t0] that still reach past it *)
+        let rec back j acc =
+          if j < 0 then acc
+          else begin
+            c.c_scans.v <- c.c_scans.v + 1;
+            let st = stop s.res.(j) in
+            if st > t0 then back (j - 1) (s.res.(j) :: acc)
+            else if st > t0 -. time_tolerance then back (j - 1) acc
+            else acc
+          end
+        in
+        let acc = ref (back (i - 1) acc) in
+        let j = ref i in
+        while !j < s.len && s.res.(!j).start < t1 do
+          c.c_scans.v <- c.c_scans.v + 1;
+          acc := s.res.(!j) :: !acc;
+          incr j
+        done;
+        !acc)
+    t.ports []
+  |> List.sort physical_order
 
 let ports_in_use t =
   Hashtbl.fold (fun p s acc -> if s.len = 0 then acc else p :: acc) t.ports []

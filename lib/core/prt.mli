@@ -42,7 +42,10 @@ type stats = {
   queries : int;  (** point queries answered (free_at, next-start, next-release) *)
   scans : int;  (** binary-search probes + neighbourhood walks *)
   reservations : int;  (** successful {!reserve} calls *)
-  rollbacks : int;  (** reserves undone after an Out-port conflict *)
+  rollbacks : int;
+      (** windows removed again after having been reserved: reserves
+          undone after an Out-port conflict, plus every removal through
+          {!rollback} and {!retract_coflow} *)
 }
 (** Cumulative work counters over every table in the process, for the
     bench harness ([BENCH_prt.json]). Queries count public lookups;
@@ -72,7 +75,11 @@ val create : unit -> t
 
 val copy : t -> t
 (** Deep copy: reservations recorded in either table afterwards never
-    appear in the other. *)
+    appear in the other. The undo log and ownership index are copied
+    too, so a checkpoint taken before the copy can be rolled back in
+    either table — but checkpoints are positions in one table's log,
+    so a checkpoint taken in one table after the copy is meaningless
+    in the other. *)
 
 val is_empty : t -> bool
 
@@ -102,6 +109,35 @@ val reserve : t -> reservation -> unit
     [Invalid_argument] if it would overlap an existing window on either
     port, if [length <= 0.], or if [setup] is outside [[0, length]]. *)
 
+val remove : t -> reservation -> bool
+(** Remove the window physically equal to the argument from both of its
+    ports, the release index and the ownership index. Returns [false]
+    (leaving the table untouched) when no such window exists. Sub-dust
+    twins — identical windows within {e time_tolerance} — are
+    interchangeable; one of them goes. *)
+
+val retract_coflow : t -> int -> int
+(** Remove every window owned by the Coflow id; returns how many were
+    removed. O(own windows × log n). Entries the Coflow wrote to the
+    undo log stay there and are skipped by a later {!rollback} —
+    retiring a finished Coflow never invalidates outstanding
+    checkpoints. *)
+
+type checkpoint
+(** A position in the table's undo log. Valid for this table (or a
+    {!copy} taken later) until a {!rollback} to an earlier position
+    discards it. *)
+
+val checkpoint : t -> checkpoint
+(** Mark the current undo-log position. O(1). *)
+
+val rollback : t -> checkpoint -> unit
+(** Undo every {!reserve} recorded after the checkpoint, newest first,
+    skipping windows already gone via {!retract_coflow}, and truncate
+    the log back to the mark. Raises [Invalid_argument] on a checkpoint
+    from beyond the current log end (i.e. one already discarded by an
+    earlier rollback). O(undone × log n). *)
+
 val port_reservations : t -> port -> reservation list
 (** Reservations on one port, sorted by start time. *)
 
@@ -113,6 +149,20 @@ val established_at : t -> float -> (int * int) list
 (** Circuits actively transmitting at an instant: reservations with
     [start + setup <= t < stop]. Used when rescheduling to carry live
     circuits over without paying a new delta. *)
+
+val covering_at : t -> float -> reservation list
+(** Every reservation whose window contains the instant
+    ([start <= t < stop]), in unspecified order. Per-port predecessor
+    search, so O(ports × log n) rather than O(reservations).
+    [established_at]'s answer is exactly the [(src, dst)] set of these
+    windows filtered to [start + setup <= t]. *)
+
+val reservations_in : t -> float -> float -> reservation list
+(** [reservations_in t t0 t1]: every reservation overlapping the slice
+    [[t0, t1)] — [stop > t0] and [start < t1] — sorted by the full
+    window identity [(start, src, dst, coflow, setup, length)] so the
+    order is identical across differently-built tables holding the same
+    windows. O(ports × log n + answer). *)
 
 val ports_in_use : t -> port list
 (** Ports holding at least one reservation, sorted. *)

@@ -36,12 +36,10 @@ let check_unique_ids coflows =
 
 let no_release _ _ = []
 
-let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(on_complete = no_release) ?on_slice ~delta
+type replan = [ `Full | `Rebuild | `Incremental ]
+
+let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
     ~bandwidth coflows =
-  if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
-  if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
-  check_unique_ids coflows;
   let arrivals = Event_queue.create () in
   List.iter
     (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
@@ -104,8 +102,15 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
           plan
         end
       in
+      (* per-slice lookup tables: [Inter.finish_of] and an assoc over
+         the actives are both linear, which made every event quadratic
+         in the active-Coflow count *)
+      let finish_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (id, (r : Sunflow.result)) -> Hashtbl.replace finish_tbl id r.finish)
+        plan.Inter.per_coflow;
       let planned_finish (a : active) =
-        match Inter.finish_of plan a.orig.Coflow.id with
+        match Hashtbl.find_opt finish_tbl a.orig.Coflow.id with
         | Some f -> f
         | None -> invalid_arg "Circuit_sim.run: Coflow missing from plan"
       in
@@ -174,14 +179,13 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
             if obs then Obs.Registry.incr m_teardowns
           end)
         reservations;
-      let by_id =
-        List.map (fun a -> (a.orig.Coflow.id, a)) actives
-      in
+      let by_id = Hashtbl.create 16 in
+      List.iter (fun a -> Hashtbl.replace by_id a.orig.Coflow.id a) actives;
       List.iter
         (fun (r : Prt.reservation) ->
           let seconds = Schedule.transmission_overlap r ~t0:t ~t1:t_next in
           if seconds > 0. then
-            match List.assoc_opt r.coflow by_id with
+            match Hashtbl.find_opt by_id r.coflow with
             | Some a ->
               Demand.drain a.remaining r.src r.dst (seconds *. bandwidth);
               if
@@ -249,6 +253,224 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
     n_events = !n_events;
     total_setups = !setups;
   }
+
+(* The incremental replay: one persistent [Inter.engine] instead of a
+   fresh [Inter.schedule] per event. Plans stay anchored at each
+   Coflow's last (re)scheduling instant; each slice executes the
+   engine's stored windows clipped to [t, t_next). [rebuild] runs the
+   same engine decisions while reconstructing the table from scratch
+   every event — the bit-exact oracle for the rollback machinery. *)
+let run_anchored ~rebuild ~policy ~order ~carry_circuits ~on_complete ~on_slice
+    ~delta ~bandwidth coflows =
+  let arrivals = Event_queue.create () in
+  List.iter
+    (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
+    (List.sort Coflow.compare_arrival coflows);
+  let obs = Obs.Control.enabled () in
+  let eng =
+    Inter.engine ~order ~carry_circuits ~rebuild ~policy ~delta ~bandwidth ()
+  in
+  let active_tbl : (int, active) Hashtbl.t = Hashtbl.create 64 in
+  let actives : active list ref = ref [] in
+  let newly : Coflow.t list ref = ref [] in
+  let retired : int list ref = ref [] in
+  let ccts = ref [] and finishes = ref [] in
+  let n_events = ref 0 and setups = ref 0 in
+  let makespan = ref 0. in
+  let live : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let admit t =
+    List.iter
+      (fun (_, (c : Coflow.t)) ->
+        if obs then
+          Obs.Timeline.record
+            (Obs.Timeline.Arrival { coflow = c.id; t = c.arrival });
+        if Demand.is_empty c.demand then begin
+          ccts := (c.id, 0.) :: !ccts;
+          finishes := (c.id, c.arrival) :: !finishes;
+          if obs then
+            Obs.Timeline.record
+              (Obs.Timeline.Finish { coflow = c.id; t = c.arrival; cct = 0. })
+        end
+        else begin
+          let a = { orig = c; remaining = Demand.copy c.demand } in
+          Hashtbl.replace active_tbl c.id a;
+          actives := a :: !actives;
+          newly := c :: !newly
+        end)
+      (Event_queue.drain_until arrivals t)
+  in
+  let remaining_of id =
+    match Hashtbl.find_opt active_tbl id with
+    | Some a -> a.remaining
+    | None -> invalid_arg "Circuit_sim.run: unknown Coflow in engine"
+  in
+  let rec loop t =
+    incr n_events;
+    if obs then Obs.Registry.incr m_events;
+    match (!actives, Event_queue.peek arrivals) with
+    | [], None -> ()
+    | [], Some (ta, _) ->
+      admit ta;
+      (* an idle gap: no circuit survives it (the engine is empty, so
+         there is nothing to carry) *)
+      loop ta
+    | acts, next_arrival ->
+      let step () =
+        Inter.schedule_incremental eng ~now:t ~arrivals:!newly
+          ~finished:!retired ~remaining:remaining_of
+      in
+      (if not obs then step ()
+       else begin
+         Obs.Tracer.begin_span ~cat:"sim" "sim.replan";
+         let w0 = Obs.Control.now_ns () in
+         step ();
+         Obs.Registry.observe h_plan
+           (Int64.to_float (Int64.sub (Obs.Control.now_ns ()) w0) /. 1e9);
+         Obs.Tracer.end_span ~cat:"sim" "sim.replan"
+       end);
+      newly := [];
+      retired := [];
+      let t_done = Inter.engine_min_finish eng in
+      let t_next =
+        match next_arrival with
+        | Some (ta, _) -> Float.min ta t_done
+        | None -> t_done
+      in
+      let established = Inter.engine_established eng in
+      (match on_slice with
+      | Some f ->
+        let scheduled =
+          List.map (fun a -> Coflow.with_demand a.orig a.remaining) acts
+        in
+        f ~t ~t_next ~established ~coflows:scheduled
+          (Inter.engine_view eng ~now:t ~remaining:remaining_of)
+      | None -> ());
+      (* execute the persistent plan over [t, t_next): same executor as
+         the full path, fed the slice-overlapping windows only *)
+      let reservations = Inter.engine_slice eng ~t0:t ~t1:t_next in
+      let reused = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Prt.reservation) ->
+          if r.setup = 0. && r.start = t then
+            Hashtbl.replace reused (r.src, r.dst) ())
+        reservations;
+      let stale =
+        Hashtbl.fold
+          (fun circuit () acc ->
+            if Hashtbl.mem reused circuit then acc else circuit :: acc)
+          live []
+      in
+      List.iter
+        (fun circuit ->
+          Hashtbl.remove live circuit;
+          if obs then Obs.Registry.incr m_teardowns)
+        stale;
+      List.iter
+        (fun (r : Prt.reservation) ->
+          if r.setup > 0. && r.start >= t && r.start < t_next then begin
+            incr setups;
+            Hashtbl.replace live (r.src, r.dst) ();
+            if obs then begin
+              Obs.Registry.incr m_setups;
+              Obs.Registry.gauge_add g_delta r.setup;
+              Obs.Timeline.record
+                (Obs.Timeline.Setup
+                   {
+                     coflow = r.coflow;
+                     src = r.src;
+                     dst = r.dst;
+                     t = r.start;
+                     delta = r.setup;
+                   })
+            end
+          end;
+          if
+            Prt.stop r > t
+            && Prt.stop r <= t_next
+            && Hashtbl.mem live (r.src, r.dst)
+          then begin
+            Hashtbl.remove live (r.src, r.dst);
+            if obs then Obs.Registry.incr m_teardowns
+          end)
+        reservations;
+      List.iter
+        (fun (r : Prt.reservation) ->
+          let seconds = Schedule.transmission_overlap r ~t0:t ~t1:t_next in
+          if seconds > 0. then
+            match Hashtbl.find_opt active_tbl r.coflow with
+            | Some a ->
+              Demand.drain a.remaining r.src r.dst (seconds *. bandwidth);
+              if
+                obs
+                && Demand.get a.remaining r.src r.dst <= byte_eps bandwidth
+              then
+                Obs.Timeline.record
+                  (Obs.Timeline.Flow_finish
+                     {
+                       coflow = r.coflow;
+                       src = r.src;
+                       dst = r.dst;
+                       t = Float.min (Prt.stop r) t_next;
+                     })
+            | None ->
+              invalid_arg "Circuit_sim.run: reservation for unknown Coflow")
+        reservations;
+      List.iter (fun a -> snap_demand ~bandwidth a.remaining) acts;
+      let finished, still =
+        List.partition (fun a -> Demand.is_empty a.remaining) acts
+      in
+      List.iter
+        (fun (a : active) ->
+          let id = a.orig.Coflow.id in
+          ccts := (id, t_next -. a.orig.Coflow.arrival) :: !ccts;
+          finishes := (id, t_next) :: !finishes;
+          makespan := Float.max !makespan t_next;
+          if obs then
+            Obs.Timeline.record
+              (Obs.Timeline.Finish
+                 { coflow = id; t = t_next; cct = t_next -. a.orig.Coflow.arrival });
+          Hashtbl.remove active_tbl id;
+          retired := id :: !retired;
+          List.iter
+            (fun (c : Coflow.t) ->
+              if c.arrival < t_next then
+                invalid_arg "Circuit_sim.run: released Coflow arrives in the past";
+              Event_queue.push arrivals ~time:c.arrival c)
+            (on_complete id t_next))
+        finished;
+      actives := still;
+      admit t_next;
+      if !actives <> [] || not (Event_queue.is_empty arrivals) then loop t_next
+  in
+  (match Event_queue.peek arrivals with
+  | None -> ()
+  | Some (t0, _) ->
+    admit t0;
+    loop t0);
+  if obs then Obs.Registry.add m_teardowns (Hashtbl.length live);
+  Hashtbl.reset live;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    Sim_result.ccts = sorted !ccts;
+    finishes = sorted !finishes;
+    makespan = !makespan;
+    n_events = !n_events;
+    total_setups = !setups;
+  }
+
+let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
+    ?(carry_circuits = true) ?(replan = `Full) ?(on_complete = no_release)
+    ?on_slice ~delta ~bandwidth coflows =
+  if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
+  if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
+  check_unique_ids coflows;
+  match replan with
+  | `Full ->
+    run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
+      ~bandwidth coflows
+  | (`Rebuild | `Incremental) as mode ->
+    run_anchored ~rebuild:(mode = `Rebuild) ~policy ~order ~carry_circuits
+      ~on_complete ~on_slice ~delta ~bandwidth coflows
 
 let intra_cct ?(order = Order.Ordered_port) ~delta ~bandwidth coflow =
   Sunflow.schedule ~order ~delta ~bandwidth

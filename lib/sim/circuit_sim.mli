@@ -11,10 +11,31 @@
     its owner a fresh delta when it is re-established later — the
     inter-Coflow preemption semantics of §4.2. *)
 
+type replan = [ `Full | `Rebuild | `Incremental ]
+(** How the circuit plan is maintained across scheduling events.
+    [`Full] (the default, and the seed's behaviour) re-runs
+    [Inter.schedule] over every active Coflow at every event.
+    [`Incremental] keeps a persistent [Inter.engine]: arrivals
+    reschedule only the priority-order suffix they invalidate
+    (rollback-capable PRT), finishes retire reservations with no
+    rescheduling — O(changed Coflows) per event. [`Rebuild] makes
+    bit-identical decisions to [`Incremental] while reconstructing the
+    table from scratch at every event; it exists as the differential
+    oracle for the rollback machinery ({!Sunflow_check}).
+
+    The two anchored modes agree with each other bit-exactly but not
+    byte-for-byte with [`Full]: [`Full] re-derives every plan from the
+    drained remaining demand at every event, which re-rounds window
+    boundaries, while the anchored modes keep retained plans fixed at
+    their last scheduling instant (and fix [Shortest_first] keys at
+    admission). Both are faithful Sunflow semantics; finishes differ
+    at the float-rounding scale. *)
+
 val run :
   ?policy:Sunflow_core.Inter.policy ->
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
+  ?replan:replan ->
   ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
   ?on_slice:
     (t:float ->
@@ -49,7 +70,9 @@ val run :
     returns — copy anything kept), [established] the circuits carried
     over into the replan. The validation layer ({!Sunflow_check})
     hooks here to check every plan and to reconstruct the executed
-    schedule for the differential oracle. *)
+    schedule for the differential oracle. Under the anchored [replan]
+    modes the hook receives the persistent plan materialised as the
+    equivalent from-scratch result ([Inter.engine_view]). *)
 
 val intra_cct :
   ?order:Sunflow_core.Order.t ->

@@ -23,6 +23,7 @@ let () =
       ("packet", Test_packet.suite);
       ("sim.event_queue", Test_event_queue.suite);
       ("sim.replay", Test_sims.suite);
+      ("sim.incremental", Test_incremental.suite);
       ("sim.hybrid", Test_hybrid.suite);
       ("switch.physical", Test_switch.suite);
       ("jobs", Test_jobs.suite);

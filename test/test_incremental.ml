@@ -1,0 +1,158 @@
+(* The incremental replanning engine (persistent PRT + suffix-only
+   rescheduling) against its from-scratch rebuild oracle: bit-identical
+   results over a policy x carry x delta grid of randomized arrival
+   traces, balanced setup/teardown accounting, and the physical switch
+   oracle over the incremental path. *)
+
+module Coflow = Sunflow_core.Coflow
+module Inter = Sunflow_core.Inter
+module Units = Sunflow_core.Units
+module Circuit_sim = Sunflow_sim.Circuit_sim
+module Sim_result = Sunflow_sim.Sim_result
+module Diff_oracle = Sunflow_check.Diff_oracle
+module Plan_check = Sunflow_check.Plan_check
+module Violation = Sunflow_check.Violation
+module Rng = Sunflow_stats.Rng
+module Obs = Sunflow_obs
+
+let bandwidth = Units.gbps 100.
+
+let pp_violations vs =
+  String.concat "; "
+    (List.map (fun (v : Violation.t) -> v.Violation.message) vs)
+
+let trace_of_seed ?(max_coflows = 8) seed =
+  let rng = Rng.create seed in
+  Diff_oracle.random_trace rng ~n_ports:6 ~max_coflows ~span:2. ~max_mb:50.
+
+(* --- incremental == rebuild, bit for bit, across the grid --- *)
+
+let policies =
+  [
+    ("fifo", Inter.Fifo);
+    ("scf", Inter.Shortest_first);
+    ("classes", Inter.Priority_classes (fun c -> c.Coflow.id mod 2));
+    ( "custom",
+      (* deliberately non-total comparator: the engine must append its
+         own (arrival, id) tiebreak *)
+      Inter.Custom
+        (fun a b -> compare (a.Coflow.id mod 3) (b.Coflow.id mod 3)) );
+  ]
+
+let test_equiv_grid () =
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun carry ->
+          List.iter
+            (fun delta ->
+              for i = 0 to 2 do
+                let trace = trace_of_seed (1000 + (17 * i)) in
+                let vs =
+                  Plan_check.replay_equiv ~policy ~carry_circuits:carry ~delta
+                    ~bandwidth trace
+                in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s carry=%b delta=%g trace=%d" pname carry
+                     delta i)
+                  "" (pp_violations vs)
+              done)
+            [ 0.; Units.ms 10. ])
+        [ true; false ])
+    policies
+
+let test_result_fields_equal () =
+  let trace = trace_of_seed ~max_coflows:12 42 in
+  let run replan =
+    Circuit_sim.run ~replan ~delta:(Units.ms 15.) ~bandwidth trace
+  in
+  let ri = run `Incremental and rr = run `Rebuild in
+  Alcotest.(check bool) "Sim_result bit-identical" true (ri = rr);
+  (* and both complete every Coflow *)
+  Alcotest.(check int)
+    "all finish" (List.length trace)
+    (List.length ri.Sim_result.finishes)
+
+(* --- chained releases through on_complete stay equivalent --- *)
+
+let test_equiv_with_releases () =
+  let trace = trace_of_seed 7 in
+  let n = List.length trace in
+  let on_complete id t =
+    if id < n then
+      (* one dependent Coflow per original, arriving at the finish *)
+      [ Coflow.make ~id:(id + 1000) ~arrival:t (List.nth trace 0).Coflow.demand ]
+    else []
+  in
+  let run replan =
+    Circuit_sim.run ~replan ~on_complete ~delta:(Units.ms 10.) ~bandwidth trace
+  in
+  Alcotest.(check bool) "with releases" true (run `Incremental = run `Rebuild)
+
+(* --- setup/teardown counters stay balanced under the engine --- *)
+
+let test_setup_teardown_balance () =
+  let m_setups = Obs.Registry.counter "sim.setups" in
+  let m_teardowns = Obs.Registry.counter "sim.teardowns" in
+  Obs.Control.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Control.set_enabled false)
+    (fun () ->
+      List.iter
+        (fun replan ->
+          let s0 = Obs.Registry.counter_value m_setups in
+          let d0 = Obs.Registry.counter_value m_teardowns in
+          let r =
+            Circuit_sim.run ~replan ~delta:(Units.ms 15.) ~bandwidth
+              (trace_of_seed ~max_coflows:10 99)
+          in
+          let setups = Obs.Registry.counter_value m_setups - s0 in
+          let teardowns = Obs.Registry.counter_value m_teardowns - d0 in
+          (* the fabric ends dark: every establishment is torn down *)
+          Alcotest.(check int) "teardowns balance setups" setups teardowns;
+          Alcotest.(check int)
+            "observed setups match the result" r.Sim_result.total_setups
+            setups)
+        [ `Incremental; `Rebuild ])
+
+(* --- the physical switch accepts the incremental path's schedule --- *)
+
+let test_physical_oracle_incremental () =
+  for i = 0 to 4 do
+    let trace = trace_of_seed (500 + (31 * i)) in
+    let o =
+      Diff_oracle.replay ~replan:`Incremental ~delta:(Units.ms 15.) ~bandwidth
+        ~n_ports:6 trace
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "trace %d" i)
+      ""
+      (pp_violations o.Diff_oracle.violations);
+    Alcotest.(check bool) "compared some" true (o.Diff_oracle.compared > 0)
+  done
+
+(* --- QCheck: equivalence on arbitrary seeds --- *)
+
+let prop_equiv =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"incremental == rebuild (random seeds)"
+       QCheck.(pair small_nat (bool))
+       (fun (seed, carry) ->
+         let trace = trace_of_seed (10_000 + seed) in
+         Plan_check.replay_equiv ~carry_circuits:carry ~delta:(Units.ms 10.)
+           ~bandwidth trace
+         = []))
+
+let suite =
+  [
+    Alcotest.test_case "equivalence grid" `Quick test_equiv_grid;
+    Alcotest.test_case "Sim_result fields bit-identical" `Quick
+      test_result_fields_equal;
+    Alcotest.test_case "equivalence with released Coflows" `Quick
+      test_equiv_with_releases;
+    Alcotest.test_case "setup/teardown balance" `Quick
+      test_setup_teardown_balance;
+    Alcotest.test_case "physical oracle, incremental path" `Quick
+      test_physical_oracle_incremental;
+    prop_equiv;
+  ]

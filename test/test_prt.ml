@@ -347,6 +347,108 @@ let test_concurrent_counters () =
     "scans counted" true
     (after.Prt.scans - before.Prt.scans >= n_domains * queries)
 
+(* --- checkpoint / rollback / retract (PR 5) --- *)
+
+let table_fingerprint t =
+  ( Prt.all_reservations t,
+    List.map (fun p -> (p, Prt.port_reservations t p)) (Prt.ports_in_use t),
+    List.map (fun i -> Prt.next_release_after t i) [ 0.; 0.5; 1.; 2.; 5. ] )
+
+let test_checkpoint_rollback () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0.01 ~length:1. ());
+  Prt.reserve t (r ~coflow:1 ~src:1 ~dst:0 ~start:0.5 ~setup:0.01 ~length:1. ());
+  let snap = table_fingerprint t in
+  let cp = Prt.checkpoint t in
+  (* empty suffix: rolling back with nothing recorded is a no-op *)
+  Prt.rollback t cp;
+  Alcotest.(check bool) "empty rollback no-op" true (table_fingerprint t = snap);
+  (* a carried-circuit continuation (zero setup, back to back with
+     coflow 1's window on the same ports) plus fresh windows elsewhere *)
+  Prt.reserve t (r ~coflow:2 ~src:0 ~dst:1 ~start:1. ~setup:0. ~length:0.5 ());
+  Prt.reserve t (r ~coflow:2 ~src:2 ~dst:3 ~start:0. ~setup:0.01 ~length:2. ());
+  Prt.reserve t (r ~coflow:3 ~src:1 ~dst:2 ~start:1.5 ~setup:0.01 ~length:1. ());
+  Alcotest.(check bool) "suffix landed" false (table_fingerprint t = snap);
+  Prt.rollback t cp;
+  Alcotest.(check bool) "rollback restores table" true
+    (table_fingerprint t = snap);
+  (* rollback-then-reuse: the freed span can be reserved again, and the
+     same mark stays valid for a second rollback *)
+  Prt.reserve t (r ~coflow:4 ~src:0 ~dst:1 ~start:1. ~setup:0.01 ~length:0.25 ());
+  Alcotest.(check bool) "freed span reusable" true (Prt.free_at t (Prt.In 0) 1.5);
+  Prt.rollback t cp;
+  Alcotest.(check bool) "mark reusable" true (table_fingerprint t = snap);
+  (* a mark discarded by rolling back past it is rejected *)
+  let deep = Prt.checkpoint t in
+  Prt.reserve t (r ~coflow:5 ~src:4 ~dst:5 ~start:0. ~setup:0.01 ~length:1. ());
+  let late = Prt.checkpoint t in
+  Prt.rollback t deep;
+  Alcotest.check_raises "stale checkpoint"
+    (Invalid_argument "Prt.rollback: stale checkpoint") (fun () ->
+      Prt.rollback t late)
+
+let test_rollback_skips_retracted () =
+  let t = Prt.create () in
+  let cp = Prt.checkpoint t in
+  Prt.reserve t (r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0.01 ~length:1. ());
+  Prt.reserve t (r ~coflow:2 ~src:1 ~dst:2 ~start:0. ~setup:0.01 ~length:1. ());
+  Prt.reserve t (r ~coflow:1 ~src:2 ~dst:0 ~start:2. ~setup:0.01 ~length:1. ());
+  Alcotest.(check int) "retract removes both windows" 2 (Prt.retract_coflow t 1);
+  Alcotest.(check int) "retract unknown id" 0 (Prt.retract_coflow t 7);
+  (* the undo log still holds coflow 1's entries; rollback skips them
+     and removes coflow 2's *)
+  Prt.rollback t cp;
+  Alcotest.(check bool) "table empty" true (Prt.is_empty t);
+  Alcotest.(check int) "nothing left" 0 (List.length (Prt.all_reservations t))
+
+let test_remove_consistency () =
+  let t = Prt.create () in
+  let a = r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0. ~length:1. () in
+  let b = r ~coflow:2 ~src:1 ~dst:2 ~start:0. ~setup:0. ~length:2. () in
+  Prt.reserve t a;
+  Prt.reserve t b;
+  Alcotest.(check bool) "remove present" true (Prt.remove t a);
+  Alcotest.(check bool) "remove absent" false (Prt.remove t a);
+  Alcotest.(check (float 0.)) "release index updated" 2.
+    (Prt.next_release_after t 0.5);
+  Alcotest.(check bool) "In port freed" true (Prt.free_at t (Prt.In 0) 0.5);
+  Alcotest.(check bool) "Out port freed" true (Prt.free_at t (Prt.Out 1) 0.5);
+  Alcotest.(check bool) "other window intact" false
+    (Prt.free_at t (Prt.In 1) 0.5)
+
+let test_copy_rollback_isolation () =
+  let t = Prt.create () in
+  let cp = Prt.checkpoint t in
+  Prt.reserve t (r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0.01 ~length:1. ());
+  let u = Prt.copy t in
+  Prt.rollback u cp;
+  Alcotest.(check bool) "copy rolled back to empty" true (Prt.is_empty u);
+  Alcotest.(check bool) "original untouched" false (Prt.is_empty t);
+  Alcotest.(check int) "retract in original only" 1 (Prt.retract_coflow t 1);
+  Alcotest.(check int) "copy ownership independent" 0 (Prt.retract_coflow u 1)
+
+let test_covering_and_range () =
+  let t = Prt.create () in
+  let a = r ~coflow:1 ~src:0 ~dst:1 ~start:0. ~setup:0.01 ~length:1. () in
+  let b = r ~coflow:2 ~src:1 ~dst:2 ~start:0.5 ~setup:0.01 ~length:1. () in
+  let c = r ~coflow:3 ~src:0 ~dst:2 ~start:2. ~setup:0.01 ~length:1. () in
+  List.iter (Prt.reserve t) [ a; b; c ];
+  let ids rs =
+    List.sort_uniq compare (List.map (fun x -> x.Prt.coflow) rs)
+  in
+  Alcotest.(check (list int)) "covering both" [ 1; 2 ]
+    (ids (Prt.covering_at t 0.75));
+  Alcotest.(check (list int)) "covering at window start" [ 1 ]
+    (ids (Prt.covering_at t 0.));
+  Alcotest.(check (list int)) "stop excluded" [ 2 ] (ids (Prt.covering_at t 1.));
+  Alcotest.(check (list int)) "slice overlap" [ 1; 2 ]
+    (ids (Prt.reservations_in t 0.75 1.5));
+  Alcotest.(check (list int)) "future window only" [ 3 ]
+    (ids (Prt.reservations_in t 1.5 10.));
+  (* stop = t0 is excluded, start = t0 included *)
+  Alcotest.(check (list int)) "boundaries" [ 2; 3 ]
+    (ids (Prt.reservations_in t 1. 2.0001))
+
 let suite =
   [
     Alcotest.test_case "free_at windows" `Quick test_free_at;
@@ -363,6 +465,14 @@ let suite =
     Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
     Alcotest.test_case "rollback leaves table unchanged" `Quick
       test_rollback_leaves_table_unchanged;
+    Alcotest.test_case "checkpoint/rollback" `Quick test_checkpoint_rollback;
+    Alcotest.test_case "rollback skips retracted" `Quick
+      test_rollback_skips_retracted;
+    Alcotest.test_case "remove consistency" `Quick test_remove_consistency;
+    Alcotest.test_case "copy rollback isolation" `Quick
+      test_copy_rollback_isolation;
+    Alcotest.test_case "covering_at / reservations_in" `Quick
+      test_covering_and_range;
     prop_oracle_vs_list_reference;
     prop_no_overlap;
   ]
