@@ -20,7 +20,17 @@
    the suffix-only engine is bit-equal to its from-scratch oracle at
    benchmark scale — and on the full harness's >= 50k-Coflow synthetic
    trace the incremental engine must beat full replanning by at least
-   2x wall time. *)
+   2x wall time.
+
+   Since schema /6 the replay rows carry a bucket count and the gates
+   sharpen: wherever a rebuild row exists for a (trace, policy,
+   buckets) configuration its incremental digest must match, every
+   (trace, policy) pair must carry at least one such verified pair,
+   the >= 50k Fifo replay must hold the PR 5 regression floor of 3.5x
+   incremental-over-full, the >= 50k Shortest-first replay must show
+   the bucketed engine at least 2.5x faster than full replanning, and
+   the recorded mean CCT drift of the bucketed order against the exact
+   shortest-first run must stay within the 10% fidelity budget. *)
 
 type json =
   | Null
@@ -329,32 +339,58 @@ let check_check root =
     if not (Float.is_finite worst) || worst < 0. then
       bad "check.worst_err_s: expected a finite non-negative gap, got %g" worst
 
-(* The replay section (schema /5): full vs rebuild vs incremental
-   replanning on each trace. Rebuild is the incremental engine's
-   differential oracle, so their digests must match exactly; full
-   mode's digest is informational (its semantics drift from the
-   anchored modes in the last float bits by design). A non-fast
-   emission must carry the >= 50k-Coflow trace and show the
-   incremental engine at least 2x faster than full replanning on it. *)
+(* The replay section (schema /6): full vs rebuild vs incremental
+   replanning on each trace, now per bucket configuration. Rebuild is
+   the incremental engine's differential oracle, so wherever both run
+   the same (trace, policy, buckets) cell their digests must match
+   exactly; full mode's digest is informational (its semantics drift
+   from the anchored modes in the last float bits by design). A
+   non-fast emission must carry the >= 50k-Coflow trace twice: under
+   Fifo, holding the PR 5 floor of 3.5x incremental-over-full, and
+   under Shortest-first, where the bucketed engine must beat full
+   replanning by at least 2.5x. *)
+
+type replay_cell = {
+  r_trace : string;
+  r_policy : string;
+  r_mode : string;
+  r_buckets : int;
+  r_n : int;
+  r_wall : float;
+  r_digest : string;
+}
+
 let check_replay root fast =
   let rows = as_arr "replay" (field root "replay") in
   if rows = [] then bad "replay: empty";
   let parsed =
     List.map
       (fun row ->
-        let trace = as_str "replay.trace" (field row "trace") in
-        let mode = as_str (trace ^ ".mode") (field row "mode") in
-        let what = Printf.sprintf "replay.%s.%s" trace mode in
-        if as_str (what ^ ".policy") (field row "policy") = "" then
-          bad "%s.policy: empty" what;
-        let n =
+        let r_trace = as_str "replay.trace" (field row "trace") in
+        let r_policy = as_str (r_trace ^ ".policy") (field row "policy") in
+        if r_policy = "" then bad "replay.%s.policy: empty" r_trace;
+        let r_mode = as_str (r_trace ^ ".mode") (field row "mode") in
+        let r_buckets =
+          let x = as_num (r_trace ^ ".buckets") (field row "buckets") in
+          if Float.of_int (Float.to_int x) <> x || x < 0. then
+            bad "replay.%s.buckets: expected a non-negative integer, got %g"
+              r_trace x;
+          Float.to_int x
+        in
+        let what =
+          Printf.sprintf "replay.%s.%s.%s/b=%d" r_trace r_policy r_mode
+            r_buckets
+        in
+        if r_mode = "full" && r_buckets <> 0 then
+          bad "%s: full replanning has no bucketed order" what;
+        let r_n =
           let x = as_num (what ^ ".n_coflows") (field row "n_coflows") in
           if Float.of_int (Float.to_int x) <> x || x <= 0. then
             bad "%s.n_coflows: expected a positive integer, got %g" what x;
           Float.to_int x
         in
-        let wall = as_num (what ^ ".wall_s") (field row "wall_s") in
-        if wall <= 0. then bad "%s: non-positive wall time" what;
+        let r_wall = as_num (what ^ ".wall_s") (field row "wall_s") in
+        if r_wall <= 0. then bad "%s: non-positive wall time" what;
         let events =
           let x = as_num (what ^ ".events") (field row "events") in
           if Float.of_int (Float.to_int x) <> x || x <= 0. then
@@ -362,61 +398,142 @@ let check_replay root fast =
           Float.to_int x
         in
         let eps = as_num (what ^ ".events_per_s") (field row "events_per_s") in
-        let recomputed = float_of_int events /. wall in
+        let recomputed = float_of_int events /. r_wall in
         if Float.abs (eps -. recomputed) > 1e-6 *. Float.max eps recomputed
         then
           bad "%s.events_per_s: %g does not match its inputs (%g)" what eps
             recomputed;
-        let digest = as_str (what ^ ".digest") (field row "digest") in
-        if digest = "" then bad "%s.digest: empty" what;
-        (trace, mode, n, wall, digest))
+        let r_digest = as_str (what ^ ".digest") (field row "digest") in
+        if r_digest = "" then bad "%s.digest: empty" what;
+        { r_trace; r_policy; r_mode; r_buckets; r_n; r_wall; r_digest })
       rows
   in
-  let traces =
-    List.sort_uniq compare (List.map (fun (t, _, _, _, _) -> t) parsed)
+  let pairs =
+    List.sort_uniq compare
+      (List.map (fun r -> (r.r_trace, r.r_policy)) parsed)
   in
-  let cell trace mode =
-    match
-      List.find_opt (fun (t, m, _, _, _) -> t = trace && m = mode) parsed
-    with
-    | Some (_, _, n, wall, digest) -> (n, wall, digest)
-    | None -> bad "replay.%s: missing the %S engine row" trace mode
+  let cells trace policy mode =
+    List.filter
+      (fun r -> r.r_trace = trace && r.r_policy = policy && r.r_mode = mode)
+      parsed
+  in
+  let cell trace policy mode buckets =
+    List.find_opt (fun r -> r.r_buckets = buckets) (cells trace policy mode)
   in
   List.iter
-    (fun trace ->
-      let _, _, d_rebuild = cell trace "rebuild" in
-      let _, _, d_incr = cell trace "incremental" in
-      ignore (cell trace "full");
-      if d_rebuild <> d_incr then
-        bad
-          "replay.%s: incremental digest %S differs from its rebuild oracle \
-           %S — the rollback/suffix machinery corrupted the replay"
-          trace d_incr d_rebuild)
-    traces;
+    (fun (trace, policy) ->
+      if cells trace policy "full" = [] then
+        bad "replay.%s.%s: missing the full-replanning baseline row" trace
+          policy;
+      let rebuilds = cells trace policy "rebuild" in
+      if rebuilds = [] then
+        bad "replay.%s.%s: missing a rebuild oracle row" trace policy;
+      List.iter
+        (fun rb ->
+          match cell trace policy "incremental" rb.r_buckets with
+          | None ->
+            bad
+              "replay.%s.%s: rebuild ran at buckets=%d but the incremental \
+               engine did not"
+              trace policy rb.r_buckets
+          | Some inc ->
+            if inc.r_digest <> rb.r_digest then
+              bad
+                "replay.%s.%s/b=%d: incremental digest %S differs from its \
+                 rebuild oracle %S — the rollback/splice machinery corrupted \
+                 the replay"
+                trace policy rb.r_buckets inc.r_digest rb.r_digest)
+        rebuilds)
+    pairs;
   if not fast then begin
-    let big =
-      List.filter (fun (_, m, n, _, _) -> m = "full" && n >= 50_000) parsed
+    let big policy =
+      List.filter
+        (fun r -> r.r_mode = "full" && r.r_policy = policy && r.r_n >= 50_000)
+        parsed
     in
-    if big = [] then
-      bad "replay: a full (non-fast) run must include a >= 50k-Coflow trace";
-    List.iter
-      (fun (trace, _, _, wall_full, _) ->
-        let _, wall_incr, _ = cell trace "incremental" in
-        if wall_incr > wall_full then
-          bad "replay.%s: the incremental engine (%.2fs) is slower than full \
-               replanning (%.2fs)"
-            trace wall_incr wall_full;
-        if wall_full /. wall_incr < 2. then
-          bad
-            "replay.%s: incremental speedup %.2fx over full replanning is \
-             below the 2x gate"
-            trace (wall_full /. wall_incr))
-      big
+    let gate policy pick_buckets floor =
+      let fulls = big policy in
+      if fulls = [] then
+        bad
+          "replay: a full (non-fast) run must include a >= 50k-Coflow %s \
+           trace"
+          policy;
+      List.iter
+        (fun full ->
+          let incs =
+            List.filter pick_buckets
+              (cells full.r_trace full.r_policy "incremental")
+          in
+          if incs = [] then
+            bad "replay.%s.%s: no incremental row to gate against" full.r_trace
+              policy;
+          List.iter
+            (fun inc ->
+              let speedup = full.r_wall /. inc.r_wall in
+              if speedup < floor then
+                bad
+                  "replay.%s.%s/b=%d: incremental speedup %.2fx over full \
+                   replanning is below the %.1fx gate"
+                  full.r_trace policy inc.r_buckets speedup floor)
+            incs)
+        fulls
+    in
+    (* Fifo: the PR 5 regression floor, exact order *)
+    gate "fifo" (fun r -> r.r_buckets = 0) 3.5;
+    (* Shortest-first: the adversarial case the buckets exist for *)
+    gate "scf" (fun r -> r.r_buckets > 0) 2.5
   end
+
+(* The SCF drift record (schema /6): what the bucketed order costs in
+   schedule fidelity against the exact shortest-first run, on the same
+   trace the speedup gate measures. The mean CCT inflation is gated;
+   the per-Coflow worst case is recorded but not gated (a single
+   Coflow demoted to the back of its class can legitimately wait out
+   the whole bucket). *)
+let check_scf_drift root =
+  match field root "scf_drift" with
+  | Null -> bad "scf_drift: missing — the harness did not run the SCF replay"
+  | d ->
+    let buckets =
+      let x = as_num "scf_drift.buckets" (field d "buckets") in
+      if Float.of_int (Float.to_int x) <> x || x <= 0. then
+        bad "scf_drift.buckets: expected a positive integer, got %g" x;
+      Float.to_int x
+    in
+    ignore buckets;
+    let coflows =
+      let x = as_num "scf_drift.coflows" (field d "coflows") in
+      if Float.of_int (Float.to_int x) <> x || x <= 0. then
+        bad "scf_drift.coflows: expected a positive integer, got %g" x;
+      Float.to_int x
+    in
+    ignore coflows;
+    let exact = as_num "scf_drift.mean_cct_exact_s" (field d "mean_cct_exact_s") in
+    let bucketed =
+      as_num "scf_drift.mean_cct_bucketed_s" (field d "mean_cct_bucketed_s")
+    in
+    if exact <= 0. || bucketed <= 0. then
+      bad "scf_drift: non-positive mean CCT (exact %g, bucketed %g)" exact
+        bucketed;
+    let rel_mean = as_num "scf_drift.rel_mean" (field d "rel_mean") in
+    let recomputed = (bucketed -. exact) /. exact in
+    if Float.abs (rel_mean -. recomputed) > 1e-6 *. Float.max 1. (Float.abs rel_mean)
+    then
+      bad "scf_drift.rel_mean: %g does not match its inputs (%g)" rel_mean
+        recomputed;
+    let max_rel = as_num "scf_drift.max_rel" (field d "max_rel") in
+    if not (Float.is_finite max_rel) then bad "scf_drift.max_rel: not finite";
+    if max_rel < rel_mean -. 1e-9 then
+      bad "scf_drift.max_rel: %g below the mean %g" max_rel rel_mean;
+    if rel_mean > 0.10 then
+      bad
+        "scf_drift.rel_mean: bucketed order inflates mean CCT by %.2f%%, \
+         over the 10%% fidelity budget"
+        (100. *. rel_mean)
 
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/5" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/6" then bad "unknown schema %S" schema;
   let fast =
     match field root "fast" with
     | Bool b -> b
@@ -458,6 +575,7 @@ let check root json_dir =
   check_obs root json_dir;
   check_check root;
   check_replay root fast;
+  check_scf_drift root;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

@@ -403,21 +403,40 @@ let check_section ppf s =
    policy; the large trace under Fifo, where an arrival's priority key
    is its arrival instant, every admission appends to the priority
    order, and the rescheduled suffix is exactly the new Coflow — the
-   O(changed-Coflows) regime the engine targets. (Shortest-first is
-   adversarial for any suffix scheme: a small arrival preempts, and
-   the suffix it invalidates averages half the active set.) *)
+   O(changed-Coflows) regime the engine targets.
+
+   Since schema /6 the large trace also replays under Shortest-first
+   itself — the adversarial case for any suffix scheme, where a small
+   arrival head-inserts and the suffix it invalidates averages half
+   the active set — with the bucketed priority order that bounds the
+   damage. The checker gates >= 2.5x incremental-over-full there, the
+   rebuild/incremental digest equality per bucket configuration, and
+   the mean CCT drift the coarsened order costs against the exact
+   shortest-first run. *)
 
 type replay_row = {
   y_trace : string;
   y_policy : string;
   y_coflows : int;
   y_mode : string;
+  y_buckets : int;  (** 0 = the exact priority order *)
   y_wall_s : float;
   y_events : int;
   y_digest : string;
 }
 
 let replay_rows : replay_row list ref = ref []
+
+type drift_row = {
+  d_buckets : int;
+  d_coflows : int;
+  d_mean_cct_exact_s : float;
+  d_mean_cct_bucketed_s : float;
+  d_rel_mean : float;  (** (bucketed - exact) / exact, mean CCT *)
+  d_max_rel : float;  (** worst per-Coflow relative CCT inflation *)
+}
+
+let drift_row : drift_row option ref = ref None
 
 let digest_result (r : Sunflow_sim.Sim_result.t) =
   let buf = Buffer.create 65536 in
@@ -459,31 +478,39 @@ let replay_section ppf s =
     in
     (Sunflow_trace.Synthetic.generate scaled).Sunflow_trace.Trace.coflows
   in
+  let run_one ?(bucket_base = 4.) y_trace y_policy policy coflows y_mode replan
+      y_buckets =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Circuit_sim.run ~policy ~replan ~buckets:y_buckets ~bucket_base ~delta
+        ~bandwidth coflows
+    in
+    let y_wall_s = Unix.gettimeofday () -. t0 in
+    replay_rows :=
+      {
+        y_trace;
+        y_policy;
+        y_coflows = List.length coflows;
+        y_mode;
+        y_buckets;
+        y_wall_s;
+        y_events = r.Sunflow_sim.Sim_result.n_events;
+        y_digest = digest_result r;
+      }
+      :: !replay_rows;
+    Format.fprintf ppf
+      "  %-6s %-5s %-11s b=%-2d %6d Coflows  %8.2fs  %9.0f events/s@." y_trace
+      y_policy y_mode y_buckets (List.length coflows) y_wall_s
+      (float_of_int r.Sunflow_sim.Sim_result.n_events /. y_wall_s);
+    (y_wall_s, r)
+  in
   List.iter
     (fun (y_trace, y_policy, policy, coflows) ->
-      let n = List.length coflows in
       let walls = Hashtbl.create 4 in
       List.iter
         (fun (y_mode, replan) ->
-          let t0 = Unix.gettimeofday () in
-          let r = Circuit_sim.run ~policy ~replan ~delta ~bandwidth coflows in
-          let y_wall_s = Unix.gettimeofday () -. t0 in
-          Hashtbl.replace walls y_mode y_wall_s;
-          replay_rows :=
-            {
-              y_trace;
-              y_policy;
-              y_coflows = n;
-              y_mode;
-              y_wall_s;
-              y_events = r.Sunflow_sim.Sim_result.n_events;
-              y_digest = digest_result r;
-            }
-            :: !replay_rows;
-          Format.fprintf ppf
-            "  %-6s %-5s %-11s %6d Coflows  %8.2fs  %9.0f events/s@." y_trace
-            y_policy y_mode n y_wall_s
-            (float_of_int r.Sunflow_sim.Sim_result.n_events /. y_wall_s))
+          let wall, _ = run_one y_trace y_policy policy coflows y_mode replan 0 in
+          Hashtbl.replace walls y_mode wall)
         [ ("full", `Full); ("rebuild", `Rebuild); ("incremental", `Incremental) ];
       let wall m = Hashtbl.find walls m in
       Format.fprintf ppf "  %-6s incremental speedup over full: %.2fx@."
@@ -492,7 +519,132 @@ let replay_section ppf s =
     [
       ("smoke", "scf", Sunflow_core.Inter.Shortest_first, smoke);
       ("large", "fifo", Sunflow_core.Inter.Fifo, large);
-    ]
+    ];
+  (* The PR-6 gate: an SCF-adversarial composition — the large trace's
+     arrival mix at 10x density (a standing backlog, so full
+     replanning prices the whole active set at every event),
+     interleaved at the same rate with a stream of near-identical
+     small Coflows whose sizes decrease monotonically. Under the exact
+     shortest-first order every stream arrival carries the smallest
+     key yet and head-inserts ahead of the still-draining backlog, so
+     the exact engines reschedule most of the active set per arrival.
+     Under a bucketed order the stream shares a handful of classes and
+     each arrival sorts at the {e end} of its class (FIFO within a
+     class), so the backlog behind it splices. Full replanning is the
+     baseline; rebuild-with-the-same-buckets is the bucketed engine's
+     digest oracle; the exact-order incremental run prices the
+     fidelity the buckets give up (CCT drift, gated by the checker).
+     24 classes at base 2 span the key range finely enough that the
+     bucketed run's drift stays within measurement noise. *)
+  let scf = Sunflow_core.Inter.Shortest_first in
+  let scf_buckets = 24 in
+  let scf_bucket_base = 2. in
+  let storm =
+    let p = s.E.Common.trace_params in
+    let base_n = if fast () then 800 else 10_000 in
+    let mice_n = if fast () then 2_600 else 40_600 in
+    (* the density factor compresses the arrival span against the
+       fixed M2M service times — 0.1 sustains the standing backlog the
+       gate needs. Fast mode keeps the span longer: at 800 base
+       Coflows a 0.1 factor leaves the span shorter than the giants'
+       drain times, the backlog never clears, and the smoke run stops
+       being smoke-sized. *)
+    let density = if fast () then 0.4 else 0.1 in
+    let span =
+      p.Sunflow_trace.Synthetic.span
+      *. float_of_int base_n
+      /. float_of_int p.Sunflow_trace.Synthetic.n_coflows
+      *. density
+    in
+    let base =
+      Sunflow_trace.Synthetic.generate
+        {
+          p with
+          Sunflow_trace.Synthetic.n_coflows = base_n;
+          span;
+          m2m_reducer_mb =
+            (fst p.Sunflow_trace.Synthetic.m2m_reducer_mb, 2.2);
+        }
+    in
+    let rng = Sunflow_stats.Rng.create 4242 in
+    let mice =
+      List.init mice_n (fun i ->
+          let src = Sunflow_stats.Rng.int rng p.Sunflow_trace.Synthetic.n_ports in
+          let dst =
+            let d =
+              Sunflow_stats.Rng.int rng
+                (p.Sunflow_trace.Synthetic.n_ports - 1)
+            in
+            if d >= src then d + 1 else d
+          in
+          let mb = 64. -. (60. *. float_of_int i /. float_of_int mice_n) in
+          let d = Sunflow_core.Demand.create () in
+          Sunflow_core.Demand.set d src dst (Sunflow_core.Units.mb mb);
+          Sunflow_core.Coflow.make ~id:(base_n + i)
+            ~arrival:(span *. float_of_int i /. float_of_int mice_n)
+            d)
+    in
+    List.sort Sunflow_core.Coflow.compare_arrival
+      (base.Sunflow_trace.Trace.coflows @ mice)
+  in
+  let wall_full, _ = run_one "storm" "scf" scf storm "full" `Full 0 in
+  ignore
+    (run_one ~bucket_base:scf_bucket_base "storm" "scf" scf storm "rebuild"
+       `Rebuild scf_buckets);
+  let wall_binc, r_bucketed =
+    run_one ~bucket_base:scf_bucket_base "storm" "scf" scf storm "incremental"
+      `Incremental scf_buckets
+  in
+  let _, r_exact =
+    run_one "storm" "scf" scf storm "incremental" `Incremental 0
+  in
+  Format.fprintf ppf
+    "  storm  scf   incremental(b=%d) speedup over full: %.2fx@." scf_buckets
+    (wall_full /. wall_binc);
+  let arrival = Hashtbl.create (List.length storm) in
+  List.iter
+    (fun (c : Sunflow_core.Coflow.t) ->
+      Hashtbl.replace arrival c.Sunflow_core.Coflow.id
+        c.Sunflow_core.Coflow.arrival)
+    storm;
+  let ccts (r : Sunflow_sim.Sim_result.t) =
+    List.map
+      (fun (id, f) -> (id, f -. Hashtbl.find arrival id))
+      r.Sunflow_sim.Sim_result.finishes
+  in
+  let exact = ccts r_exact and bucketed = ccts r_bucketed in
+  let mean l =
+    List.fold_left (fun a (_, c) -> a +. c) 0. l /. float_of_int (List.length l)
+  in
+  let d_mean_cct_exact_s = mean exact
+  and d_mean_cct_bucketed_s = mean bucketed in
+  let exact_by_id = Hashtbl.create (List.length exact) in
+  List.iter (fun (id, c) -> Hashtbl.replace exact_by_id id c) exact;
+  let d_max_rel =
+    List.fold_left
+      (fun acc (id, cb) ->
+        let ce = Hashtbl.find exact_by_id id in
+        if ce > 0. then Float.max acc ((cb -. ce) /. ce) else acc)
+      0. bucketed
+  in
+  let d_rel_mean =
+    (d_mean_cct_bucketed_s -. d_mean_cct_exact_s) /. d_mean_cct_exact_s
+  in
+  drift_row :=
+    Some
+      {
+        d_buckets = scf_buckets;
+        d_coflows = List.length bucketed;
+        d_mean_cct_exact_s;
+        d_mean_cct_bucketed_s;
+        d_rel_mean;
+        d_max_rel;
+      };
+  Format.fprintf ppf
+    "  storm  scf   CCT drift b=%d vs exact: mean %+.3f%% (%.3fs vs %.3fs), \
+     worst per-Coflow %+.1f%%@."
+    scf_buckets (100. *. d_rel_mean) d_mean_cct_bucketed_s d_mean_cct_exact_s
+    (100. *. d_max_rel)
 
 (* --- JSON emission ----------------------------------------------------
 
@@ -527,7 +679,7 @@ let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/5\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/6\",\n";
   add "  \"fast\": %b,\n" (fast ());
   add "  \"domains\": %d,\n" domains;
   add
@@ -605,16 +757,27 @@ let emit_json path s domains =
     (fun i row ->
       add
         "    {\"trace\": \"%s\", \"policy\": \"%s\", \"n_coflows\": %d, \
-         \"mode\": \"%s\", \"wall_s\": %s, \"events\": %d, \"events_per_s\": \
-         %s, \"digest\": \"%s\"}%s\n"
+         \"mode\": \"%s\", \"buckets\": %d, \"wall_s\": %s, \"events\": %d, \
+         \"events_per_s\": %s, \"digest\": \"%s\"}%s\n"
         (json_escape row.y_trace) (json_escape row.y_policy) row.y_coflows
-        (json_escape row.y_mode)
+        (json_escape row.y_mode) row.y_buckets
         (json_float row.y_wall_s) row.y_events
         (json_float (float_of_int row.y_events /. row.y_wall_s))
         (json_escape row.y_digest)
         (if i = List.length yrows - 1 then "" else ","))
     yrows;
   add "  ],\n";
+  (match !drift_row with
+  | None -> add "  \"scf_drift\": null,\n"
+  | Some d ->
+    add
+      "  \"scf_drift\": {\"buckets\": %d, \"coflows\": %d, \
+       \"mean_cct_exact_s\": %s, \"mean_cct_bucketed_s\": %s, \"rel_mean\": \
+       %s, \"max_rel\": %s},\n"
+      d.d_buckets d.d_coflows
+      (json_float d.d_mean_cct_exact_s)
+      (json_float d.d_mean_cct_bucketed_s)
+      (json_float d.d_rel_mean) (json_float d.d_max_rel));
   add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
   add "}\n";
   Obs.Io.write_file path (Buffer.contents buf)

@@ -303,8 +303,8 @@ let intra_cmd =
 
 (* --- inter --- *)
 
-let inter path gbps ms scheduler replan validate csv_out trace_out metrics_out
-    timeline_out =
+let inter path gbps ms scheduler replan buckets bucket_base validate csv_out
+    trace_out metrics_out timeline_out =
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   if trace.Trace.coflows = [] then begin
@@ -329,7 +329,7 @@ let inter path gbps ms scheduler replan validate csv_out trace_out metrics_out
     | `Sunflow ->
       Sunflow_sim.Circuit_sim.run
         ?on_slice:(if validate then Some on_slice else None)
-        ~replan ~delta ~bandwidth trace.Trace.coflows
+        ~replan ~buckets ~bucket_base ~delta ~bandwidth trace.Trace.coflows
     | `Varys ->
       Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Varys.allocate
         ~bandwidth trace.Trace.coflows
@@ -399,11 +399,31 @@ let replan_arg =
            fresh table each event — the differential oracle for \
            $(b,incremental).")
 
+let buckets_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replan-buckets" ] ~docv:"N"
+        ~doc:
+          "Coarsen the anchored replan modes' priority order into at most \
+           $(docv) exponentially-spaced classes (0 = exact order). Arrivals \
+           then invalidate only their own class boundary instead of every \
+           Coflow with a marginally larger key; retained plans in later \
+           classes are spliced back verbatim when their ports are free. \
+           Requires $(b,--replan) $(b,rebuild) or $(b,incremental).")
+
+let bucket_base_arg =
+  Arg.(
+    value & opt float 4.
+    & info [ "replan-bucket-base" ] ~docv:"BASE"
+        ~doc:
+          "Growth factor between successive priority classes under \
+           $(b,--replan-buckets) (must be > 1).")
+
 let inter_term =
   Term.(
     const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
-    $ replan_arg $ validate_arg $ csv_arg $ trace_out_arg $ metrics_out_arg
-    $ timeline_out_arg)
+    $ replan_arg $ buckets_arg $ bucket_base_arg $ validate_arg $ csv_arg
+    $ trace_out_arg $ metrics_out_arg $ timeline_out_arg)
 
 let inter_cmd =
   Cmd.v

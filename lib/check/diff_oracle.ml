@@ -23,8 +23,8 @@ let default_tol bandwidth = 2. *. Float.max (1e-3 /. bandwidth) 1e-6
 let snap_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
 
 let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(replan = `Full) ?(validate_plans = true) ?tol
-    ~delta ~bandwidth ~n_ports coflows =
+    ?(carry_circuits = true) ?(replan = `Full) ?buckets ?bucket_base
+    ?(validate_plans = true) ?tol ~delta ~bandwidth ~n_ports coflows =
   let tol = match tol with Some t -> t | None -> default_tol bandwidth in
   let vs = ref [] in
   let push v = vs := v :: !vs in
@@ -86,8 +86,8 @@ let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
         (Prt.all_reservations plan.Inter.prt)
     in
     let sim =
-      Circuit_sim.run ~policy ~order ~carry_circuits ~replan ~on_slice ~delta
-        ~bandwidth coflows
+      Circuit_sim.run ~policy ~order ~carry_circuits ~replan ?buckets
+        ?bucket_base ~on_slice ~delta ~bandwidth coflows
     in
     List.iter push (Sim_check.result ~bandwidth ~coflows sim);
     let plan = List.rev !fragments in
@@ -196,25 +196,41 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
     record ", incremental"
       (replay ~policy ~replan:`Incremental ?tol ~delta ~bandwidth ~n_ports
          trace);
-    List.iter
-      (fun (v : V.t) ->
-        vs :=
-          {
-            v with
-            V.message =
-              Printf.sprintf "[trace seed %d, equiv] %s" trace_seed v.V.message;
-          }
-          :: !vs)
-      (Plan_check.replay_equiv ~policy ~delta ~bandwidth trace);
+    let equiv label vlist =
+      List.iter
+        (fun (v : V.t) ->
+          vs :=
+            {
+              v with
+              V.message =
+                Printf.sprintf "[trace seed %d, %s] %s" trace_seed label
+                  v.V.message;
+            }
+            :: !vs)
+        vlist
+    in
+    equiv "equiv" (Plan_check.replay_equiv ~policy ~delta ~bandwidth trace);
+    (* the bucketed order is its own configuration: incremental and
+       rebuild must stay bit-identical under it too (alternate the
+       class count so both the coarse and fine quantizations fuzz) *)
+    let buckets = if i mod 2 = 0 then 4 else 16 in
+    equiv
+      (Printf.sprintf "equiv buckets=%d" buckets)
+      (Plan_check.replay_equiv ~policy ~buckets ~delta ~bandwidth trace);
     (* every third trace also runs the all-stop ablation, where no
-       circuit survives a rescheduling instant *)
+       circuit survives a rescheduling instant, and drives the bucketed
+       incremental schedule through the physical switch *)
     if i mod 3 = 2 then begin
       record ", all-stop"
         (replay ~policy ~carry_circuits:false ?tol ~delta ~bandwidth ~n_ports
            trace);
       record ", all-stop incremental"
         (replay ~policy ~carry_circuits:false ~replan:`Incremental ?tol ~delta
-           ~bandwidth ~n_ports trace)
+           ~bandwidth ~n_ports trace);
+      record
+        (Printf.sprintf ", incremental buckets=%d" buckets)
+        (replay ~policy ~replan:`Incremental ~buckets ?tol ~delta ~bandwidth
+           ~n_ports trace)
     end
   done;
   {

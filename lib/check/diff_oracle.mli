@@ -30,6 +30,8 @@ val replay :
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
   ?replan:Sunflow_sim.Circuit_sim.replan ->
+  ?buckets:int ->
+  ?bucket_base:float ->
   ?validate_plans:bool ->
   ?tol:float ->
   delta:float ->
@@ -42,7 +44,9 @@ val replay :
     carried circuit. [carry_circuits] defaults to [true] (the paper's
     not-all-stop mode). [replan] (default [`Full]) selects the
     simulator's replanning engine, so the physical oracle also covers
-    the incremental path's executed schedule. With [validate_plans]
+    the incremental path's executed schedule;
+    [buckets]/[bucket_base] forward to [Circuit_sim.run], so the
+    bucketed order's schedules face the switch too. With [validate_plans]
     (default [true]) every slice plan also runs through {!Plan_check},
     so a single fuzz pass exercises the validator and the oracle
     together. [tol] is the permitted finish-time gap in seconds; the

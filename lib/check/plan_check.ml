@@ -372,15 +372,16 @@ let inter spec ~coflows (res : Inter.result) =
 module Circuit_sim = Sunflow_sim.Circuit_sim
 module Sim_result = Sunflow_sim.Sim_result
 
-let replay_equiv ?policy ?order ?carry_circuits ~delta ~bandwidth coflows =
+let replay_equiv ?policy ?order ?carry_circuits ?buckets ?bucket_base ~delta
+    ~bandwidth coflows =
   let capture replan =
     let slices = ref [] in
     let on_slice ~t ~t_next ~established ~coflows:_ (plan : Inter.result) =
       slices := (t, t_next, established, plan.Inter.per_coflow) :: !slices
     in
     let r =
-      Circuit_sim.run ?policy ?order ?carry_circuits ~replan ~on_slice ~delta
-        ~bandwidth coflows
+      Circuit_sim.run ?policy ?order ?carry_circuits ?buckets ?bucket_base
+        ~replan ~on_slice ~delta ~bandwidth coflows
     in
     (r, List.rev !slices)
   in

@@ -82,6 +82,8 @@ val replay_equiv :
   ?policy:Sunflow_core.Inter.policy ->
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
+  ?buckets:int ->
+  ?bucket_base:float ->
   delta:float ->
   bandwidth:float ->
   Sunflow_core.Coflow.t list ->
@@ -93,4 +95,8 @@ val replay_equiv :
     field compared with structural equality (no tolerance), and every
     slice's span, carried-circuit set and per-Coflow plan compared
     window for window. Any report means the rollback/ownership
-    machinery corrupted port state. *)
+    machinery corrupted port state. [buckets]/[bucket_base] select a
+    coarsened priority order ({!Sunflow_core.Inter.engine}); both runs
+    get the same configuration, so the bit-identity requirement is
+    unchanged — the splice path must make identical decisions in both
+    modes. *)

@@ -33,7 +33,13 @@ let policy_name = function
 type result = {
   prt : Prt.t;
   per_coflow : (int * Sunflow.result) list;
+  by_id : (int, Sunflow.result) Hashtbl.t;
 }
+
+let make_result prt per_coflow =
+  let by_id = Hashtbl.create (max 16 (List.length per_coflow)) in
+  List.iter (fun (id, r) -> Hashtbl.replace by_id id r) per_coflow;
+  { prt; per_coflow; by_id }
 
 module Obs = Sunflow_obs
 
@@ -74,10 +80,10 @@ let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
       ordered
   in
   if obs then Obs.Tracer.end_span ~cat:"core" "inter.schedule";
-  { prt; per_coflow }
+  make_result prt per_coflow
 
 let finish_of result id =
-  List.assoc_opt id result.per_coflow
+  Hashtbl.find_opt result.by_id id
   |> Option.map (fun (r : Sunflow.result) -> r.finish)
 
 (* --- incremental replanning engine ------------------------------------
@@ -104,6 +110,7 @@ let finish_of result id =
 type entry = {
   e_coflow : Coflow.t;  (* original record: fixed priority-key inputs *)
   e_key : float;  (* cached priority key (policy-dependent) *)
+  e_bucket : int;  (* quantized priority class; 0 when buckets are off *)
   mutable e_plan : Sunflow.result;
   mutable e_mark : Prt.checkpoint;  (* undo-log position when scheduled *)
 }
@@ -115,12 +122,16 @@ type engine = {
   g_bandwidth : float;
   g_carry : bool;
   g_rebuild : bool;
+  g_buckets : int;  (* 0 = exact order (buckets off) *)
+  g_bucket_base : float;
   g_cmp : entry -> entry -> int;
   mutable g_entries : entry array;  (* active Coflows in service order *)
   mutable g_n : int;
   mutable g_prt : Prt.t;
   mutable g_established : (int * int) list;
   g_index : (int, entry) Hashtbl.t;
+  mutable g_rescheduled : int;  (* suffix entries re-run through Sunflow *)
+  mutable g_spliced : int;  (* suffix entries whose stored plan was kept *)
 }
 
 let entry_key policy ~bandwidth c =
@@ -129,12 +140,46 @@ let entry_key policy ~bandwidth c =
   | Shortest_first -> Bounds.packet_lower ~bandwidth c.Coflow.demand
   | Priority_classes class_of -> float_of_int (class_of c)
 
+(* quantize a priority key into one of [buckets] classes. For
+   [Shortest_first] the classes are exponentially spaced in units of
+   the reconfiguration delay: coflows that finish within one delta are
+   all "short" (class 0) and a coflow [base] times longer moves one
+   class down — the D-CLAS-style coarsening that keeps an arrival from
+   outranking everything with a marginally larger key. For
+   [Priority_classes] the operator's class is clamped into range.
+   [Fifo]/[Custom] have no numeric key to quantize: one class. *)
+let bucket_of ~policy ~buckets ~bucket_base ~delta key =
+  if buckets <= 0 then 0
+  else
+    match policy with
+    | Fifo | Custom _ -> 0
+    | Priority_classes _ ->
+      let k = int_of_float key in
+      if k < 0 then 0 else if k >= buckets then buckets - 1 else k
+    | Shortest_first ->
+      let unit = if delta > 0. then delta else 1e-3 in
+      if key <= unit then 0
+      else
+        let b =
+          1 + int_of_float (Float.log (key /. unit) /. Float.log bucket_base)
+        in
+        if b >= buckets then buckets - 1 else b
+
 (* total order: every policy comparator falls back to (arrival, id), so
    distinct Coflows never compare equal and binary search finds exact
-   positions. [Custom] comparators get the same tiebreak appended. *)
-let entry_cmp policy =
+   positions. [Custom] comparators get the same tiebreak appended.
+   With buckets on, key-ordered policies compare the quantized class
+   first and are FIFO within it — a new arrival then sorts at the END
+   of its class (its arrival is the latest), so it cannot dirty
+   retained same-class plans. *)
+let entry_cmp ~buckets policy =
   match policy with
   | Fifo -> fun a b -> Coflow.compare_arrival a.e_coflow b.e_coflow
+  | (Shortest_first | Priority_classes _) when buckets > 0 ->
+    fun a b ->
+      (match compare a.e_bucket b.e_bucket with
+      | 0 -> Coflow.compare_arrival a.e_coflow b.e_coflow
+      | c -> c)
   | Shortest_first | Priority_classes _ ->
     fun a b ->
       (match compare a.e_key b.e_key with
@@ -147,7 +192,10 @@ let entry_cmp policy =
       | c -> c)
 
 let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
-    ?(rebuild = false) ~policy ~delta ~bandwidth () =
+    ?(rebuild = false) ?(buckets = 0) ?(bucket_base = 4.) ~policy ~delta
+    ~bandwidth () =
+  if buckets < 0 then invalid_arg "Inter.engine: negative bucket count";
+  if bucket_base <= 1. then invalid_arg "Inter.engine: bucket_base must be > 1";
   {
     g_policy = policy;
     g_order = order;
@@ -155,13 +203,30 @@ let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
     g_bandwidth = bandwidth;
     g_carry = carry_circuits;
     g_rebuild = rebuild;
-    g_cmp = entry_cmp policy;
+    g_buckets = buckets;
+    g_bucket_base = bucket_base;
+    g_cmp = entry_cmp ~buckets policy;
     g_entries = [||];
     g_n = 0;
     g_prt = Prt.create ();
     g_established = [];
     g_index = Hashtbl.create 64;
+    g_rescheduled = 0;
+    g_spliced = 0;
   }
+
+(* filler for unused [g_entries] slots, so spare capacity and vacated
+   positions never pin a retired Coflow (and its demand matrix) against
+   the GC. Lazy because building it needs a Coflow. *)
+let dummy_entry =
+  lazy
+    {
+      e_coflow = Coflow.make ~id:min_int ~arrival:0. (Demand.create ());
+      e_key = neg_infinity;
+      e_bucket = 0;
+      e_plan = { Sunflow.reservations = []; finish = neg_infinity; setups = 0 };
+      e_mark = Prt.checkpoint (Prt.create ());
+    }
 
 (* first index whose entry sorts at or after [e] *)
 let lower_bound g e =
@@ -176,7 +241,7 @@ let insert_entry g e =
   let k = lower_bound g e in
   let cap = Array.length g.g_entries in
   if g.g_n = cap then begin
-    let arr = Array.make (max 8 (2 * cap)) e in
+    let arr = Array.make (max 8 (2 * cap)) (Lazy.force dummy_entry) in
     Array.blit g.g_entries 0 arr 0 g.g_n;
     g.g_entries <- arr
   end;
@@ -186,9 +251,18 @@ let insert_entry g e =
 
 let remove_entry g e =
   let k = lower_bound g e in
-  assert (k < g.g_n && g.g_entries.(k) == e);
+  (* unconditional (must survive [-noassert]): an inconsistent [Custom]
+     comparator — one whose answers changed since this entry was
+     inserted — sends the binary search to the wrong position, and a
+     blind blit from there would silently corrupt the service order *)
+  if not (k < g.g_n && g.g_entries.(k) == e) then
+    invalid_arg
+      "Inter.remove_entry: entry not found at its ordered position \
+       (inconsistent comparator?)";
   Array.blit g.g_entries (k + 1) g.g_entries k (g.g_n - k - 1);
-  g.g_n <- g.g_n - 1
+  g.g_n <- g.g_n - 1;
+  (* clear the vacated slot — same GC-pinning concern as growth *)
+  g.g_entries.(g.g_n) <- Lazy.force dummy_entry
 
 let engine_size g = g.g_n
 let engine_established g = g.g_established
@@ -199,13 +273,21 @@ let engine_finish g id =
   | None -> None
 
 let engine_min_finish g =
-  let m = ref infinity in
-  for i = 0 to g.g_n - 1 do
-    m := Float.min !m g.g_entries.(i).e_plan.Sunflow.finish
-  done;
-  !m
+  if g.g_n = 0 then None
+  else begin
+    let m = ref g.g_entries.(0).e_plan.Sunflow.finish in
+    for i = 1 to g.g_n - 1 do
+      m := Float.min !m g.g_entries.(i).e_plan.Sunflow.finish
+    done;
+    Some !m
+  end
+
+let engine_rescheduled g = g.g_rescheduled
+let engine_spliced g = g.g_spliced
 
 let m_steps = Obs.Registry.counter "inter.incremental_steps"
+let m_straddlers = Obs.Registry.counter "inter.dirty_straddlers"
+let m_cascades = Obs.Registry.counter "inter.repair_cascades"
 
 let schedule_incremental g ~now ~arrivals ~finished ~remaining =
   let obs = Obs.Control.enabled () in
@@ -236,10 +318,14 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
     (fun c ->
       if Hashtbl.mem g.g_index c.Coflow.id then
         invalid_arg "Inter.schedule_incremental: duplicate Coflow id";
+      let key = entry_key g.g_policy ~bandwidth:g.g_bandwidth c in
       let e =
         {
           e_coflow = c;
-          e_key = entry_key g.g_policy ~bandwidth:g.g_bandwidth c;
+          e_key = key;
+          e_bucket =
+            bucket_of ~policy:g.g_policy ~buckets:g.g_buckets
+              ~bucket_base:g.g_bucket_base ~delta:g.g_delta key;
           e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
           e_mark = fresh_mark;
         }
@@ -280,8 +366,11 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
      cannot express a half-paid delta — so its owner is rescheduled *)
   List.iter
     (fun r ->
-      if r.Prt.start +. r.Prt.setup > now then
-        Hashtbl.replace dirty r.Prt.coflow ())
+      if r.Prt.start +. r.Prt.setup > now then begin
+        if obs && not (Hashtbl.mem dirty r.Prt.coflow) then
+          Obs.Registry.incr m_straddlers;
+        Hashtbl.replace dirty r.Prt.coflow ()
+      end)
     covering;
   (* defensive: a stored finish at or before [now] with demand left
      would stall the event loop; re-anchor such plans *)
@@ -294,6 +383,22 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
       && not (Demand.is_empty (remaining id))
     then Hashtbl.replace dirty id ()
   done;
+  (* an arrival poisons the rest of its own bucket: within a bucket the
+     order is FIFO, so a retained entry sorting after a new arrival in
+     the same class means an equal-arrival tiebreak (or a [Custom]
+     policy, where every Coflow shares class 0) — in either case the
+     within-class order shifted under the retained plan, so it must be
+     re-derived rather than spliced. Entries in strictly later buckets
+     are left clean and handled by splice-or-reschedule below. *)
+  if g.g_buckets > 0 && arrivals <> [] then begin
+    let poisoned = Array.make g.g_buckets false in
+    for i = 0 to g.g_n - 1 do
+      let e = g.g_entries.(i) in
+      let id = e.e_coflow.Coflow.id in
+      if poisoned.(e.e_bucket) then Hashtbl.replace dirty id ()
+      else if Hashtbl.mem arrived id then poisoned.(e.e_bucket) <- true
+    done
+  end;
   (* 4. the dirty suffix starts at the first dirty position *)
   let dirty_pos =
     let p = ref g.g_n in
@@ -317,10 +422,12 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
         g.g_entries.(i).e_plan.Sunflow.reservations
     done
   end
-  else if dirty_pos < g.g_n then begin
+  else if g.g_buckets = 0 && dirty_pos < g.g_n then begin
     (* marks increase with position among retained entries, so the
        oldest mark in the suffix is the first non-arrival's; an all-new
-       suffix rolls back to the current log end, a no-op *)
+       suffix rolls back to the current log end, a no-op. Bucketed
+       engines skip this: they repair the table in place (step 6),
+       touching only the ports the dirty entries' planners can see. *)
     let mark = ref fresh_mark in
     (try
        for i = dirty_pos to g.g_n - 1 do
@@ -338,14 +445,128 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
   let est_set = Hashtbl.create 16 in
   List.iter (fun cc -> Hashtbl.replace est_set cc ()) g.g_established;
   let is_established cc = Hashtbl.mem est_set cc in
-  for i = dirty_pos to g.g_n - 1 do
-    let e = g.g_entries.(i) in
-    e.e_mark <- Prt.checkpoint g.g_prt;
+  let reschedule e =
     let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
     e.e_plan <-
       Sunflow.schedule ~prt:g.g_prt ~now ~order:g.g_order
-        ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c
-  done;
+        ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
+    g.g_rescheduled <- g.g_rescheduled + 1
+  in
+  if g.g_rebuild || g.g_buckets = 0 then
+    for i = dirty_pos to g.g_n - 1 do
+      let e = g.g_entries.(i) in
+      e.e_mark <- Prt.checkpoint g.g_prt;
+      if g.g_buckets = 0 || Hashtbl.mem dirty e.e_coflow.Coflow.id then
+        reschedule e
+      else begin
+        (* clean entry under a bucketed order (oracle mode): its table
+           prefix may have changed, but only by entries in other
+           classes — splice the stored plan back verbatim when every
+           window still fits with zero overlap, and fall back to a
+           full re-run otherwise. The whole plan is re-derived rather
+           than patched around the surviving windows: a merged plan
+           would break non-preemption (a kept split-window whose
+           blocking neighbour moved ends with demand left and nothing
+           occupying its port) and double-count circuit setups. The
+           fit test must be exact, not [reserve]'s dust-tolerant one:
+           a rescheduled upstream neighbour can land within rounding
+           dust of a stored boundary, and re-admitting that would
+           break the validator's strict per-port disjointness. *)
+        if List.for_all (Prt.fits_exact g.g_prt) e.e_plan.Sunflow.reservations
+        then begin
+          List.iter (Prt.reserve g.g_prt) e.e_plan.Sunflow.reservations;
+          g.g_spliced <- g.g_spliced + 1
+        end
+        else begin
+          if obs then Obs.Registry.incr m_cascades;
+          reschedule e
+        end
+      end
+    done
+  else begin
+    (* lazy damage-bounded repair (bucketed incremental mode). No
+       rollback: a dirty entry, at its turn in priority order, clears
+       every later-priority window from the ports its planner can
+       touch (the senders/receivers of its remaining demand), recording
+       the evicted windows per owner, then reschedules. An evicted
+       ("touched") clean entry re-admits its evicted windows verbatim
+       at its own turn when they all still fit exactly, and partially
+       re-plans otherwise; a clean entry nobody touched keeps its plan
+       at zero cost. This matches the rebuild oracle's decisions
+       bit-for-bit: [Sunflow.schedule] reads and writes only the ports
+       of the Coflow's own demand ([probe] / [next_release_on_ports]
+       take explicit ports), so each rescheduled entry sees, on every
+       port it queries, exactly the prefix plus already-processed
+       suffix — the rebuild table's content at the same turn. Windows
+       never evicted sit on ports no new window lands on, and the old
+       windows were mutually disjoint, so they'd pass the oracle's fit
+       test unconditionally; evicted windows are tested against table
+       content identical on their ports. The fit-failure sets therefore
+       coincide, and so do the plans. *)
+    let touched : (int, Prt.reservation list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let ports_cleared : (Prt.port, unit) Hashtbl.t = Hashtbl.create 16 in
+    let clear_demand_ports e d =
+      let clear_port p =
+        if not (Hashtbl.mem ports_cleared p) then begin
+          Hashtbl.replace ports_cleared p ();
+          List.iter
+            (fun r ->
+              match Hashtbl.find_opt g.g_index r.Prt.coflow with
+              | Some o when g.g_cmp e o < 0 ->
+                  (* [remove] is false when the window was already
+                     evicted through its other port — record once *)
+                  if Prt.remove g.g_prt r then begin
+                    let l =
+                      match Hashtbl.find_opt touched r.Prt.coflow with
+                      | Some l -> l
+                      | None ->
+                          let l = ref [] in
+                          Hashtbl.replace touched r.Prt.coflow l;
+                          l
+                    in
+                    l := r :: !l
+                  end
+              | _ -> ())
+            (Prt.port_reservations g.g_prt p)
+        end
+      in
+      List.iter (fun p -> clear_port (Prt.In p)) (Demand.senders d);
+      List.iter (fun p -> clear_port (Prt.Out p)) (Demand.receivers d)
+    in
+    let process e =
+      let id = e.e_coflow.Coflow.id in
+      if Hashtbl.mem dirty id then begin
+        Hashtbl.remove touched id;
+        ignore (Prt.retract_coflow g.g_prt id : int);
+        clear_demand_ports e (remaining id);
+        reschedule e
+      end
+      else
+        match Hashtbl.find_opt touched id with
+        | None -> g.g_spliced <- g.g_spliced + 1
+        | Some l ->
+            Hashtbl.remove touched id;
+            if List.for_all (Prt.fits_exact g.g_prt) !l then begin
+              List.iter (Prt.reserve g.g_prt) !l;
+              g.g_spliced <- g.g_spliced + 1
+            end
+            else begin
+              if obs then Obs.Registry.incr m_cascades;
+              ignore (Prt.retract_coflow g.g_prt id : int);
+              clear_demand_ports e (remaining id);
+              reschedule e
+            end
+    in
+    for i = dirty_pos to g.g_n - 1 do
+      process g.g_entries.(i)
+    done;
+    (* this engine never rolls back — without this the undo log grows
+       with every reserve for the run's lifetime and pins retired
+       Coflows' windows against the GC *)
+    Prt.forget_history g.g_prt
+  end;
   if obs then begin
     Obs.Registry.observe h_batch (float_of_int (g.g_n - dirty_pos));
     Obs.Tracer.end_span ~cat:"core" "inter.step"
@@ -403,4 +624,4 @@ let engine_view g ~now ~remaining =
   List.iter
     (fun (_, (r : Sunflow.result)) -> List.iter (Prt.reserve prt) r.reservations)
     per_coflow;
-  { prt; per_coflow }
+  make_result prt per_coflow

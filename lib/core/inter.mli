@@ -33,6 +33,8 @@ type result = {
   prt : Prt.t;  (** the combined reservation table *)
   per_coflow : (int * Sunflow.result) list;
       (** intra-Coflow result for every input Coflow, in service order *)
+  by_id : (int, Sunflow.result) Hashtbl.t;
+      (** the same results keyed by Coflow id — O(1) {!finish_of} *)
 }
 
 val schedule :
@@ -82,6 +84,8 @@ val engine :
   ?order:Order.t ->
   ?carry_circuits:bool ->
   ?rebuild:bool ->
+  ?buckets:int ->
+  ?bucket_base:float ->
   policy:policy ->
   delta:float ->
   bandwidth:float ->
@@ -91,7 +95,25 @@ val engine :
     [Circuit_sim.run]: with it off (all-stop) every event reschedules
     everything. [rebuild] selects the from-scratch oracle mode.
     [Custom] comparators get an [(arrival, id)] tiebreak appended, so
-    they need not be total themselves. *)
+    they need not be total themselves.
+
+    [buckets] (default [0] = off, the exact-order behaviour) coarsens
+    the priority order into at most that many classes, FIFO within a
+    class. For [Shortest_first] the classes are exponentially spaced:
+    class 0 holds Coflows whose packet lower bound fits within one
+    reconfiguration delay, and each further class covers keys another
+    factor of [bucket_base] (default [4.], must be [> 1.]) longer —
+    so a new arrival sorts at the {e end} of its class and invalidates
+    only strictly lower classes' boundary conflicts instead of every
+    Coflow with a marginally larger key. [Priority_classes] classes
+    are clamped into [[0, buckets)]; [Fifo] and [Custom] have no
+    numeric key and keep their exact order (one class). Retained plans
+    in clean later classes are spliced back verbatim when their ports
+    are still free, and re-derived only on conflict — see
+    {!schedule_incremental}. Bucketing trades fidelity to the exact
+    shortest-first order for replan locality; CCT drift against the
+    exact order is measured (and gated) in the bench harness.
+    Raises [Invalid_argument] if [buckets < 0] or [bucket_base <= 1.]. *)
 
 val schedule_incremental :
   engine ->
@@ -106,7 +128,14 @@ val schedule_incremental :
     [now], on the remaining demand reported by [remaining] — for
     exactly the Coflows whose plans the event invalidated: everything
     from the first arrival's position on, plus any Coflow whose
-    reservation was mid-reconfiguration at [now]. Raises
+    reservation was mid-reconfiguration at [now]. Under a bucketed
+    order ([buckets > 0]) the repair is damage-bounded: a dirty Coflow
+    evicts later-priority windows only from the ports its own demand
+    touches before re-running, an evicted clean Coflow re-admits its
+    evicted windows verbatim when they still fit (falling back to a
+    full re-run only if a changed upstream plan now occupies one of
+    its ports), and a clean Coflow nobody evicted keeps its plan at
+    zero cost. Raises
     [Invalid_argument] on an unknown finished id or a duplicate
     arrival id. O(changed Coflows), not O(active Coflows), per event
     when circuits carry. *)
@@ -122,9 +151,21 @@ val engine_established : engine -> (int * int) list
 val engine_finish : engine -> int -> float option
 (** The stored plan's finish for an admitted Coflow. *)
 
-val engine_min_finish : engine -> float
-(** Earliest stored finish over all admitted Coflows, [infinity] when
-    none — the replay loop's next completion event. *)
+val engine_min_finish : engine -> float option
+(** Earliest stored finish over all admitted Coflows — the replay
+    loop's next completion event. [None] when no Coflow is admitted
+    (an idle engine has no completion to wake for; returning a float
+    here once let the event loop schedule a wake at [infinity]). *)
+
+val engine_rescheduled : engine -> int
+(** Cumulative count of suffix entries re-run through
+    [Sunflow.schedule] across all steps — the engine's real work. *)
+
+val engine_spliced : engine -> int
+(** Cumulative count of suffix entries whose retained plan survived a
+    step without rescheduling (bucketed orders only) — untouched by
+    any eviction, or evicted windows re-admitted verbatim. No
+    scheduling work either way. *)
 
 val engine_slice : engine -> t0:float -> t1:float -> Prt.reservation list
 (** The persistent plan's windows overlapping [[t0, t1)], straddlers

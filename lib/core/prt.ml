@@ -101,6 +101,26 @@ type slot = {
   mutable len : int;
 }
 
+(* The interval index: every live window once (keyed on its input-port
+   identity), held in one globally start-sorted sequence of bounded
+   blocks, each block caching the max stop over its windows. Stabbing
+   and slice queries ([covering_at] / [reservations_in]) binary-search
+   the block sequence for the instant's position, then walk blocks
+   leftward pruning in O(1) every block whose cached max stop cannot
+   reach the instant — so a query costs O(log n + answer) element
+   probes plus one O(1) summary check per block, instead of the
+   per-port fold over every port slot the table used before (which
+   made the slice queries that anchor each replay event linear in the
+   port count regardless of how many windows actually overlap). *)
+
+let iblock_cap = 128 (* split threshold; a block holds < iblock_cap windows *)
+
+type iblock = {
+  mutable ib_res : reservation array;  (* start-sorted *)
+  mutable ib_len : int;
+  mutable ib_max_stop : float;  (* max stop over the block's windows *)
+}
+
 (* The release index: every reservation's stop time once (not once per
    port), kept sorted ascending. This is the priority queue of upcoming
    releases; it is stored flat (a sorted array rather than a tree-shaped
@@ -122,6 +142,9 @@ type t = {
      [retract_coflow] are skipped rather than double-freed. *)
   mutable journal : reservation array;
   mutable n_journal : int;
+  (* interval index over all live windows; see [iblock] above *)
+  mutable iblocks : iblock array;
+  mutable n_iblocks : int;
 }
 
 let create () =
@@ -133,7 +156,24 @@ let create () =
     owners = Hashtbl.create 64;
     journal = [||];
     n_journal = 0;
+    iblocks = [||];
+    n_iblocks = 0;
   }
+
+let dummy_res =
+  (* filler for vacated interval-index slots; [length = 0.] can never
+     enter the table through [reserve], so it is distinguishable from
+     any live window *)
+  { coflow = min_int; src = 0; dst = 0; start = 0.; setup = 0.; length = 0. }
+
+let dummy_iblock = { ib_res = [||]; ib_len = 0; ib_max_stop = neg_infinity }
+
+(* blocks are allocated at full [iblock_cap] capacity so in-place
+   inserts never have to grow them *)
+let iblock_copy b =
+  let arr = Array.make iblock_cap dummy_res in
+  Array.blit b.ib_res 0 arr 0 b.ib_len;
+  { ib_res = arr; ib_len = b.ib_len; ib_max_stop = b.ib_max_stop }
 
 let copy t =
   let ports = Hashtbl.create (Hashtbl.length t.ports) in
@@ -152,6 +192,8 @@ let copy t =
     owners;
     journal = Array.sub t.journal 0 t.n_journal;
     n_journal = t.n_journal;
+    iblocks = Array.init t.n_iblocks (fun i -> iblock_copy t.iblocks.(i));
+    n_iblocks = t.n_iblocks;
   }
 
 let is_empty t = t.n_res = 0
@@ -249,6 +291,42 @@ let next_release_on_ports t ports instant =
   List.fold_left
     (fun acc p -> Float.min acc (port_next_release c t p instant))
     infinity ports
+
+(* true when [r] intersects no existing window on either of its ports
+   with positive measure — stricter than [reserve]'s dust-tolerant
+   admission, which accepts sub-[time_tolerance] rounding overlaps.
+   The incremental engine's splice path needs the strict test: a
+   stored window re-admitted against a {e fresh} neighbour can land a
+   few ulps inside it, and while [reserve] would wave that through as
+   dust, the validator's exact per-port disjointness would not. *)
+let fits_exact t r =
+  let c = counters () in
+  c.c_queries.v <- c.c_queries.v + 1;
+  let clean p =
+    let s = find_slot t p in
+    let k = bsearch_gt c res_start s.res s.len r.start in
+    (* windows starting after [r.start]: the first is the only
+       candidate (later ones start even later) *)
+    (k >= s.len || s.res.(k).start >= stop r)
+    &&
+    (* windows starting at or before [r.start]: any stop strictly past
+       [r.start] is a positive-measure intersection. The walk crosses
+       the dust run (stops within [time_tolerance] below [r.start])
+       because tolerated pairwise dust overlaps let an earlier window
+       reach past a later one's stop by up to the tolerance. *)
+    let rec left j =
+      if j < 0 then true
+      else begin
+        c.c_scans.v <- c.c_scans.v + 1;
+        let st = stop s.res.(j) in
+        if st <= r.start -. time_tolerance then true
+        else if st > r.start then false
+        else left (j - 1)
+      end
+    in
+    left (k - 1)
+  in
+  clean (In r.src) && clean (Out r.dst)
 
 (* --- mutation --------------------------------------------------------- *)
 
@@ -349,6 +427,122 @@ let release_insert c t v =
   t.releases.(k) <- v;
   t.n_releases <- t.n_releases + 1
 
+(* --- interval index maintenance ---------------------------------------
+
+   Invariants: blocks are globally ordered by start (every window in
+   block [i] starts at or before every window in block [i+1]; windows
+   with equal starts may span a boundary), every block holds at least
+   one and fewer than [iblock_cap] windows, every live window appears
+   exactly once, and [ib_max_stop] is the exact max stop over the
+   block's windows. Vacated array slots (both block slots and window
+   slots) are reset to dummies so the index never pins a removed
+   window against the GC. *)
+
+(* last block whose first window starts at or before [x], or -1 *)
+let iidx_locate c t x =
+  let lo = ref 0 and hi = ref t.n_iblocks in
+  while !lo < !hi do
+    c.c_scans.v <- c.c_scans.v + 1;
+    let mid = (!lo + !hi) / 2 in
+    if t.iblocks.(mid).ib_res.(0).start <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+let iidx_insert_block t k b =
+  let cap = Array.length t.iblocks in
+  if t.n_iblocks = cap then begin
+    let arr = Array.make (grow_cap cap) dummy_iblock in
+    Array.blit t.iblocks 0 arr 0 t.n_iblocks;
+    t.iblocks <- arr
+  end;
+  Array.blit t.iblocks k t.iblocks (k + 1) (t.n_iblocks - k);
+  t.iblocks.(k) <- b;
+  t.n_iblocks <- t.n_iblocks + 1
+
+let iidx_recompute_max b =
+  let m = ref neg_infinity in
+  for i = 0 to b.ib_len - 1 do
+    m := Float.max !m (stop b.ib_res.(i))
+  done;
+  b.ib_max_stop <- m.contents
+
+let iidx_insert c t r =
+  if t.n_iblocks = 0 then begin
+    let arr = Array.make iblock_cap dummy_res in
+    arr.(0) <- r;
+    iidx_insert_block t 0 { ib_res = arr; ib_len = 1; ib_max_stop = stop r }
+  end
+  else begin
+    let bi = max 0 (iidx_locate c t r.start) in
+    let b = t.iblocks.(bi) in
+    let k = bsearch_gt c res_start b.ib_res b.ib_len r.start in
+    Array.blit b.ib_res k b.ib_res (k + 1) (b.ib_len - k);
+    b.ib_res.(k) <- r;
+    b.ib_len <- b.ib_len + 1;
+    b.ib_max_stop <- Float.max b.ib_max_stop (stop r);
+    if b.ib_len = iblock_cap then begin
+      (* split into two half-full blocks, clearing the moved slots *)
+      let half = iblock_cap / 2 in
+      let arr = Array.make iblock_cap dummy_res in
+      Array.blit b.ib_res half arr 0 (iblock_cap - half);
+      let right =
+        { ib_res = arr; ib_len = iblock_cap - half; ib_max_stop = neg_infinity }
+      in
+      Array.fill b.ib_res half (iblock_cap - half) dummy_res;
+      b.ib_len <- half;
+      iidx_recompute_max b;
+      iidx_recompute_max right;
+      iidx_insert_block t (bi + 1) right
+    end
+  end
+
+(* remove the window physically equal to [r]; the caller has already
+   proven presence in the port slots, so absence here means the index
+   lost sync with the table — fail loudly (and unconditionally: this
+   must survive [-noassert] builds). *)
+let iidx_remove c t r =
+  let found_block = ref (-1) and found_pos = ref (-1) in
+  let scan_block j =
+    let b = t.iblocks.(j) in
+    let i = ref (bsearch_gt c res_start b.ib_res b.ib_len r.start - 1) in
+    while !found_pos < 0 && !i >= 0 && b.ib_res.(!i).start = r.start do
+      c.c_scans.v <- c.c_scans.v + 1;
+      if b.ib_res.(!i) = r then begin
+        found_block := j;
+        found_pos := !i
+      end
+      else decr i
+    done
+  in
+  (* the equal-start run can span block boundaries leftward *)
+  let j = ref (iidx_locate c t r.start) in
+  let continue_left () =
+    !found_pos < 0 && !j >= 0
+    &&
+    let b = t.iblocks.(!j) in
+    b.ib_len > 0 && b.ib_res.(b.ib_len - 1).start >= r.start
+  in
+  if !j >= 0 then scan_block !j;
+  decr j;
+  while continue_left () do
+    scan_block !j;
+    decr j
+  done;
+  if !found_pos < 0 then
+    invalid_arg "Prt: interval index out of sync with the port slots";
+  let b = t.iblocks.(!found_block) in
+  Array.blit b.ib_res (!found_pos + 1) b.ib_res !found_pos
+    (b.ib_len - !found_pos - 1);
+  b.ib_len <- b.ib_len - 1;
+  b.ib_res.(b.ib_len) <- dummy_res;
+  if b.ib_len = 0 then begin
+    Array.blit t.iblocks (!found_block + 1) t.iblocks !found_block
+      (t.n_iblocks - !found_block - 1);
+    t.n_iblocks <- t.n_iblocks - 1;
+    t.iblocks.(t.n_iblocks) <- dummy_iblock
+  end
+  else if stop r = b.ib_max_stop then iidx_recompute_max b
+
 let journal_push t r =
   let cap = Array.length t.journal in
   if t.n_journal = cap then begin
@@ -373,6 +567,10 @@ let reserve t r =
      c.c_rollbacks.v <- c.c_rollbacks.v + 1;
      slot_remove c t (In r.src) k_in (stop r);
      raise e);
+  (* both slots accepted: the window is definitely in, so the interval
+     index can take it (the Out-conflict undo path above never touches
+     the index) *)
+  iidx_insert c t r;
   release_insert c t (stop r);
   t.n_res <- t.n_res + 1;
   journal_push t r;
@@ -425,6 +623,7 @@ let remove t r =
     let k_out = slot_find c (find_slot t (Out r.dst)) r in
     assert (k_out >= 0);
     slot_remove c t (Out r.dst) k_out (stop r);
+    iidx_remove c t r;
     release_remove c t (stop r);
     t.n_res <- t.n_res - 1;
     owner_remove t r;
@@ -457,6 +656,13 @@ let rollback t mark =
     ignore (remove t t.journal.(t.n_journal) : bool)
   done
 
+let forget_history t =
+  (* dropping the array (rather than zeroing [n_journal]) also unpins
+     the recorded reservation records — the log otherwise keeps retired
+     Coflows' windows reachable forever in a long-lived table *)
+  t.journal <- [||];
+  t.n_journal <- 0
+
 (* --- traversal -------------------------------------------------------- *)
 
 let port_reservations t p =
@@ -477,40 +683,38 @@ let all_reservations t =
     t.ports []
   |> List.sort (fun a b -> compare (a.start, a.src, a.dst) (b.start, b.src, b.dst))
 
-let established_at t instant =
-  all_reservations t
-  |> List.filter_map (fun r ->
-         if r.start +. r.setup <= instant && instant < stop r then
-           Some (r.src, r.dst)
-         else None)
-  |> List.sort_uniq compare
-
-(* all windows with [start <= instant < stop], by per-port predecessor
-   search plus the dust walk-back (same argument as [free_at]: anything
-   further left stops more than [time_tolerance] before a window that
-   itself stops at or before [instant - time_tolerance], so it cannot
-   reach [instant]) *)
+(* all windows with [start <= instant < stop], answered from the
+   interval index: binary-search the last block whose first window
+   starts at or before [instant], then walk blocks leftward — a block
+   whose cached [ib_max_stop] cannot reach [instant] is pruned in O(1),
+   so the walk costs O(log n + answer-bearing blocks) instead of a scan
+   over every port's array *)
 let covering_at t instant =
   let c = counters () in
   c.c_queries.v <- c.c_queries.v + 1;
-  Hashtbl.fold
-    (fun p s acc ->
-      match p with
-      | Out _ -> acc
-      | In _ ->
-        let i = bsearch_gt c res_start s.res s.len instant - 1 in
-        let rec walk j acc =
-          if j < 0 then acc
-          else begin
-            c.c_scans.v <- c.c_scans.v + 1;
-            let st = stop s.res.(j) in
-            if st > instant then walk (j - 1) (s.res.(j) :: acc)
-            else if st > instant -. time_tolerance then walk (j - 1) acc
-            else acc
-          end
-        in
-        walk i acc)
-    t.ports []
+  let acc = ref [] in
+  let bi = iidx_locate c t instant in
+  for j = bi downto 0 do
+    let b = t.iblocks.(j) in
+    if b.ib_max_stop > instant then begin
+      let hi =
+        if j = bi then bsearch_gt c res_start b.ib_res b.ib_len instant - 1
+        else b.ib_len - 1
+      in
+      for i = hi downto 0 do
+        c.c_scans.v <- c.c_scans.v + 1;
+        let r = b.ib_res.(i) in
+        if stop r > instant then acc := r :: !acc
+      done
+    end
+  done;
+  !acc
+
+let established_at t instant =
+  covering_at t instant
+  |> List.filter_map (fun r ->
+         if r.start +. r.setup <= instant then Some (r.src, r.dst) else None)
+  |> List.sort_uniq compare
 
 (* deterministic physical order for slice execution: equal-start dust
    twins are insertion-order independent in the arrays, so callers that
@@ -524,33 +728,39 @@ let physical_order a b =
 let reservations_in t t0 t1 =
   let c = counters () in
   c.c_queries.v <- c.c_queries.v + 1;
-  Hashtbl.fold
-    (fun p s acc ->
-      match p with
-      | Out _ -> acc
-      | In _ ->
-        let i = bsearch_gt c res_start s.res s.len t0 in
-        (* windows starting at or before [t0] that still reach past it *)
-        let rec back j acc =
-          if j < 0 then acc
-          else begin
-            c.c_scans.v <- c.c_scans.v + 1;
-            let st = stop s.res.(j) in
-            if st > t0 then back (j - 1) (s.res.(j) :: acc)
-            else if st > t0 -. time_tolerance then back (j - 1) acc
-            else acc
-          end
-        in
-        let acc = ref (back (i - 1) acc) in
-        let j = ref i in
-        while !j < s.len && s.res.(!j).start < t1 do
-          c.c_scans.v <- c.c_scans.v + 1;
-          acc := s.res.(!j) :: !acc;
-          incr j
-        done;
-        !acc)
-    t.ports []
-  |> List.sort physical_order
+  let acc = ref [] in
+  let bi = iidx_locate c t t0 in
+  (* windows starting at or before [t0] that still reach past it:
+     leftward block walk with max-stop pruning, as in [covering_at] *)
+  for j = bi downto 0 do
+    let b = t.iblocks.(j) in
+    if b.ib_max_stop > t0 then begin
+      let hi =
+        if j = bi then bsearch_gt c res_start b.ib_res b.ib_len t0 - 1
+        else b.ib_len - 1
+      in
+      for i = hi downto 0 do
+        c.c_scans.v <- c.c_scans.v + 1;
+        let r = b.ib_res.(i) in
+        if stop r > t0 then acc := r :: !acc
+      done
+    end
+  done;
+  (* windows opening inside the slice ([t0 < start < t1]): one forward
+     walk in global start order from the first window past [t0] *)
+  (try
+     for j = max bi 0 to t.n_iblocks - 1 do
+       let b = t.iblocks.(j) in
+       let i0 = if j = bi then bsearch_gt c res_start b.ib_res b.ib_len t0 else 0 in
+       for i = i0 to b.ib_len - 1 do
+         c.c_scans.v <- c.c_scans.v + 1;
+         let r = b.ib_res.(i) in
+         if r.start >= t1 then raise Exit;
+         acc := r :: !acc
+       done
+     done
+   with Exit -> ());
+  List.sort physical_order !acc
 
 let ports_in_use t =
   Hashtbl.fold (fun p s acc -> if s.len = 0 then acc else p :: acc) t.ports []

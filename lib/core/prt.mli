@@ -104,6 +104,14 @@ val next_release_on_ports : t -> port list -> float -> float
     scheduler only cares about releases on ports its remaining demand
     can use, which keeps the scan local under inter-Coflow load. *)
 
+val fits_exact : t -> reservation -> bool
+(** Whether the window intersects no existing window on either of its
+    ports with positive measure. Stricter than {!reserve}'s admission,
+    which tolerates sub-nanosecond rounding-dust overlaps: the
+    incremental engine's splice path re-admits stored windows against
+    freshly computed neighbours and must preserve exact per-port
+    disjointness, not merely dust-disjointness. *)
+
 val reserve : t -> reservation -> unit
 (** Record a reservation on both of its ports. Raises
     [Invalid_argument] if it would overlap an existing window on either
@@ -137,6 +145,13 @@ val rollback : t -> checkpoint -> unit
     the log back to the mark. Raises [Invalid_argument] on a checkpoint
     from beyond the current log end (i.e. one already discarded by an
     earlier rollback). O(undone × log n). *)
+
+val forget_history : t -> unit
+(** Drop the undo log entirely, invalidating every outstanding
+    checkpoint (a later {!rollback} with one raises). For callers that
+    repair the table in place and will never roll back past this
+    point: the log otherwise grows with every reserve for the life of
+    the table and keeps retired Coflows' windows reachable. O(1). *)
 
 val port_reservations : t -> port -> reservation list
 (** Reservations on one port, sorted by start time. *)

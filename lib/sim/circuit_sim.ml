@@ -102,15 +102,8 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
           plan
         end
       in
-      (* per-slice lookup tables: [Inter.finish_of] and an assoc over
-         the actives are both linear, which made every event quadratic
-         in the active-Coflow count *)
-      let finish_tbl = Hashtbl.create 16 in
-      List.iter
-        (fun (id, (r : Sunflow.result)) -> Hashtbl.replace finish_tbl id r.finish)
-        plan.Inter.per_coflow;
       let planned_finish (a : active) =
-        match Hashtbl.find_opt finish_tbl a.orig.Coflow.id with
+        match Inter.finish_of plan a.orig.Coflow.id with
         | Some f -> f
         | None -> invalid_arg "Circuit_sim.run: Coflow missing from plan"
       in
@@ -260,15 +253,16 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
    engine's stored windows clipped to [t, t_next). [rebuild] runs the
    same engine decisions while reconstructing the table from scratch
    every event — the bit-exact oracle for the rollback machinery. *)
-let run_anchored ~rebuild ~policy ~order ~carry_circuits ~on_complete ~on_slice
-    ~delta ~bandwidth coflows =
+let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
+    ~on_complete ~on_slice ~delta ~bandwidth coflows =
   let arrivals = Event_queue.create () in
   List.iter
     (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
     (List.sort Coflow.compare_arrival coflows);
   let obs = Obs.Control.enabled () in
   let eng =
-    Inter.engine ~order ~carry_circuits ~rebuild ~policy ~delta ~bandwidth ()
+    Inter.engine ~order ~carry_circuits ~rebuild ~buckets ~bucket_base ~policy
+      ~delta ~bandwidth ()
   in
   let active_tbl : (int, active) Hashtbl.t = Hashtbl.create 64 in
   let actives : active list ref = ref [] in
@@ -330,11 +324,16 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~on_complete ~on_slice
        end);
       newly := [];
       retired := [];
-      let t_done = Inter.engine_min_finish eng in
       let t_next =
-        match next_arrival with
-        | Some (ta, _) -> Float.min ta t_done
-        | None -> t_done
+        match (next_arrival, Inter.engine_min_finish eng) with
+        | Some (ta, _), Some t_done -> Float.min ta t_done
+        | None, Some t_done -> t_done
+        | Some (ta, _), None -> ta
+        | None, None ->
+          (* this branch has active Coflows, so the engine must hold at
+             least one admitted plan; waking at a fabricated instant
+             (the old [infinity] sentinel) would stall the replay *)
+          invalid_arg "Circuit_sim.run: active Coflows but an idle engine"
       in
       let established = Inter.engine_established eng in
       (match on_slice with
@@ -459,18 +458,21 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~on_complete ~on_slice
   }
 
 let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(replan = `Full) ?(on_complete = no_release)
-    ?on_slice ~delta ~bandwidth coflows =
+    ?(carry_circuits = true) ?(replan = `Full) ?(buckets = 0)
+    ?(bucket_base = 4.) ?(on_complete = no_release) ?on_slice ~delta ~bandwidth
+    coflows =
   if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
   if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
   check_unique_ids coflows;
   match replan with
   | `Full ->
+    if buckets <> 0 then
+      invalid_arg "Circuit_sim.run: buckets need an anchored replan mode";
     run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
       ~bandwidth coflows
   | (`Rebuild | `Incremental) as mode ->
     run_anchored ~rebuild:(mode = `Rebuild) ~policy ~order ~carry_circuits
-      ~on_complete ~on_slice ~delta ~bandwidth coflows
+      ~buckets ~bucket_base ~on_complete ~on_slice ~delta ~bandwidth coflows
 
 let intra_cct ?(order = Order.Ordered_port) ~delta ~bandwidth coflow =
   Sunflow.schedule ~order ~delta ~bandwidth

@@ -36,6 +36,8 @@ val run :
   ?order:Sunflow_core.Order.t ->
   ?carry_circuits:bool ->
   ?replan:replan ->
+  ?buckets:int ->
+  ?bucket_base:float ->
   ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
   ?on_slice:
     (t:float ->
@@ -56,6 +58,12 @@ val run :
     event then tears the whole fabric down, approximating an all-stop
     controller. Coflows with empty demand complete instantly at their
     arrival. Duplicate ids raise [Invalid_argument].
+
+    [buckets]/[bucket_base] (defaults [0]/[4.]) coarsen the anchored
+    modes' priority order into exponentially-spaced classes — see
+    {!Sunflow_core.Inter.engine}. [buckets = 0] keeps the exact order.
+    Non-zero [buckets] under [`Full] raises [Invalid_argument]: the
+    full replan has no persistent order to coarsen.
 
     [on_complete id t] is called once per completed Coflow and may
     release new Coflows into the fabric (their arrivals must be

@@ -131,6 +131,170 @@ let test_physical_oracle_incremental () =
     Alcotest.(check bool) "compared some" true (o.Diff_oracle.compared > 0)
   done
 
+(* --- bucketed priority orders (PR 6) --- *)
+
+module Demand = Sunflow_core.Demand
+
+(* The SCF-adversarial shape: every arrival is shorter than everything
+   already admitted, so the exact order head-inserts each one and
+   redoes the whole plan. *)
+let storm_trace ?(n = 16) () =
+  List.init n (fun i ->
+      let d = Demand.create () in
+      Demand.set d (i mod 6) ((i + 2) mod 6)
+        (Units.mb (400. /. (1.5 ** float_of_int i)));
+      Coflow.make ~id:i ~arrival:(0.01 *. float_of_int i) d)
+
+let test_scf_storm_grid () =
+  let trace = storm_trace () in
+  List.iter
+    (fun buckets ->
+      List.iter
+        (fun delta ->
+          let vs =
+            Plan_check.replay_equiv ~policy:Inter.Shortest_first ~buckets
+              ~delta ~bandwidth trace
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "storm buckets=%d delta=%g" buckets delta)
+            "" (pp_violations vs))
+        [ 0.; Units.ms 10. ])
+    [ 0; 4; 16 ]
+
+let test_bucketed_result_identity () =
+  let trace = trace_of_seed ~max_coflows:12 42 in
+  let run replan =
+    Circuit_sim.run ~replan ~buckets:4 ~delta:(Units.ms 15.) ~bandwidth trace
+  in
+  let ri = run `Incremental and rr = run `Rebuild in
+  Alcotest.(check bool) "bucketed Sim_result bit-identical" true (ri = rr);
+  Alcotest.(check int)
+    "all finish under buckets" (List.length trace)
+    (List.length ri.Sim_result.finishes)
+
+(* Under the exact order the storm reschedules the whole suffix at each
+   arrival (1 + 2 + ... + n); under a bucketed order each arrival lands
+   at the end of its class and everything after it splices. The engines
+   are driven directly so the reschedule/splice counters are visible. *)
+let test_dirty_suffix_smaller () =
+  let n = 12 in
+  let coflows =
+    Array.init n (fun i ->
+        let d = Demand.create () in
+        (* disjoint port pairs: spliced windows can never conflict *)
+        Demand.set d i (100 + i) (Units.mb (1600. /. (1.7 ** float_of_int i)));
+        Coflow.make ~id:i ~arrival:(0.0002 *. float_of_int i) d)
+  in
+  let drive buckets =
+    let eng =
+      Inter.engine ~buckets ~policy:Inter.Shortest_first ~delta:0. ~bandwidth
+        ()
+    in
+    Array.iter
+      (fun c ->
+        Inter.schedule_incremental eng ~now:c.Coflow.arrival ~arrivals:[ c ]
+          ~finished:[]
+          ~remaining:(fun id -> coflows.(id).Coflow.demand))
+      coflows;
+    (Inter.engine_rescheduled eng, Inter.engine_spliced eng)
+  in
+  let exact_r, exact_s = drive 0 in
+  let bucket_r, bucket_s = drive 4 in
+  Alcotest.(check int) "exact order redoes the whole suffix"
+    (n * (n + 1) / 2)
+    exact_r;
+  Alcotest.(check int) "exact order never splices" 0 exact_s;
+  Alcotest.(check int) "bucketed order redoes only the arrival" n bucket_r;
+  Alcotest.(check bool) "bucketed order splices the rest" true (bucket_s > 0)
+
+(* --- hardening: retired entries are not pinned by the engine --- *)
+
+let test_no_gc_pinning () =
+  let n = 10 in
+  let eng =
+    Inter.engine ~policy:Inter.Shortest_first ~delta:(Units.ms 10.) ~bandwidth
+      ()
+  in
+  let weak = Weak.create n in
+  (* admit and retire inside a closure so no local below keeps the
+     Coflows reachable *)
+  let () =
+    let coflows =
+      List.init n (fun i ->
+          let d = Demand.create () in
+          Demand.set d (i mod 4) ((i + 1) mod 4) (Units.mb 5.);
+          let c = Coflow.make ~id:i ~arrival:0. d in
+          Weak.set weak i (Some c);
+          c)
+    in
+    let remaining id =
+      (List.nth coflows id).Coflow.demand
+    in
+    Inter.schedule_incremental eng ~now:0. ~arrivals:coflows ~finished:[]
+      ~remaining;
+    Inter.schedule_incremental eng ~now:10. ~arrivals:[]
+      ~finished:(List.init n Fun.id)
+      ~remaining:(fun _ -> Demand.create ())
+  in
+  Alcotest.(check int) "engine drained" 0 (Inter.engine_size eng);
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "retired Coflow %d collected" i)
+      false (Weak.check weak i)
+  done;
+  (* keep [eng] live past the major collections: the point is that a
+     *live* engine does not pin retired entries *)
+  ignore (Sys.opaque_identity eng)
+
+let test_inconsistent_comparator_detected () =
+  let flip = ref false in
+  let policy =
+    Inter.Custom
+      (fun a b ->
+        if !flip then compare b.Coflow.id a.Coflow.id
+        else compare a.Coflow.id b.Coflow.id)
+  in
+  let eng =
+    Inter.engine ~policy ~delta:(Units.ms 10.) ~bandwidth ()
+  in
+  let coflows =
+    List.init 4 (fun i ->
+        let d = Demand.create () in
+        Demand.set d i (8 + i) (Units.mb 5.);
+        Coflow.make ~id:(i + 1) ~arrival:0. d)
+  in
+  let remaining _ = Demand.create () in
+  Inter.schedule_incremental eng ~now:0. ~arrivals:coflows ~finished:[]
+    ~remaining;
+  flip := true;
+  Alcotest.check_raises "mutated comparator is detected, not corrupted"
+    (Invalid_argument
+       "Inter.remove_entry: entry not found at its ordered position \
+        (inconsistent comparator?)") (fun () ->
+      Inter.schedule_incremental eng ~now:1. ~arrivals:[] ~finished:[ 1 ]
+        ~remaining)
+
+let test_min_finish_option () =
+  let eng =
+    Inter.engine ~policy:Inter.Fifo ~delta:(Units.ms 10.) ~bandwidth ()
+  in
+  Alcotest.(check bool) "idle engine has no next finish" true
+    (Inter.engine_min_finish eng = None);
+  let d = Demand.create () in
+  Demand.set d 0 1 (Units.mb 10.);
+  let c = Coflow.make ~id:0 ~arrival:0. d in
+  Inter.schedule_incremental eng ~now:0. ~arrivals:[ c ] ~finished:[]
+    ~remaining:(fun _ -> d);
+  (match Inter.engine_min_finish eng with
+  | Some f -> Alcotest.(check bool) "finish after start" true (f > 0.)
+  | None -> Alcotest.fail "admitted Coflow has a stored finish");
+  Inter.schedule_incremental eng ~now:10. ~arrivals:[] ~finished:[ 0 ]
+    ~remaining:(fun _ -> Demand.create ());
+  Alcotest.(check bool) "drained engine back to None" true
+    (Inter.engine_min_finish eng = None)
+
 (* --- QCheck: equivalence on arbitrary seeds --- *)
 
 let prop_equiv =
@@ -143,9 +307,33 @@ let prop_equiv =
            ~bandwidth trace
          = []))
 
+let prop_equiv_bucketed =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"incremental == rebuild (random buckets)"
+       QCheck.(triple small_nat (int_bound 20) (int_bound 6))
+       (fun (seed, buckets, base_step) ->
+         let trace = trace_of_seed (20_000 + seed) in
+         Plan_check.replay_equiv ~policy:Inter.Shortest_first ~buckets
+           ~bucket_base:(2. +. float_of_int base_step)
+           ~delta:(Units.ms 10.) ~bandwidth trace
+         = []))
+
 let suite =
   [
     Alcotest.test_case "equivalence grid" `Quick test_equiv_grid;
+    Alcotest.test_case "SCF storm grid (buckets 0/4/16)" `Quick
+      test_scf_storm_grid;
+    Alcotest.test_case "bucketed Sim_result bit-identical" `Quick
+      test_bucketed_result_identity;
+    Alcotest.test_case "bucketed dirty suffix strictly smaller" `Quick
+      test_dirty_suffix_smaller;
+    Alcotest.test_case "retired entries not pinned" `Quick test_no_gc_pinning;
+    Alcotest.test_case "inconsistent comparator detected" `Quick
+      test_inconsistent_comparator_detected;
+    Alcotest.test_case "engine_min_finish option" `Quick
+      test_min_finish_option;
+    prop_equiv_bucketed;
     Alcotest.test_case "Sim_result fields bit-identical" `Quick
       test_result_fields_equal;
     Alcotest.test_case "equivalence with released Coflows" `Quick

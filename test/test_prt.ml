@@ -449,6 +449,129 @@ let test_covering_and_range () =
   Alcotest.(check (list int)) "boundaries" [ 2; 3 ]
     (ids (Prt.reservations_in t 1. 2.0001))
 
+(* --- the interval index (PR 6) --- *)
+
+(* Stabbing queries against a brute-force linear scan over a mirror
+   list, through enough windows to force several block splits, with
+   interleaved removals, a checkpoint/rollback, and a retraction — the
+   whole maintenance surface the index must survive. *)
+let test_interval_index_oracle () =
+  let rng = Sunflow_stats.Rng.create 4242 in
+  let t = Prt.create () in
+  let mirror = ref [] in
+  (* loopback circuits (src = dst) keyed by one per-port clock, so the
+     generated windows are always admissible *)
+  let n_ports = 24 in
+  let next_free = Array.make n_ports 0. in
+  let fresh () =
+    let s = Sunflow_stats.Rng.int rng n_ports in
+    let start = next_free.(s) +. Sunflow_stats.Rng.float rng 0.2 in
+    let length = 0.01 +. Sunflow_stats.Rng.float rng 0.3 in
+    next_free.(s) <- start +. length;
+    r ~coflow:s ~src:s ~dst:s ~start ~setup:0. ~length ()
+  in
+  let reserve () =
+    let w = fresh () in
+    Prt.reserve t w;
+    mirror := w :: !mirror
+  in
+  let remove_random () =
+    match !mirror with
+    | [] -> ()
+    | l ->
+      let w = List.nth l (Sunflow_stats.Rng.int rng (List.length l)) in
+      Alcotest.(check bool) "mirror window present" true (Prt.remove t w);
+      mirror := List.filter (fun x -> x <> w) !mirror
+  in
+  let stop w = w.Prt.start +. w.Prt.length in
+  let norm = List.sort compare in
+  let agree label =
+    for _ = 1 to 40 do
+      let x = Sunflow_stats.Rng.float rng 8. in
+      let brute =
+        List.filter (fun w -> w.Prt.start <= x && x < stop w) !mirror
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: covering_at %g" label x)
+        (List.length brute)
+        (List.length (Prt.covering_at t x));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: covering_at %g windows" label x)
+        true
+        (norm brute = norm (Prt.covering_at t x))
+    done;
+    for _ = 1 to 40 do
+      let t0 = Sunflow_stats.Rng.float rng 8. in
+      let t1 = t0 +. Sunflow_stats.Rng.float rng 3. -. 0.5 in
+      let brute =
+        List.filter
+          (fun w ->
+            (w.Prt.start <= t0 && stop w > t0)
+            || (w.Prt.start > t0 && w.Prt.start < t1))
+          !mirror
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: reservations_in [%g, %g)" label t0 t1)
+        true
+        (norm brute = norm (Prt.reservations_in t t0 t1))
+    done
+  in
+  (* growth phase: far past one block capacity *)
+  for i = 1 to 400 do
+    reserve ();
+    if i mod 3 = 0 then remove_random ()
+  done;
+  agree "after growth";
+  (* a rolled-back suffix must vanish from the index too *)
+  let cp = Prt.checkpoint t in
+  let marked = ref [] in
+  for _ = 1 to 120 do
+    let w = fresh () in
+    Prt.reserve t w;
+    marked := w :: !marked
+  done;
+  Prt.rollback t cp;
+  agree "after rollback";
+  (* retraction drains by owner id *)
+  let victim = Sunflow_stats.Rng.int rng n_ports in
+  let gone = Prt.retract_coflow t victim in
+  Alcotest.(check int) "retract count matches mirror" gone
+    (List.length (List.filter (fun w -> w.Prt.coflow = victim) !mirror));
+  mirror := List.filter (fun w -> w.Prt.coflow <> victim) !mirror;
+  agree "after retract";
+  (* and a copied table answers identically while staying isolated *)
+  let u = Prt.copy t in
+  for _ = 1 to 60 do
+    reserve ()
+  done;
+  Alcotest.(check bool) "copy unaffected by later inserts" true
+    (List.length (Prt.covering_at u 4.) <= List.length (Prt.covering_at t 4.));
+  agree "after copy + growth"
+
+let test_fits_exact () =
+  let t = Prt.create () in
+  Prt.reserve t (r ~coflow:1 ~src:0 ~dst:1 ~start:1. ~setup:0. ~length:1. ());
+  (* exact abutment on either side fits *)
+  Alcotest.(check bool) "abut after" true
+    (Prt.fits_exact t (r ~src:0 ~dst:2 ~start:2. ~setup:0. ~length:1. ()));
+  Alcotest.(check bool) "abut before" true
+    (Prt.fits_exact t (r ~src:0 ~dst:2 ~start:0. ~setup:0. ~length:1. ()));
+  Alcotest.(check bool) "distinct ports" true
+    (Prt.fits_exact t (r ~src:3 ~dst:4 ~start:1.5 ~setup:0. ~length:1. ()));
+  (* plain overlaps on either port do not *)
+  Alcotest.(check bool) "overlap on In" false
+    (Prt.fits_exact t (r ~src:0 ~dst:9 ~start:1.5 ~setup:0. ~length:1. ()));
+  Alcotest.(check bool) "overlap on Out" false
+    (Prt.fits_exact t (r ~src:9 ~dst:1 ~start:1.5 ~setup:0. ~length:1. ()));
+  (* sub-tolerance dust overlap: [reserve] admits it, the exact test
+     refuses — the asymmetry the engine's splice path depends on *)
+  let dust = r ~src:0 ~dst:5 ~start:(2. -. 1e-12) ~setup:0. ~length:1. () in
+  Alcotest.(check bool) "dust overlap fails the exact test" false
+    (Prt.fits_exact t dust);
+  Prt.reserve t dust;
+  Alcotest.(check int) "while reserve tolerates it as abutment" 2
+    (List.length (Prt.all_reservations t))
+
 let suite =
   [
     Alcotest.test_case "free_at windows" `Quick test_free_at;
@@ -473,6 +596,9 @@ let suite =
       test_copy_rollback_isolation;
     Alcotest.test_case "covering_at / reservations_in" `Quick
       test_covering_and_range;
+    Alcotest.test_case "interval index vs stabbing oracle" `Quick
+      test_interval_index_oracle;
+    Alcotest.test_case "fits_exact strictness" `Quick test_fits_exact;
     prop_oracle_vs_list_reference;
     prop_no_overlap;
   ]
