@@ -30,7 +30,16 @@
    incremental-over-full, the >= 50k Shortest-first replay must show
    the bucketed engine at least 2.5x faster than full replanning, and
    the recorded mean CCT drift of the bucketed order against the exact
-   shortest-first run must stay within the 10% fidelity budget. *)
+   shortest-first run must stay within the 10% fidelity budget.
+
+   Since schema /7 it gates the sharded simulation core: the pod-local
+   storm must have replayed at shards = 1 and at several sharded
+   widths with every digest identical (bit-identity across shard
+   counts at benchmark scale), the cross-shard conflict rate must be
+   recomputable from its inputs and stay at or under 15% on every
+   sharded row, and — full harness only — the best sharded run must
+   beat shards = 1 by at least 1.3x replan wall-clock and 1.15x
+   end-to-end, single-domain. *)
 
 type json =
   | Null
@@ -531,9 +540,94 @@ let check_scf_drift root =
          over the 10%% fidelity budget"
         (100. *. rel_mean)
 
+(* The sharded engine (schema /7): bit-identity across shard counts,
+   a bounded cross-shard conflict rate, and the single-domain speedup
+   floors. The replan-wall floor (1.3x) sits on the time the sharding
+   actually attacks — the per-event scheduling work — while the
+   end-to-end floor (1.15x) keeps the win visible through the
+   fixed simulation-loop costs every shard count shares. Both compare
+   shards = 1 against the best sharded row, and both are skipped in
+   fast mode (the smoke trace is too small to time meaningfully). *)
+let check_shards root fast =
+  match field root "shards" with
+  | Null -> bad "shards: missing — the harness did not run the shard section"
+  | sh ->
+    List.iter
+      (fun key ->
+        check_counter ("shards." ^ key) (field sh key))
+      [ "pods"; "pod_size"; "coflows"; "reps" ];
+    let rows =
+      List.map
+        (fun row ->
+          let shards =
+            let x = as_num "shards.rows.shards" (field row "shards") in
+            if Float.of_int (Float.to_int x) <> x || x < 1. then
+              bad "shards.rows.shards: expected a positive integer, got %g" x;
+            Float.to_int x
+          in
+          let what fmt = Printf.sprintf "shards.rows[%d].%s" shards fmt in
+          let wall = as_num (what "wall_s") (field row "wall_s") in
+          let plan = as_num (what "plan_s") (field row "plan_s") in
+          if wall <= 0. || plan <= 0. then
+            bad "%s: non-positive wall time" (what "wall_s/plan_s");
+          if plan > wall then
+            bad "%s: replan wall %g exceeds the end-to-end wall %g"
+              (what "plan_s") plan wall;
+          List.iter
+            (fun key -> check_counter (what key) (field row key))
+            [ "events"; "steps"; "conflicts"; "rollbacks" ];
+          let steps = as_num (what "steps") (field row "steps") in
+          let conflicts = as_num (what "conflicts") (field row "conflicts") in
+          let rate = as_num (what "conflict_rate") (field row "conflict_rate") in
+          let recomputed = if steps = 0. then 0. else conflicts /. steps in
+          if Float.abs (rate -. recomputed) > 1e-9 then
+            bad "%s: %g does not match conflicts/steps (%g)"
+              (what "conflict_rate") rate recomputed;
+          (shards, wall, plan, rate, as_str (what "digest") (field row "digest")))
+        (as_arr "shards.rows" (field sh "rows"))
+    in
+    let base =
+      match List.filter (fun (s, _, _, _, _) -> s = 1) rows with
+      | [ b ] -> b
+      | [] -> bad "shards.rows: no shards = 1 baseline row"
+      | _ -> bad "shards.rows: duplicate shards = 1 rows"
+    in
+    let sharded = List.filter (fun (s, _, _, _, _) -> s > 1) rows in
+    if sharded = [] then bad "shards.rows: no sharded rows";
+    let _, base_wall, base_plan, _, base_digest = base in
+    List.iter
+      (fun (s, _, _, rate, digest) ->
+        if digest <> base_digest then
+          bad
+            "shards.rows[%d]: digest %S differs from the shards = 1 baseline \
+             %S — the sharded engine is not bit-identical"
+            s digest base_digest;
+        if rate > 0.15 then
+          bad
+            "shards.rows[%d]: cross-shard conflict rate %.3f is over the \
+             0.15 ceiling — the trace is not shard-local-heavy"
+            s rate)
+      sharded;
+    if not fast then begin
+      let best f =
+        List.fold_left (fun a r -> Float.min a (f r)) infinity sharded
+      in
+      let plan_speedup = base_plan /. best (fun (_, _, p, _, _) -> p) in
+      if plan_speedup < 1.3 then
+        bad
+          "shards: best sharded replan speedup %.2fx is below the 1.3x gate"
+          plan_speedup;
+      let wall_speedup = base_wall /. best (fun (_, w, _, _, _) -> w) in
+      if wall_speedup < 1.15 then
+        bad
+          "shards: best sharded end-to-end speedup %.2fx is below the 1.15x \
+           gate"
+          wall_speedup
+    end
+
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/6" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/7" then bad "unknown schema %S" schema;
   let fast =
     match field root "fast" with
     | Bool b -> b
@@ -576,6 +670,7 @@ let check root json_dir =
   check_check root;
   check_replay root fast;
   check_scf_drift root;
+  check_shards root fast;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

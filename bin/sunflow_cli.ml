@@ -141,11 +141,27 @@ let with_obs ?timeline_out ~trace_out ~metrics_out f =
 
 (* --- gen-trace --- *)
 
-let gen_trace out seed n_coflows n_ports span perturb =
-  let params =
-    { Synthetic.default_params with seed; n_coflows; n_ports; span }
+let gen_trace out seed n_coflows n_ports span perturb pods pod_size cross_frac
+    =
+  let trace =
+    if pods > 0 then
+      Synthetic.pods
+        {
+          Synthetic.default_pod_params with
+          p_seed = seed;
+          p_pods = pods;
+          p_pod_size = pod_size;
+          p_coflows = n_coflows;
+          p_span = span;
+          p_cross_frac = cross_frac;
+          p_width_max =
+            min Synthetic.default_pod_params.p_width_max
+              (max 1 (pod_size / 2));
+        }
+    else
+      Synthetic.generate
+        { Synthetic.default_params with seed; n_coflows; n_ports; span }
   in
-  let trace = Synthetic.generate params in
   let trace =
     if perturb then Workload.perturb ~seed:(seed + 1) trace else trace
   in
@@ -184,9 +200,36 @@ let gen_trace_cmd =
   let perturb =
     Arg.(value & flag & info [ "perturb" ] ~doc:"Apply the +-5% size perturbation.")
   in
+  let pods =
+    Arg.(
+      value & opt int 0
+      & info [ "pods" ] ~docv:"P"
+          ~doc:
+            "Generate a pod-local storm instead of the Facebook-like mix: \
+             $(docv) pods of $(b,--pod-size) consecutive ports, almost every \
+             Coflow an intra-pod shuffle, a $(b,--cross-frac) fraction \
+             cross-pod. $(b,0) (the default) keeps the Facebook-like \
+             generator, for which $(b,--ports) sizes the fabric.")
+  in
+  let pod_size =
+    Arg.(
+      value
+      & opt int Synthetic.default_pod_params.p_pod_size
+      & info [ "pod-size" ] ~docv:"W"
+          ~doc:"Ports per pod (with $(b,--pods)).")
+  in
+  let cross_frac =
+    Arg.(
+      value
+      & opt float Synthetic.default_pod_params.p_cross_frac
+      & info [ "cross-frac" ] ~docv:"F"
+          ~doc:"Fraction of cross-pod Coflows (with $(b,--pods)).")
+  in
   Cmd.v
     (Cmd.info "gen-trace" ~doc:"Synthesise a Facebook-like Coflow trace file.")
-    Term.(const gen_trace $ out $ seed $ n $ ports $ span $ perturb)
+    Term.(
+      const gen_trace $ out $ seed $ n $ ports $ span $ perturb $ pods
+      $ pod_size $ cross_frac)
 
 (* --- classify --- *)
 
@@ -303,8 +346,8 @@ let intra_cmd =
 
 (* --- inter --- *)
 
-let inter path gbps ms scheduler replan buckets bucket_base validate csv_out
-    trace_out metrics_out timeline_out =
+let inter path gbps ms scheduler replan buckets bucket_base shards shard_block
+    validate csv_out trace_out metrics_out timeline_out =
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   if trace.Trace.coflows = [] then begin
@@ -324,12 +367,21 @@ let inter path gbps ms scheduler replan buckets bucket_base validate csv_out
       List.rev_append (Check.Plan_check.inter sp ~coflows plan)
         !plan_violations
   in
+  let shard_stats =
+    ref
+      {
+        Sunflow_core.Inter.shard_steps = 0;
+        shard_conflicts = 0;
+        shard_rollbacks = 0;
+      }
+  in
   let result =
     match scheduler with
     | `Sunflow ->
       Sunflow_sim.Circuit_sim.run
         ?on_slice:(if validate then Some on_slice else None)
-        ~replan ~buckets ~bucket_base ~delta ~bandwidth trace.Trace.coflows
+        ~replan ~buckets ~bucket_base ~shards ~shard_block ~shard_stats ~delta
+        ~bandwidth trace.Trace.coflows
     | `Varys ->
       Sunflow_sim.Packet_sim.run ~scheduler:Sunflow_packet.Varys.allocate
         ~bandwidth trace.Trace.coflows
@@ -344,6 +396,15 @@ let inter path gbps ms scheduler replan buckets bucket_base validate csv_out
         ~bandwidth trace.Trace.coflows
   in
   Format.printf "%a@." Sunflow_sim.Sim_result.pp result;
+  (if shards > 1 then
+     let s = !shard_stats in
+     Format.printf
+       "shards: %d (stripe %d), %d steps, %d conflicts (rate %.3f), %d \
+        rollbacks@."
+       shards shard_block s.Sunflow_core.Inter.shard_steps s.shard_conflicts
+       (if s.shard_steps = 0 then 0.
+        else float_of_int s.shard_conflicts /. float_of_int s.shard_steps)
+       s.shard_rollbacks);
   let vfail =
     validate
     &&
@@ -419,11 +480,34 @@ let bucket_base_arg =
           "Growth factor between successive priority classes under \
            $(b,--replan-buckets) (must be > 1).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Partition the ports into $(docv) shards, each with its own \
+           reservation table, and reschedule an event's dirty shards \
+           independently (optimistically in parallel when the worker pool \
+           has more than one domain). Cross-shard Coflows trigger a \
+           deterministic rollback-and-merge pass, so the schedule is \
+           bit-identical to $(b,--shards) $(b,1) for every shard count. \
+           Requires $(b,--replan) $(b,rebuild) or $(b,incremental).")
+
+let shard_block_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shard-block" ] ~docv:"W"
+        ~doc:
+          "Stripe width of the shard map: port $(b,p) lands in shard \
+           $(b,p / W mod S). Align with the trace's pod size so pod-local \
+           Coflows stay shard-local.")
+
 let inter_term =
   Term.(
     const inter $ trace_file_arg $ bandwidth_arg $ delta_arg $ scheduler_arg
-    $ replan_arg $ buckets_arg $ bucket_base_arg $ validate_arg $ csv_arg
-    $ trace_out_arg $ metrics_out_arg $ timeline_out_arg)
+    $ replan_arg $ buckets_arg $ bucket_base_arg $ shards_arg $ shard_block_arg
+    $ validate_arg $ csv_arg $ trace_out_arg $ metrics_out_arg
+    $ timeline_out_arg)
 
 let inter_cmd =
   Cmd.v

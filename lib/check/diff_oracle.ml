@@ -23,8 +23,9 @@ let default_tol bandwidth = 2. *. Float.max (1e-3 /. bandwidth) 1e-6
 let snap_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
 
 let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
-    ?(carry_circuits = true) ?(replan = `Full) ?buckets ?bucket_base
-    ?(validate_plans = true) ?tol ~delta ~bandwidth ~n_ports coflows =
+    ?(carry_circuits = true) ?(replan = `Full) ?buckets ?bucket_base ?shards
+    ?shard_block ?(validate_plans = true) ?tol ~delta ~bandwidth ~n_ports
+    coflows =
   let tol = match tol with Some t -> t | None -> default_tol bandwidth in
   let vs = ref [] in
   let push v = vs := v :: !vs in
@@ -87,7 +88,7 @@ let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
     in
     let sim =
       Circuit_sim.run ~policy ~order ~carry_circuits ~replan ?buckets
-        ?bucket_base ~on_slice ~delta ~bandwidth coflows
+        ?bucket_base ?shards ?shard_block ~on_slice ~delta ~bandwidth coflows
     in
     List.iter push (Sim_check.result ~bandwidth ~coflows sim);
     let plan = List.rev !fragments in
@@ -217,6 +218,19 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
     equiv
       (Printf.sprintf "equiv buckets=%d" buckets)
       (Plan_check.replay_equiv ~policy ~buckets ~delta ~bandwidth trace);
+    (* the sharded engine must stay pinned to the unsharded oracle for
+       every shard count: cycle the count (and a non-trivial stripe
+       width) across traces, exact and bucketed orders both *)
+    let shards = [| 2; 4; 8 |].(i mod 3) in
+    let shard_block = 1 + (i mod 2) in
+    equiv
+      (Printf.sprintf "equiv shards=%d" shards)
+      (Plan_check.replay_equiv ~policy ~shards ~shard_block ~delta ~bandwidth
+         trace);
+    equiv
+      (Printf.sprintf "equiv shards=%d buckets=%d" shards buckets)
+      (Plan_check.replay_equiv ~policy ~shards ~shard_block ~buckets ~delta
+         ~bandwidth trace);
     (* every third trace also runs the all-stop ablation, where no
        circuit survives a rescheduling instant, and drives the bucketed
        incremental schedule through the physical switch *)
@@ -230,7 +244,14 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
       record
         (Printf.sprintf ", incremental buckets=%d" buckets)
         (replay ~policy ~replan:`Incremental ~buckets ?tol ~delta ~bandwidth
-           ~n_ports trace)
+           ~n_ports trace);
+      (* drive the sharded engine's executed schedule through the
+         physical switch too — engine_slice's mirror-deduped merge is
+         what actually executes, so it gets its own oracle run *)
+      record
+        (Printf.sprintf ", incremental shards=%d" shards)
+        (replay ~policy ~replan:`Incremental ~shards ~shard_block ?tol ~delta
+           ~bandwidth ~n_ports trace)
     end
   done;
   {

@@ -32,6 +32,8 @@ val replay :
   ?replan:Sunflow_sim.Circuit_sim.replan ->
   ?buckets:int ->
   ?bucket_base:float ->
+  ?shards:int ->
+  ?shard_block:int ->
   ?validate_plans:bool ->
   ?tol:float ->
   delta:float ->
@@ -45,8 +47,9 @@ val replay :
     not-all-stop mode). [replan] (default [`Full]) selects the
     simulator's replanning engine, so the physical oracle also covers
     the incremental path's executed schedule;
-    [buckets]/[bucket_base] forward to [Circuit_sim.run], so the
-    bucketed order's schedules face the switch too. With [validate_plans]
+    [buckets]/[bucket_base] and [shards]/[shard_block] forward to
+    [Circuit_sim.run], so the bucketed order's and the sharded
+    engine's schedules face the switch too. With [validate_plans]
     (default [true]) every slice plan also runs through {!Plan_check},
     so a single fuzz pass exercises the validator and the oracle
     together. [tol] is the permitted finish-time gap in seconds; the
@@ -93,6 +96,9 @@ val fuzz :
     each, ports drawn from [[0, n_ports)]) derived deterministically
     from [seed]. Each trace runs through the physical oracle twice —
     full replan and incremental — plus {!Plan_check.replay_equiv}'s
-    bit-identity check of incremental against rebuild. Every third
-    trace additionally repeats both replays with
-    [carry_circuits = false], covering the all-stop ablation. *)
+    bit-identity check of incremental against rebuild, repeated for a
+    sharded engine (shard count cycling over 2/4/8, stripe width over
+    1/2) in both the exact and bucketed orders. Every third trace
+    additionally repeats both replays with [carry_circuits = false]
+    (the all-stop ablation) and drives the sharded engine's executed
+    schedule through the physical switch. *)

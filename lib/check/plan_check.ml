@@ -372,16 +372,20 @@ let inter spec ~coflows (res : Inter.result) =
 module Circuit_sim = Sunflow_sim.Circuit_sim
 module Sim_result = Sunflow_sim.Sim_result
 
-let replay_equiv ?policy ?order ?carry_circuits ?buckets ?bucket_base ~delta
-    ~bandwidth coflows =
+let replay_equiv ?policy ?order ?carry_circuits ?buckets ?bucket_base ?shards
+    ?shard_block ~delta ~bandwidth coflows =
   let capture replan =
     let slices = ref [] in
     let on_slice ~t ~t_next ~established ~coflows:_ (plan : Inter.result) =
       slices := (t, t_next, established, plan.Inter.per_coflow) :: !slices
     in
+    (* [shards] reaches both runs, but [`Rebuild] coerces it to 1 — so
+       with [shards > 1] this compares the sharded incremental engine
+       against the unsharded from-scratch oracle, the strongest form of
+       the bit-identity requirement *)
     let r =
       Circuit_sim.run ?policy ?order ?carry_circuits ?buckets ?bucket_base
-        ~replan ~on_slice ~delta ~bandwidth coflows
+        ?shards ?shard_block ~replan ~on_slice ~delta ~bandwidth coflows
     in
     (r, List.rev !slices)
   in

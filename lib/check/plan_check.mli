@@ -84,6 +84,8 @@ val replay_equiv :
   ?carry_circuits:bool ->
   ?buckets:int ->
   ?bucket_base:float ->
+  ?shards:int ->
+  ?shard_block:int ->
   delta:float ->
   bandwidth:float ->
   Sunflow_core.Coflow.t list ->
@@ -99,4 +101,7 @@ val replay_equiv :
     coarsened priority order ({!Sunflow_core.Inter.engine}); both runs
     get the same configuration, so the bit-identity requirement is
     unchanged — the splice path must make identical decisions in both
-    modes. *)
+    modes. [shards]/[shard_block] shard the incremental run's engine;
+    the rebuild oracle coerces shards to one, so any sharding bug —
+    optimistic-pass divergence, a missed cross-shard conflict, a bad
+    rollback — surfaces as a report here. *)

@@ -111,9 +111,21 @@ type entry = {
   e_coflow : Coflow.t;  (* original record: fixed priority-key inputs *)
   e_key : float;  (* cached priority key (policy-dependent) *)
   e_bucket : int;  (* quantized priority class; 0 when buckets are off *)
+  e_shards : int array;
+      (* sorted distinct shards of the original demand footprint;
+         [[||]] in unsharded engines (never consulted there) *)
   mutable e_plan : Sunflow.result;
   mutable e_mark : Prt.checkpoint;  (* undo-log position when scheduled *)
 }
+
+(* a sorted vector of entries — the same layout as [g_entries], one per
+   shard plus one for cross-shard Coflows, so a shard pass walks only
+   its own entries *)
+type evec = { mutable v_arr : entry array; mutable v_n : int }
+
+type pass_runner = { run_passes : 'a. (unit -> 'a) array -> 'a array }
+
+let sequential_runner = { run_passes = (fun fs -> Array.map (fun f -> f ()) fs) }
 
 type engine = {
   g_policy : policy;
@@ -132,6 +144,18 @@ type engine = {
   g_index : (int, entry) Hashtbl.t;
   mutable g_rescheduled : int;  (* suffix entries re-run through Sunflow *)
   mutable g_spliced : int;  (* suffix entries whose stored plan was kept *)
+  (* --- sharded mode (g_shards > 1) --- *)
+  g_shards : int;  (* port-group shard count; 1 = unsharded *)
+  g_shard_block : int;  (* contiguous ports per shard stripe *)
+  g_runner : pass_runner;  (* executes independent shard passes *)
+  g_sprt : Prt.t array;  (* per-shard tables; [[||]] when unsharded *)
+  g_slocal : evec array;  (* per-shard single-shard entries *)
+  g_scross : evec;  (* entries whose footprint spans shards *)
+  g_smin : float array;  (* cached min finish per vec; slot [g_shards] = cross *)
+  g_smin_stale : bool array;
+  mutable g_ssteps : int;  (* sharded scheduling events *)
+  mutable g_sconflicts : int;  (* events resolved by the cross-shard pass *)
+  mutable g_srollbacks : int;  (* optimistic shard passes rolled back *)
 }
 
 let entry_key policy ~bandwidth c =
@@ -191,11 +215,20 @@ let entry_cmp ~buckets policy =
       | 0 -> Coflow.compare_arrival a.e_coflow b.e_coflow
       | c -> c)
 
+let evec_make () = { v_arr = [||]; v_n = 0 }
+
 let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
-    ?(rebuild = false) ?(buckets = 0) ?(bucket_base = 4.) ~policy ~delta
-    ~bandwidth () =
+    ?(rebuild = false) ?(buckets = 0) ?(bucket_base = 4.) ?(shards = 1)
+    ?(shard_block = 1) ?(runner = sequential_runner) ~policy ~delta ~bandwidth
+    () =
   if buckets < 0 then invalid_arg "Inter.engine: negative bucket count";
   if bucket_base <= 1. then invalid_arg "Inter.engine: bucket_base must be > 1";
+  if shards < 1 then invalid_arg "Inter.engine: shards must be >= 1";
+  if shard_block < 1 then invalid_arg "Inter.engine: shard_block must be >= 1";
+  (* rebuild is the inherently global from-scratch oracle: coerce it to
+     one shard so [replay_equiv] always compares a sharded incremental
+     run against the unsharded decision procedure *)
+  let shards = if rebuild then 1 else shards in
   {
     g_policy = policy;
     g_order = order;
@@ -213,6 +246,19 @@ let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
     g_index = Hashtbl.create 64;
     g_rescheduled = 0;
     g_spliced = 0;
+    g_shards = shards;
+    g_shard_block = shard_block;
+    g_runner = runner;
+    g_sprt =
+      (if shards > 1 then Array.init shards (fun _ -> Prt.create ()) else [||]);
+    g_slocal =
+      (if shards > 1 then Array.init shards (fun _ -> evec_make ()) else [||]);
+    g_scross = evec_make ();
+    g_smin = Array.make (shards + 1) infinity;
+    g_smin_stale = Array.make (shards + 1) true;
+    g_ssteps = 0;
+    g_sconflicts = 0;
+    g_srollbacks = 0;
   }
 
 (* filler for unused [g_entries] slots, so spare capacity and vacated
@@ -224,6 +270,7 @@ let dummy_entry =
       e_coflow = Coflow.make ~id:min_int ~arrival:0. (Demand.create ());
       e_key = neg_infinity;
       e_bucket = 0;
+      e_shards = [||];
       e_plan = { Sunflow.reservations = []; finish = neg_infinity; setups = 0 };
       e_mark = Prt.checkpoint (Prt.create ());
     }
@@ -264,6 +311,70 @@ let remove_entry g e =
   (* clear the vacated slot — same GC-pinning concern as growth *)
   g.g_entries.(g.g_n) <- Lazy.force dummy_entry
 
+(* the same ordered insert/remove over a shard's entry vector *)
+let evec_lower cmp v e =
+  let lo = ref 0 and hi = ref v.v_n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp v.v_arr.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let evec_insert cmp v e =
+  let k = evec_lower cmp v e in
+  let cap = Array.length v.v_arr in
+  if v.v_n = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) (Lazy.force dummy_entry) in
+    Array.blit v.v_arr 0 arr 0 v.v_n;
+    v.v_arr <- arr
+  end;
+  Array.blit v.v_arr k v.v_arr (k + 1) (v.v_n - k);
+  v.v_arr.(k) <- e;
+  v.v_n <- v.v_n + 1
+
+let evec_remove cmp v e =
+  let k = evec_lower cmp v e in
+  if not (k < v.v_n && v.v_arr.(k) == e) then
+    invalid_arg
+      "Inter.evec_remove: entry not found at its ordered position \
+       (inconsistent comparator?)";
+  Array.blit v.v_arr (k + 1) v.v_arr k (v.v_n - k - 1);
+  v.v_n <- v.v_n - 1;
+  v.v_arr.(v.v_n) <- Lazy.force dummy_entry
+
+(* contiguous [shard_block]-wide port stripes, round-robin over shards —
+   pod-aligned when [shard_block] matches the pod size *)
+let shard_of g p = p / g.g_shard_block mod g.g_shards
+
+(* distinct shards of a Coflow's original demand footprint, sorted.
+   Fixed at admission like the priority key: remaining demand only ever
+   shrinks, so every window the Coflow will ever reserve stays inside
+   this set. An empty demand pins the (instantly complete) Coflow to
+   shard 0. *)
+let coflow_shards g c =
+  let d = c.Coflow.demand in
+  let ss =
+    List.rev_append
+      (List.map (shard_of g) (Demand.senders d))
+      (List.map (shard_of g) (Demand.receivers d))
+    |> List.sort_uniq compare
+  in
+  match ss with [] -> [| 0 |] | l -> Array.of_list l
+
+let entry_vec g e =
+  if Array.length e.e_shards > 1 then (g.g_scross, g.g_shards)
+  else (g.g_slocal.(e.e_shards.(0)), e.e_shards.(0))
+
+let refresh_smin g i v =
+  if g.g_smin_stale.(i) then begin
+    let m = ref infinity in
+    for k = 0 to v.v_n - 1 do
+      m := Float.min !m v.v_arr.(k).e_plan.Sunflow.finish
+    done;
+    g.g_smin.(i) <- !m;
+    g.g_smin_stale.(i) <- false
+  end
+
 let engine_size g = g.g_n
 let engine_established g = g.g_established
 
@@ -274,6 +385,17 @@ let engine_finish g id =
 
 let engine_min_finish g =
   if g.g_n = 0 then None
+  else if g.g_shards > 1 then begin
+    (* fold the cached per-vec minima instead of walking every entry;
+       [Float.min] is exact, so the value is the unsharded one *)
+    for s = 0 to g.g_shards - 1 do
+      refresh_smin g s g.g_slocal.(s)
+    done;
+    refresh_smin g g.g_shards g.g_scross;
+    let m = ref infinity in
+    Array.iter (fun v -> m := Float.min !m v) g.g_smin;
+    Some !m
+  end
   else begin
     let m = ref g.g_entries.(0).e_plan.Sunflow.finish in
     for i = 1 to g.g_n - 1 do
@@ -284,12 +406,30 @@ let engine_min_finish g =
 
 let engine_rescheduled g = g.g_rescheduled
 let engine_spliced g = g.g_spliced
+let engine_shards g = g.g_shards
+
+type shard_stats = {
+  shard_steps : int;
+  shard_conflicts : int;
+  shard_rollbacks : int;
+}
+
+let engine_shard_stats g =
+  {
+    shard_steps = g.g_ssteps;
+    shard_conflicts = g.g_sconflicts;
+    shard_rollbacks = g.g_srollbacks;
+  }
 
 let m_steps = Obs.Registry.counter "inter.incremental_steps"
 let m_straddlers = Obs.Registry.counter "inter.dirty_straddlers"
 let m_cascades = Obs.Registry.counter "inter.repair_cascades"
+let m_sh_conflicts = Obs.Registry.counter "sim.shard.conflicts"
+let m_sh_rollbacks = Obs.Registry.counter "sim.shard.rollbacks"
+let m_sh_dirty = Obs.Registry.counter "inter.shard.dirty_shards"
+let h_sh_rollback = Obs.Registry.histogram "sim.shard.rollback_s"
 
-let schedule_incremental g ~now ~arrivals ~finished ~remaining =
+let step_unsharded g ~now ~arrivals ~finished ~remaining =
   let obs = Obs.Control.enabled () in
   if obs then begin
     Obs.Registry.incr m_rounds;
@@ -326,6 +466,7 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
           e_bucket =
             bucket_of ~policy:g.g_policy ~buckets:g.g_buckets
               ~bucket_base:g.g_bucket_base ~delta:g.g_delta key;
+          e_shards = [||];
           e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
           e_mark = fresh_mark;
         }
@@ -572,6 +713,474 @@ let schedule_incremental g ~now ~arrivals ~finished ~remaining =
     Obs.Tracer.end_span ~cat:"core" "inter.step"
   end
 
+(* --- sharded stepping (g_shards > 1) ----------------------------------
+
+   Ports are striped over S shards; each shard owns a [Prt] holding
+   every window with an endpoint in the shard (a cross-shard Coflow's
+   window is mirrored into both endpoint shards, so every shard table
+   is complete for its own ports). A Coflow whose whole footprint maps
+   to one shard lives in that shard's entry vector; per event, each
+   shard with dirty entries runs the bucketed lazy repair over its own
+   vector against its own table — [Sunflow.schedule] reads and writes
+   only the ports of the Coflow's own demand (PR 6's footprint-locality
+   argument), and those ports all belong to the shard, so the pass sees
+   exactly the state the unsharded walk would show it, regardless of
+   how passes interleave. The passes are independent (disjoint ports,
+   disjoint entries) and run through [g_runner] — sequentially by
+   default, on a domain pool when one is plugged in.
+
+   Cross-shard Coflows break the independence, so they are handled
+   pessimistically-correct: a pass that would evict a cross-shard
+   owner's window aborts ([Cross_conflict]), every pass of the event is
+   rolled back (stored plans restored; the shard tables are rebuilt
+   from the plans), and the event is re-resolved by one global pass
+   over the closure of affected shards — Time-Warp's optimistic
+   execution with a deterministic arbiter. A dirty cross-shard entry
+   skips the optimistic round entirely. Either way the decisions made
+   are the unsharded engine's, bit for bit. *)
+
+exception Cross_conflict
+
+(* one bucketed lazy-repair pass over some entry sequence against
+   [prt] — the same decision procedure as [step_unsharded]'s bucketed
+   branch, parameterised over the table, with [guard] consulted before
+   any eviction (shard passes raise [Cross_conflict] on a cross-shard
+   owner) and every replaced plan recorded for rollback. *)
+let make_pass g ~prt ~now ~remaining ~is_established ~dirty ~guard =
+  let touched : (int, Prt.reservation list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let ports_cleared : (Prt.port, unit) Hashtbl.t = Hashtbl.create 16 in
+  let old_plans = ref [] in
+  let resched = ref 0 and spliced = ref 0 and cascades = ref 0 in
+  let reschedule e =
+    old_plans := (e, e.e_plan) :: !old_plans;
+    let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
+    e.e_plan <-
+      Sunflow.schedule ~prt ~now ~order:g.g_order ~established:is_established
+        ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
+    incr resched
+  in
+  let clear_demand_ports e d =
+    let clear_port p =
+      if not (Hashtbl.mem ports_cleared p) then begin
+        Hashtbl.replace ports_cleared p ();
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt g.g_index r.Prt.coflow with
+            | Some o when g.g_cmp e o < 0 ->
+              guard o;
+              if Prt.remove prt r then begin
+                let l =
+                  match Hashtbl.find_opt touched r.Prt.coflow with
+                  | Some l -> l
+                  | None ->
+                    let l = ref [] in
+                    Hashtbl.replace touched r.Prt.coflow l;
+                    l
+                in
+                l := r :: !l
+              end
+            | _ -> ())
+          (Prt.port_reservations prt p)
+      end
+    in
+    List.iter (fun p -> clear_port (Prt.In p)) (Demand.senders d);
+    List.iter (fun p -> clear_port (Prt.Out p)) (Demand.receivers d)
+  in
+  let process e =
+    let id = e.e_coflow.Coflow.id in
+    if Hashtbl.mem dirty id then begin
+      Hashtbl.remove touched id;
+      ignore (Prt.retract_coflow prt id : int);
+      clear_demand_ports e (remaining id);
+      reschedule e
+    end
+    else
+      match Hashtbl.find_opt touched id with
+      | None -> incr spliced
+      | Some l ->
+        Hashtbl.remove touched id;
+        if List.for_all (Prt.fits_exact prt) !l then begin
+          List.iter (Prt.reserve prt) !l;
+          incr spliced
+        end
+        else begin
+          incr cascades;
+          ignore (Prt.retract_coflow prt id : int);
+          clear_demand_ports e (remaining id);
+          reschedule e
+        end
+  in
+  (process, old_plans, resched, spliced, cascades)
+
+type pass_out =
+  | Pass_ok of (entry * Sunflow.result) list * int * int * int
+      (* replaced plans (for rollback), rescheduled, spliced, cascades *)
+  | Pass_conflict of (entry * Sunflow.result) list
+
+(* optimistic pass over one shard's entries from its first dirty
+   position. Reads shared engine state only (g_index, dirty, the
+   established set — all frozen for the event); mutates only the
+   shard's own table and its own entries' plans, so passes are safe to
+   run on separate domains. *)
+let run_shard_pass g ~now ~remaining ~is_established ~dirty s first =
+  let vec = g.g_slocal.(s) in
+  let guard o = if Array.length o.e_shards > 1 then raise Cross_conflict in
+  let process, old_plans, resched, spliced, cascades =
+    make_pass g ~prt:g.g_sprt.(s) ~now ~remaining ~is_established ~dirty
+      ~guard
+  in
+  try
+    for i = evec_lower g.g_cmp vec first to vec.v_n - 1 do
+      process vec.v_arr.(i)
+    done;
+    Pass_ok (!old_plans, !resched, !spliced, !cascades)
+  with Cross_conflict -> Pass_conflict !old_plans
+
+(* deterministic cross-shard resolution: compute the closure of shards
+   reachable from the dirty set through cross-shard footprints, merge
+   the closure's stored plans into one table, run the unsharded repair
+   over the closure's entries in global priority order, then rebuild
+   the affected shard tables from the resulting plans (mirroring cross
+   windows into both endpoint shards). Entries wholly outside the
+   closure share no port with anything the repair may move — the
+   unsharded walk would have spliced them untouched — so skipping them
+   changes nothing. *)
+let resolve_cross g ~obs ~now ~remaining ~is_established ~dirty ~min_dirty
+    ~shard_dirty =
+  g.g_sconflicts <- g.g_sconflicts + 1;
+  if obs then Obs.Registry.incr m_sh_conflicts;
+  let t0 = if obs then Obs.Control.now_ns () else 0L in
+  let c = Array.copy shard_dirty in
+  (* seed: shards of dirty cross entries *)
+  for i = 0 to g.g_scross.v_n - 1 do
+    let e = g.g_scross.v_arr.(i) in
+    if Hashtbl.mem dirty e.e_coflow.Coflow.id then
+      Array.iter (fun s -> c.(s) <- true) e.e_shards
+  done;
+  (* fixpoint: any cross entry touching the closure pulls all its
+     shards in — its windows sit on ports the repair may reuse *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to g.g_scross.v_n - 1 do
+      let e = g.g_scross.v_arr.(i) in
+      if
+        Array.exists (fun s -> c.(s)) e.e_shards
+        && not (Array.for_all (fun s -> c.(s)) e.e_shards)
+      then begin
+        Array.iter (fun s -> c.(s) <- true) e.e_shards;
+        changed := true
+      end
+    done
+  done;
+  let in_c e =
+    Array.length e.e_shards > 0 && Array.for_all (fun s -> c.(s)) e.e_shards
+  in
+  (* merged mirror-free table of every in-closure stored plan — the
+     unsharded table's content restricted to the closure's ports *)
+  let merged = Prt.create () in
+  for i = 0 to g.g_n - 1 do
+    let e = g.g_entries.(i) in
+    if in_c e then
+      List.iter (Prt.reserve merged) e.e_plan.Sunflow.reservations
+  done;
+  let process, _old, resched, spliced, cascades =
+    make_pass g ~prt:merged ~now ~remaining ~is_established ~dirty
+      ~guard:(fun _ -> ())
+  in
+  (match min_dirty with
+  | None -> ()
+  | Some m ->
+    for i = lower_bound g m to g.g_n - 1 do
+      let e = g.g_entries.(i) in
+      if in_c e then process e
+    done);
+  g.g_rescheduled <- g.g_rescheduled + !resched;
+  g.g_spliced <- g.g_spliced + !spliced;
+  if obs && !cascades > 0 then Obs.Registry.add m_cascades !cascades;
+  (* rebuild the affected shard tables from the now-current plans *)
+  for s = 0 to g.g_shards - 1 do
+    if c.(s) then g.g_sprt.(s) <- Prt.create ()
+  done;
+  for i = 0 to g.g_n - 1 do
+    let e = g.g_entries.(i) in
+    if in_c e then
+      List.iter
+        (fun r ->
+          let ss = shard_of g r.Prt.src and sd = shard_of g r.Prt.dst in
+          Prt.reserve g.g_sprt.(ss) r;
+          if sd <> ss then Prt.reserve g.g_sprt.(sd) r)
+        e.e_plan.Sunflow.reservations
+  done;
+  for s = 0 to g.g_shards - 1 do
+    if c.(s) then begin
+      Prt.forget_history g.g_sprt.(s);
+      g.g_smin_stale.(s) <- true
+    end
+  done;
+  g.g_smin_stale.(g.g_shards) <- true;
+  if obs then
+    Obs.Registry.observe h_sh_rollback
+      (Int64.to_float (Int64.sub (Obs.Control.now_ns ()) t0) /. 1e9)
+
+let sharded_step g ~now ~arrivals ~finished ~remaining =
+  let obs = Obs.Control.enabled () in
+  if obs then begin
+    Obs.Registry.incr m_rounds;
+    Obs.Registry.incr m_steps;
+    Obs.Tracer.begin_span ~cat:"core" "inter.step"
+  end;
+  g.g_ssteps <- g.g_ssteps + 1;
+  let sn = g.g_shards in
+  (* 1. retire — as unsharded, plus vector and per-shard table upkeep.
+     [e_shards] covers every window's endpoints, so retracting on those
+     tables removes the windows and their mirrors. *)
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt g.g_index id with
+      | None -> invalid_arg "Inter.schedule_incremental: unknown finished id"
+      | Some e ->
+        remove_entry g e;
+        let v, slot = entry_vec g e in
+        evec_remove g.g_cmp v e;
+        g.g_smin_stale.(slot) <- true;
+        Hashtbl.remove g.g_index id;
+        Array.iter
+          (fun s -> ignore (Prt.retract_coflow g.g_sprt.(s) id : int))
+          e.e_shards)
+    finished;
+  (* 2. dirty tracking: the global dirty set plus, per shard, whether
+     it is dirty and its minimum dirty entry (entries, not positions —
+     positions shift under admission) *)
+  let dirty = Hashtbl.create 8 in
+  let arrived = Hashtbl.create 8 in
+  let shard_dirty = Array.make sn false in
+  let cross_dirty = ref false in
+  let min_dirty = ref None in
+  let s_first = Array.make sn None in
+  let mark_dirty e =
+    let id = e.e_coflow.Coflow.id in
+    if not (Hashtbl.mem dirty id) then begin
+      Hashtbl.replace dirty id ();
+      (match !min_dirty with
+      | Some m when g.g_cmp m e <= 0 -> ()
+      | _ -> min_dirty := Some e);
+      if Array.length e.e_shards > 1 then cross_dirty := true
+      else begin
+        let s = e.e_shards.(0) in
+        shard_dirty.(s) <- true;
+        match s_first.(s) with
+        | Some m when g.g_cmp m e <= 0 -> ()
+        | _ -> s_first.(s) <- Some e
+      end
+    end
+  in
+  (* admit arrivals *)
+  List.iter
+    (fun cf ->
+      if Hashtbl.mem g.g_index cf.Coflow.id then
+        invalid_arg "Inter.schedule_incremental: duplicate Coflow id";
+      let key = entry_key g.g_policy ~bandwidth:g.g_bandwidth cf in
+      let e =
+        {
+          e_coflow = cf;
+          e_key = key;
+          e_bucket =
+            bucket_of ~policy:g.g_policy ~buckets:g.g_buckets
+              ~bucket_base:g.g_bucket_base ~delta:g.g_delta key;
+          e_shards = coflow_shards g cf;
+          e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
+          e_mark = Prt.checkpoint g.g_prt;  (* unused: no PRT rollback here *)
+        }
+      in
+      insert_entry g e;
+      let v, slot = entry_vec g e in
+      evec_insert g.g_cmp v e;
+      g.g_smin_stale.(slot) <- true;
+      Hashtbl.replace g.g_index cf.Coflow.id e;
+      Hashtbl.replace arrived cf.Coflow.id ();
+      mark_dirty e)
+    arrivals;
+  (* 3. further dirty sources — mirror [step_unsharded] exactly *)
+  if not g.g_carry then
+    for i = 0 to g.g_n - 1 do
+      mark_dirty g.g_entries.(i)
+    done;
+  (* circuits physically up at [now]: union over shard tables. Mirrors
+     surface twice; [sort_uniq] collapses them, and double-marking a
+     straddler is idempotent. *)
+  let covering =
+    let acc = ref [] in
+    for s = 0 to sn - 1 do
+      List.iter
+        (fun r -> if Hashtbl.mem g.g_index r.Prt.coflow then acc := r :: !acc)
+        (Prt.covering_at g.g_sprt.(s) now)
+    done;
+    !acc
+  in
+  g.g_established <-
+    (if g.g_carry then
+       covering
+       |> List.filter_map (fun r ->
+              if r.Prt.start +. r.Prt.setup <= now then
+                Some (r.Prt.src, r.Prt.dst)
+              else None)
+       |> List.sort_uniq compare
+     else []);
+  List.iter
+    (fun r ->
+      if r.Prt.start +. r.Prt.setup > now then begin
+        if obs && not (Hashtbl.mem dirty r.Prt.coflow) then
+          Obs.Registry.incr m_straddlers;
+        match Hashtbl.find_opt g.g_index r.Prt.coflow with
+        | Some e -> mark_dirty e
+        | None -> ()
+      end)
+    covering;
+  (* defensive stale-finish scan, pruned by the cached per-vec minimum
+     finish: a vec whose every stored finish is past [now] cannot hold
+     a stale plan *)
+  let scan_stale v =
+    for i = 0 to v.v_n - 1 do
+      let e = v.v_arr.(i) in
+      let id = e.e_coflow.Coflow.id in
+      if
+        e.e_plan.Sunflow.finish <= now
+        && (not (Hashtbl.mem dirty id))
+        && not (Demand.is_empty (remaining id))
+      then mark_dirty e
+    done
+  in
+  for s = 0 to sn - 1 do
+    refresh_smin g s g.g_slocal.(s);
+    if g.g_smin.(s) <= now then scan_stale g.g_slocal.(s)
+  done;
+  refresh_smin g sn g.g_scross;
+  if g.g_smin.(sn) <= now then scan_stale g.g_scross;
+  (* bucket poisoning: an arrival with a same-class successor shifted
+     the within-class FIFO under retained plans. Buckets are contiguous
+     runs of the service order (the comparator sorts on the class
+     first; classless policies share one class), so "some retained
+     entry sorts after an arrival in its class" is equivalent to "some
+     arrival's immediate successor shares its class" — check that in
+     O(arrivals log n) and fall back to the unsharded scan only when it
+     triggers *)
+  if g.g_buckets > 0 && arrivals <> [] then begin
+    let trigger = ref false in
+    List.iter
+      (fun cf ->
+        if not !trigger then begin
+          let e = Hashtbl.find g.g_index cf.Coflow.id in
+          let k = lower_bound g e in
+          if k + 1 < g.g_n && g.g_entries.(k + 1).e_bucket = e.e_bucket then
+            trigger := true
+        end)
+      arrivals;
+    if !trigger then begin
+      let poisoned = Array.make g.g_buckets false in
+      for i = 0 to g.g_n - 1 do
+        let e = g.g_entries.(i) in
+        if poisoned.(e.e_bucket) then mark_dirty e
+        else if Hashtbl.mem arrived e.e_coflow.Coflow.id then
+          poisoned.(e.e_bucket) <- true
+      done
+    end
+  end;
+  (* exact order: [step_unsharded] reschedules the whole suffix from
+     the first dirty position (anchored plans re-round at the ulp scale
+     if re-derived at a different [now], so clean suffix entries cannot
+     be skipped without diverging from the oracle) — mark it all dirty
+     and let the same machinery run it *)
+  if g.g_buckets = 0 then begin
+    match !min_dirty with
+    | None -> ()
+    | Some m ->
+      for i = lower_bound g m to g.g_n - 1 do
+        mark_dirty g.g_entries.(i)
+      done
+  end;
+  (* 4. schedule: optimistic per-shard passes, falling back to the
+     deterministic cross-shard pass on any conflict *)
+  if Hashtbl.length dirty > 0 then begin
+    let est_set = Hashtbl.create 16 in
+    List.iter (fun cc -> Hashtbl.replace est_set cc ()) g.g_established;
+    let is_established cc = Hashtbl.mem est_set cc in
+    if obs then begin
+      let nd = ref (if !cross_dirty then 1 else 0) in
+      Array.iter (fun d -> if d then incr nd) shard_dirty;
+      Obs.Registry.add m_sh_dirty !nd
+    end;
+    if !cross_dirty then
+      (* a dirty cross-shard Coflow makes the conflict certain — skip
+         the optimistic round (nothing to roll back) *)
+      resolve_cross g ~obs ~now ~remaining ~is_established ~dirty
+        ~min_dirty:!min_dirty ~shard_dirty
+    else begin
+      let targets = ref [] in
+      for s = sn - 1 downto 0 do
+        match s_first.(s) with
+        | Some m -> targets := (s, m) :: !targets
+        | None -> ()
+      done;
+      let thunks =
+        Array.of_list
+          (List.map
+             (fun (s, m) () ->
+               run_shard_pass g ~now ~remaining ~is_established ~dirty s m)
+             !targets)
+      in
+      let outs =
+        if Array.length thunks > 1 then g.g_runner.run_passes thunks
+        else Array.map (fun f -> f ()) thunks
+      in
+      let conflicted =
+        Array.exists (function Pass_conflict _ -> true | _ -> false) outs
+      in
+      if conflicted then begin
+        (* roll back every pass: restore the replaced plans (the shard
+           tables are rebuilt from plans during resolution, so the
+           plan-level undo subsumes any table-level one) *)
+        Array.iter
+          (function
+            | Pass_ok (old, _, _, _) | Pass_conflict old ->
+              List.iter (fun (e, p) -> e.e_plan <- p) old)
+          outs;
+        g.g_srollbacks <- g.g_srollbacks + Array.length outs;
+        if obs then Obs.Registry.add m_sh_rollbacks (Array.length outs);
+        resolve_cross g ~obs ~now ~remaining ~is_established ~dirty
+          ~min_dirty:!min_dirty ~shard_dirty
+      end
+      else begin
+        Array.iter
+          (function
+            | Pass_ok (_, r, sp, ca) ->
+              g.g_rescheduled <- g.g_rescheduled + r;
+              g.g_spliced <- g.g_spliced + sp;
+              if obs && ca > 0 then Obs.Registry.add m_cascades ca
+            | Pass_conflict _ -> ())
+          outs;
+        for s = 0 to sn - 1 do
+          if shard_dirty.(s) then begin
+            (* the pass never rolls the table back — drop the journal
+               so it cannot pin retired windows *)
+            Prt.forget_history g.g_sprt.(s);
+            g.g_smin_stale.(s) <- true
+          end
+        done
+      end
+    end
+  end;
+  if obs then begin
+    Obs.Registry.observe h_batch (float_of_int (Hashtbl.length dirty));
+    Obs.Tracer.end_span ~cat:"core" "inter.step"
+  end
+
+let schedule_incremental g ~now ~arrivals ~finished ~remaining =
+  if g.g_shards > 1 then sharded_step g ~now ~arrivals ~finished ~remaining
+  else step_unsharded g ~now ~arrivals ~finished ~remaining
+
 (* windows overlapping [t0, t1), straddlers clipped to start at [t0].
    After a [schedule_incremental] at [t0] no straddler is mid-setup
    (its owner would have been rescheduled), so clipped setups are 0 —
@@ -586,8 +1195,23 @@ let clip_from t0 r =
     }
   else r
 
+(* [Prt.reservations_in]'s deterministic physical order — replicated
+   here so the sharded merge sorts (and dedupes mirror twins) exactly
+   the way the unsharded table would have emitted the slice *)
+let window_order (a : Prt.reservation) (b : Prt.reservation) =
+  compare
+    (a.Prt.start, a.Prt.src, a.Prt.dst, a.Prt.coflow, a.Prt.setup, a.Prt.length)
+    (b.Prt.start, b.Prt.src, b.Prt.dst, b.Prt.coflow, b.Prt.setup, b.Prt.length)
+
 let engine_slice g ~t0 ~t1 =
-  List.map (clip_from t0) (Prt.reservations_in g.g_prt t0 t1)
+  if g.g_shards > 1 then
+    (* union over shard tables; a cross-shard window appears in both
+       endpoint shards and [sort_uniq] keeps one copy *)
+    Array.to_list g.g_sprt
+    |> List.concat_map (fun prt -> Prt.reservations_in prt t0 t1)
+    |> List.sort_uniq window_order
+    |> List.map (clip_from t0)
+  else List.map (clip_from t0) (Prt.reservations_in g.g_prt t0 t1)
 
 (* materialise the persistent plan as a [result] equivalent to what a
    from-scratch replan at [now] would describe, for the validation

@@ -80,12 +80,33 @@ val finish_of : result -> int -> float option
 
 type engine
 
+type pass_runner = { run_passes : 'a. (unit -> 'a) array -> 'a array }
+(** Executor for the sharded engine's independent per-shard passes.
+    Each thunk mutates only its own shard's table and entries, so a
+    runner may execute them concurrently (one domain per pass); the
+    default {!sequential_runner} runs them in order. Results must be
+    returned positionally. *)
+
+val sequential_runner : pass_runner
+
+type shard_stats = {
+  shard_steps : int;  (** scheduling events taken by the sharded path *)
+  shard_conflicts : int;
+      (** events resolved by the deterministic cross-shard pass (a
+          dirty cross-shard Coflow, or an optimistic pass aborted) *)
+  shard_rollbacks : int;
+      (** optimistic shard passes whose work was rolled back *)
+}
+
 val engine :
   ?order:Order.t ->
   ?carry_circuits:bool ->
   ?rebuild:bool ->
   ?buckets:int ->
   ?bucket_base:float ->
+  ?shards:int ->
+  ?shard_block:int ->
+  ?runner:pass_runner ->
   policy:policy ->
   delta:float ->
   bandwidth:float ->
@@ -113,7 +134,21 @@ val engine :
     {!schedule_incremental}. Bucketing trades fidelity to the exact
     shortest-first order for replan locality; CCT drift against the
     exact order is measured (and gated) in the bench harness.
-    Raises [Invalid_argument] if [buckets < 0] or [bucket_base <= 1.]. *)
+    Raises [Invalid_argument] if [buckets < 0] or [bucket_base <= 1.].
+
+    [shards] (default [1] = the unsharded engine, byte-for-byte the
+    previous behaviour) stripes the fabric's ports over that many
+    shards in contiguous [shard_block]-wide blocks (default [1];
+    set it to the pod size to align shards with pods). Each shard owns
+    its own reservation table and entry vector; an event replans each
+    dirty shard independently — through [runner], so a domain pool can
+    execute the passes concurrently — and falls back to one
+    deterministic global pass whenever a cross-shard Coflow is
+    involved, after rolling the optimistic passes back. Decisions are
+    bit-identical to [shards = 1] for every shard count; [rebuild]
+    coerces [shards] to [1] (the from-scratch oracle is inherently
+    global). Raises [Invalid_argument] if [shards < 1] or
+    [shard_block < 1]. *)
 
 val schedule_incremental :
   engine ->
@@ -165,7 +200,16 @@ val engine_spliced : engine -> int
 (** Cumulative count of suffix entries whose retained plan survived a
     step without rescheduling (bucketed orders only) — untouched by
     any eviction, or evicted windows re-admitted verbatim. No
-    scheduling work either way. *)
+    scheduling work either way. Under [shards > 1] entries ahead of a
+    shard's first dirty position are skipped outright rather than
+    counted as spliced, so the tally is not comparable across shard
+    counts (the plans are). *)
+
+val engine_shards : engine -> int
+(** The effective shard count ([1] for unsharded and rebuild engines). *)
+
+val engine_shard_stats : engine -> shard_stats
+(** Cumulative sharded-path statistics; all zero when [shards = 1]. *)
 
 val engine_slice : engine -> t0:float -> t1:float -> Prt.reservation list
 (** The persistent plan's windows overlapping [[t0, t1)], straddlers

@@ -85,13 +85,19 @@ let rec help t =
 let sequential_map f arr = Array.map f arr
 
 let map ?chunk t f arr =
+  (* validated on every path, not just the parallel one — a nonsense
+     chunk size must not pass silently merely because the input was
+     small or the pool sequential *)
+  (match chunk with
+  | Some c when c <= 0 -> invalid_arg "Pool.map: chunk must be positive"
+  | _ -> ());
   let n = Array.length arr in
   if n = 0 then [||]
   else if t.n_domains <= 1 || t.stop || n = 1 then sequential_map f arr
   else begin
     let chunk =
       match chunk with
-      | Some c -> max 1 c
+      | Some c -> c
       | None -> max 1 (n / (t.n_domains * 8))
     in
     (* element 0 is computed here, before the fan-out: its result

@@ -44,7 +44,9 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]. [chunk] is the number of consecutive
     elements handed to a worker at a time (default: enough to give
     each domain several chunks for load balancing; tasks as heavy as
-    a full Coflow schedule do fine with [~chunk:1]). *)
+    a full Coflow schedule do fine with [~chunk:1]). Raises
+    [Invalid_argument] if [chunk <= 0], on every path — including the
+    degenerate ones (empty input, sequential pool) that never read it. *)
 
 val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map], same guarantees as {!map}. *)

@@ -57,6 +57,10 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
      windows (zero setup at the replan instant) keep their circuit
      alive without touching either counter. *)
   let live : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* per-slice scratch tables, reused across the whole replay (cleared,
+     not reallocated — the replay hot path runs once per event) *)
+  let reused = Hashtbl.create 8 in
+  let by_id = Hashtbl.create 16 in
   let admit t =
     List.iter
       (fun (_, (c : Coflow.t)) ->
@@ -123,7 +127,7 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
       (* execute the plan over [t, t_next) *)
       let reservations = Prt.all_reservations plan.Inter.prt in
       (* circuits the new plan carries over without a fresh setup *)
-      let reused = Hashtbl.create 8 in
+      Hashtbl.clear reused;
       List.iter
         (fun (r : Prt.reservation) ->
           if r.setup = 0. && r.start = t then
@@ -172,7 +176,7 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
             if obs then Obs.Registry.incr m_teardowns
           end)
         reservations;
-      let by_id = Hashtbl.create 16 in
+      Hashtbl.clear by_id;
       List.iter (fun a -> Hashtbl.replace by_id a.orig.Coflow.id a) actives;
       List.iter
         (fun (r : Prt.reservation) ->
@@ -253,16 +257,26 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
    engine's stored windows clipped to [t, t_next). [rebuild] runs the
    same engine decisions while reconstructing the table from scratch
    every event — the bit-exact oracle for the rollback machinery. *)
+(* shard passes run on the domain pool when it actually has domains;
+   a 1-domain pool would only add submission overhead to a loop that
+   is already sequential *)
+let shard_runner () =
+  if Sunflow_parallel.Pool.default_jobs () > 1 then
+    { Inter.run_passes = (fun fs -> Sunflow_parallel.Pool.run (fun f -> f ()) fs) }
+  else Inter.sequential_runner
+
 let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
-    ~on_complete ~on_slice ~delta ~bandwidth coflows =
+    ~shards ~shard_block ~shard_stats ~on_complete ~on_slice ~delta ~bandwidth
+    coflows =
   let arrivals = Event_queue.create () in
   List.iter
     (fun c -> Event_queue.push arrivals ~time:c.Coflow.arrival c)
     (List.sort Coflow.compare_arrival coflows);
   let obs = Obs.Control.enabled () in
+  let runner = if shards > 1 then shard_runner () else Inter.sequential_runner in
   let eng =
-    Inter.engine ~order ~carry_circuits ~rebuild ~buckets ~bucket_base ~policy
-      ~delta ~bandwidth ()
+    Inter.engine ~order ~carry_circuits ~rebuild ~buckets ~bucket_base ~shards
+      ~shard_block ~runner ~policy ~delta ~bandwidth ()
   in
   let active_tbl : (int, active) Hashtbl.t = Hashtbl.create 64 in
   let actives : active list ref = ref [] in
@@ -272,6 +286,8 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
   let n_events = ref 0 and setups = ref 0 in
   let makespan = ref 0. in
   let live : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* per-slice scratch, reused across events (cleared, not reallocated) *)
+  let reused = Hashtbl.create 8 in
   let admit t =
     List.iter
       (fun (_, (c : Coflow.t)) ->
@@ -347,7 +363,7 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
       (* execute the persistent plan over [t, t_next): same executor as
          the full path, fed the slice-overlapping windows only *)
       let reservations = Inter.engine_slice eng ~t0:t ~t1:t_next in
-      let reused = Hashtbl.create 8 in
+      Hashtbl.clear reused;
       List.iter
         (fun (r : Prt.reservation) ->
           if r.setup = 0. && r.start = t then
@@ -446,6 +462,9 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
   | Some (t0, _) ->
     admit t0;
     loop t0);
+  (match shard_stats with
+  | Some r -> r := Inter.engine_shard_stats eng
+  | None -> ());
   if obs then Obs.Registry.add m_teardowns (Hashtbl.length live);
   Hashtbl.reset live;
   let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
@@ -459,8 +478,8 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
 
 let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
     ?(carry_circuits = true) ?(replan = `Full) ?(buckets = 0)
-    ?(bucket_base = 4.) ?(on_complete = no_release) ?on_slice ~delta ~bandwidth
-    coflows =
+    ?(bucket_base = 4.) ?(shards = 1) ?(shard_block = 1) ?shard_stats
+    ?(on_complete = no_release) ?on_slice ~delta ~bandwidth coflows =
   if bandwidth <= 0. then invalid_arg "Circuit_sim.run: bandwidth <= 0";
   if delta < 0. then invalid_arg "Circuit_sim.run: negative delta";
   check_unique_ids coflows;
@@ -468,11 +487,14 @@ let run ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
   | `Full ->
     if buckets <> 0 then
       invalid_arg "Circuit_sim.run: buckets need an anchored replan mode";
+    if shards <> 1 then
+      invalid_arg "Circuit_sim.run: shards need an anchored replan mode";
     run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
       ~bandwidth coflows
   | (`Rebuild | `Incremental) as mode ->
     run_anchored ~rebuild:(mode = `Rebuild) ~policy ~order ~carry_circuits
-      ~buckets ~bucket_base ~on_complete ~on_slice ~delta ~bandwidth coflows
+      ~buckets ~bucket_base ~shards ~shard_block ~shard_stats ~on_complete
+      ~on_slice ~delta ~bandwidth coflows
 
 let intra_cct ?(order = Order.Ordered_port) ~delta ~bandwidth coflow =
   Sunflow.schedule ~order ~delta ~bandwidth

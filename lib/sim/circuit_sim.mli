@@ -38,6 +38,9 @@ val run :
   ?replan:replan ->
   ?buckets:int ->
   ?bucket_base:float ->
+  ?shards:int ->
+  ?shard_block:int ->
+  ?shard_stats:Sunflow_core.Inter.shard_stats ref ->
   ?on_complete:(int -> float -> Sunflow_core.Coflow.t list) ->
   ?on_slice:
     (t:float ->
@@ -64,6 +67,18 @@ val run :
     {!Sunflow_core.Inter.engine}. [buckets = 0] keeps the exact order.
     Non-zero [buckets] under [`Full] raises [Invalid_argument]: the
     full replan has no persistent order to coarsen.
+
+    [shards]/[shard_block] (defaults [1]/[1]) partition the fabric's
+    ports into shard stripes with per-shard reservation tables and
+    dirty sets — see {!Sunflow_core.Inter.engine}. Results are
+    bit-identical to [shards = 1] for every shard count; an event only
+    replans the shards its dirty Coflows touch, and the independent
+    shard passes run on the {!Sunflow_parallel.Pool} domain pool when
+    it has more than one domain. [shards <> 1] under [`Full] raises
+    [Invalid_argument] (nothing persistent to shard); [`Rebuild]
+    coerces to one shard (it is the inherently global oracle).
+    [shard_stats], when given, receives the engine's cumulative
+    event/conflict/rollback counts after an anchored replay.
 
     [on_complete id t] is called once per completed Coflow and may
     release new Coflows into the fabric (their arrivals must be

@@ -128,3 +128,82 @@ let generate p =
   in
   let coflows = List.mapi make_coflow (arrivals p.n_coflows 0. []) in
   { Trace.n_ports = p.n_ports; coflows }
+
+(* --- pod-local storm --------------------------------------------------- *)
+
+type pod_params = {
+  p_seed : int;
+  p_pods : int;
+  p_pod_size : int;
+  p_coflows : int;
+  p_span : float;
+  p_cross_frac : float;
+  p_width_max : int;
+  p_flow_mb : float * float;
+}
+
+let default_pod_params =
+  {
+    p_seed = 83;
+    p_pods = 16;
+    p_pod_size = 8;
+    p_coflows = 4000;
+    p_span = 600.;
+    p_cross_frac = 0.02;
+    p_width_max = 3;
+    p_flow_mb = (4., 1.2);
+  }
+
+let pods p =
+  if p.p_pods < 2 then invalid_arg "Synthetic.pods: need at least two pods";
+  if p.p_pod_size < 2 then invalid_arg "Synthetic.pods: pods need >= 2 ports";
+  if p.p_coflows < 0 then invalid_arg "Synthetic.pods: negative trace length";
+  if p.p_span <= 0. then invalid_arg "Synthetic.pods: non-positive span";
+  if p.p_cross_frac < 0. || p.p_cross_frac > 1. then
+    invalid_arg "Synthetic.pods: cross fraction outside [0, 1]";
+  if p.p_width_max < 1 || p.p_width_max * 2 > p.p_pod_size then
+    invalid_arg "Synthetic.pods: width_max too large for the pod";
+  let rng = Rng.create p.p_seed in
+  let n_ports = p.p_pods * p.p_pod_size in
+  let mean_gap = p.p_span /. float_of_int (max 1 p.p_coflows) in
+  let make_coflow id arrival =
+    let demand = Demand.create () in
+    if Rng.float rng 1. < p.p_cross_frac then begin
+      (* cross-pod straggler: one flow between two distinct pods *)
+      let pa = Rng.int rng p.p_pods in
+      let pb = (pa + 1 + Rng.int rng (p.p_pods - 1)) mod p.p_pods in
+      let src = (pa * p.p_pod_size) + Rng.int rng p.p_pod_size in
+      let dst = (pb * p.p_pod_size) + Rng.int rng p.p_pod_size in
+      Demand.set demand src dst (round_mb (lognormal_mb rng p.p_flow_mb))
+    end
+    else begin
+      (* intra-pod shuffle: disjoint sender/receiver sets inside one pod *)
+      let pod = Rng.int rng p.p_pods in
+      let base = pod * p.p_pod_size in
+      let n_s = 1 + Rng.int rng p.p_width_max in
+      let n_r = 1 + Rng.int rng p.p_width_max in
+      let senders =
+        distinct_ports rng ~n_ports:p.p_pod_size ~count:n_s ~avoid:[]
+      in
+      let receivers =
+        distinct_ports rng ~n_ports:p.p_pod_size ~count:n_r ~avoid:senders
+      in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun s ->
+              Demand.set demand (base + s) (base + r)
+                (round_mb (lognormal_mb rng p.p_flow_mb)))
+            senders)
+        receivers
+    end;
+    Coflow.make ~id ~arrival demand
+  in
+  let rec arrivals k t acc =
+    if k = 0 then List.rev acc
+    else
+      let t = t +. Rng.exponential rng ~mean:mean_gap in
+      arrivals (k - 1) t (t :: acc)
+  in
+  let coflows = List.mapi make_coflow (arrivals p.p_coflows 0. []) in
+  { Trace.n_ports; coflows }

@@ -45,3 +45,35 @@ val generate : params -> Trace.t
 (** Build the trace. Coflow ids are [0 .. n_coflows-1] in arrival
     order. Raises [Invalid_argument] on inconsistent parameters (e.g.
     [width_max * 2 > n_ports]). *)
+
+(** {1 Pod-local storm}
+
+    The shard-locality workload: the fabric is [p_pods] pods of
+    [p_pod_size] consecutive ports each (pod [i] owns ports
+    [[i*p_pod_size, (i+1)*p_pod_size)]), almost every Coflow is a
+    small shuffle confined to one pod, and a [p_cross_frac] fraction
+    are single-flow cross-pod stragglers. With the sharded engine's
+    stripes aligned to the pods ([shard_block = p_pod_size],
+    [shards = p_pods] or a divisor), an arrival dirties exactly one
+    shard and the rare cross-pod Coflow exercises the
+    conflict/rollback path. *)
+
+type pod_params = {
+  p_seed : int;
+  p_pods : int;  (** pod count (>= 2) *)
+  p_pod_size : int;  (** consecutive ports per pod (>= 2) *)
+  p_coflows : int;
+  p_span : float;  (** arrival window, seconds *)
+  p_cross_frac : float;  (** fraction of cross-pod Coflows, in [0, 1] *)
+  p_width_max : int;
+      (** max senders and max receivers of an intra-pod shuffle;
+          [2 * p_width_max <= p_pod_size] *)
+  p_flow_mb : float * float;  (** lognormal (median MB, sigma) per flow *)
+}
+
+val default_pod_params : pod_params
+(** 16 pods x 8 ports, 4000 Coflows over 600 s, 2 % cross-pod. *)
+
+val pods : pod_params -> Trace.t
+(** Build the pod-local trace; deterministic in [p_seed]. Raises
+    [Invalid_argument] on inconsistent parameters. *)

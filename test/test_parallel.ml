@@ -105,6 +105,28 @@ let test_exception_propagates () =
         (Array.init 100 (fun i -> i + 1))
         (Pool.map pool (fun x -> x + 1) (Array.init 100 Fun.id)))
 
+let test_chunk_must_be_positive () =
+  let raises name f =
+    Alcotest.check_raises name
+      (Invalid_argument "Pool.map: chunk must be positive") f
+  in
+  let pool = Pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      raises "chunk 0" (fun () ->
+          ignore (Pool.map ~chunk:0 pool Fun.id [| 1; 2; 3 |] : int array));
+      raises "chunk negative" (fun () ->
+          ignore (Pool.map ~chunk:(-4) pool Fun.id [| 1 |] : int array));
+      (* the degenerate paths that never read [chunk] must reject it
+         too, or the bug hides until the input grows *)
+      raises "chunk 0, empty input" (fun () ->
+          ignore (Pool.map ~chunk:0 pool Fun.id [||] : int array)));
+  let seq = Pool.create ~domains:1 in
+  raises "chunk 0, sequential pool" (fun () ->
+      ignore (Pool.map ~chunk:0 seq Fun.id [| 1; 2 |] : int array));
+  Pool.shutdown seq
+
 let test_sequential_fallback () =
   let pool = Pool.create ~domains:1 in
   Alcotest.(check int) "domains clamped to >= 1" 1 (Pool.domains pool);
@@ -121,6 +143,8 @@ let suite =
     Alcotest.test_case "map oracle vs Array.map" `Quick
       test_map_matches_array_map;
     Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+    Alcotest.test_case "chunk must be positive" `Quick
+      test_chunk_must_be_positive;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
     prop_order_preserved;
     Alcotest.test_case "intra_points determinism" `Slow
