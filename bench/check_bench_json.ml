@@ -39,7 +39,19 @@
    recomputable from its inputs and stay at or under 15% on every
    sharded row, and — full harness only — the best sharded run must
    beat shards = 1 by at least 1.3x replan wall-clock and 1.15x
-   end-to-end, single-domain. *)
+   end-to-end, single-domain.
+
+   Since schema /8 it gates the CCT attribution engine: the report
+   section must have replayed the settings trace under the anchored
+   engine variants (incremental, rebuild, and a sharded run) with the
+   report body digesting identically across all of them and zero
+   attribution-conservation violations, and the exported report file
+   itself must validate — schema sunflow-report/1, the aggregate
+   blame components summing to the total CCT, every CDF's quantiles
+   non-decreasing over non-decreasing fractions, per-port utilization
+   and reconfiguring fractions in [0, 1], and every slowest-Coflow
+   row conserving (wait + setup + transfer + blocked = CCT) with its
+   blame vector summing to its blocked time. *)
 
 type json =
   | Null
@@ -625,9 +637,207 @@ let check_shards root fast =
           wall_speedup
     end
 
+(* The report section (schema /8): body digests byte-identical across
+   the anchored engine variants, zero conservation violations, and the
+   exported sunflow-report file well-formed with its internal
+   invariants holding. Tolerances are loose relative to the per-Coflow
+   checker's (the aggregates sum float error over every Coflow). *)
+let check_report root json_dir =
+  match field root "report" with
+  | Null -> bad "report: missing — the harness did not run the report section"
+  | rp ->
+    let file = as_str "report.file" (field rp "file") in
+    check_counter "report.coflows" (field rp "coflows");
+    if as_num "report.coflows" (field rp "coflows") <= 0. then
+      bad "report.coflows: the report covered no Coflows";
+    check_counter "report.samples" (field rp "samples");
+    if as_num "report.samples" (field rp "samples") <= 0. then
+      bad "report.samples: the telemetry sampler recorded nothing";
+    let rows =
+      List.map
+        (fun row ->
+          let variant = as_str "report.rows.variant" (field row "variant") in
+          let what key = Printf.sprintf "report.rows[%s].%s" variant key in
+          let replan = as_str (what "replan") (field row "replan") in
+          if not (List.mem replan [ "incremental"; "rebuild" ]) then
+            bad
+              "%s: %S — only the anchored modes are byte-stable (full drifts \
+               by design)"
+              (what "replan") replan;
+          let shards =
+            let x = as_num (what "shards") (field row "shards") in
+            if Float.of_int (Float.to_int x) <> x || x < 1. then
+              bad "%s: expected a positive integer, got %g" (what "shards") x;
+            Float.to_int x
+          in
+          let wall = as_num (what "wall_s") (field row "wall_s") in
+          if wall <= 0. then bad "%s: non-positive wall time" (what "wall_s");
+          let digest = as_str (what "body_digest") (field row "body_digest") in
+          if digest = "" then bad "%s: empty" (what "body_digest");
+          let violations =
+            let x = as_num (what "violations") (field row "violations") in
+            if Float.of_int (Float.to_int x) <> x || x < 0. then
+              bad "%s: expected a non-negative integer, got %g"
+                (what "violations") x;
+            Float.to_int x
+          in
+          if violations > 0 then
+            bad "%s: %d attribution-conservation violations"
+              (what "violations") violations;
+          (variant, replan, shards, digest))
+        (as_arr "report.rows" (field rp "rows"))
+    in
+    List.iter
+      (fun required ->
+        if not (List.exists (fun (_, r, _, _) -> r = required) rows) then
+          bad "report.rows: missing the %S variant" required)
+      [ "incremental"; "rebuild" ];
+    if not (List.exists (fun (_, _, s, _) -> s > 1) rows) then
+      bad "report.rows: no sharded variant";
+    (match rows with
+    | (v0, _, _, d0) :: rest ->
+      List.iter
+        (fun (v, _, _, d) ->
+          if d <> d0 then
+            bad
+              "report.rows[%s]: body digest %S differs from %s's %S — the \
+               report body is not byte-stable across the anchored engine \
+               variants"
+              v d v0 d0)
+        rest
+    | [] -> bad "report.rows: empty");
+    (* the exported report file itself *)
+    let path =
+      if Filename.is_relative file then Filename.concat json_dir file
+      else file
+    in
+    let content =
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | content -> content
+      | exception Sys_error msg -> bad "report.file: unreadable: %s" msg
+    in
+    let rep =
+      match parse content with
+      | v -> v
+      | exception Bad msg -> bad "report.file %s: unparseable: %s" path msg
+    in
+    let schema = as_str "report.schema" (field rep "schema") in
+    if schema <> "sunflow-report/1" then
+      bad "report.file %s: unknown schema %S" path schema;
+    ignore (field rep "run");
+    let body = field rep "body" in
+    let n_coflows =
+      let x = as_num "body.coflows" (field body "coflows") in
+      if Float.of_int (Float.to_int x) <> x || x < 0. then
+        bad "body.coflows: expected a non-negative integer, got %g" x;
+      Float.to_int x
+    in
+    let makespan = as_num "body.makespan_s" (field body "makespan_s") in
+    if makespan <= 0. then bad "body.makespan_s: non-positive (%g)" makespan;
+    (* aggregate blame conserves: the per-Coflow slack (1e-6 each)
+       summed over every Coflow *)
+    let agg_tol = (1e-6 *. float_of_int (max 1 n_coflows)) +. 1e-9 in
+    let blame = field body "blame" in
+    let bf key = as_num ("body.blame." ^ key) (field blame key) in
+    let wait = bf "wait_s" and setup = bf "setup_s" in
+    let transfer = bf "transfer_s" and blocked = bf "blocked_s" in
+    let total = bf "total_cct_s" in
+    List.iter
+      (fun (key, v) ->
+        if v < -.agg_tol then bad "body.blame.%s: negative (%g)" key v)
+      [
+        ("wait_s", wait);
+        ("setup_s", setup);
+        ("transfer_s", transfer);
+        ("blocked_s", blocked);
+        ("total_cct_s", total);
+      ];
+    let residual = wait +. setup +. transfer +. blocked -. total in
+    if Float.abs residual > agg_tol +. (1e-9 *. Float.abs total) then
+      bad
+        "body.blame: components sum to %g but total_cct_s is %g (residual %g \
+         over the %g slack) — attribution does not conserve"
+        (wait +. setup +. transfer +. blocked)
+        total residual agg_tol;
+    (* every CDF non-decreasing over non-decreasing fractions *)
+    List.iter
+      (fun bin ->
+        let width = as_str "body.cct_cdf.width" (field bin "width") in
+        let what = Printf.sprintf "body.cct_cdf[%s]" width in
+        if as_num (what ^ ".count") (field bin "count") <= 0. then
+          bad "%s.count: empty bin emitted" what;
+        let qs =
+          List.map
+            (fun pt ->
+              ( as_num (what ^ ".q") (field pt "q"),
+                as_num (what ^ ".cct_s") (field pt "cct_s") ))
+            (as_arr (what ^ ".quantiles") (field bin "quantiles"))
+        in
+        if qs = [] then bad "%s.quantiles: empty" what;
+        ignore
+          (List.fold_left
+             (fun prev (q, cct) ->
+               (match prev with
+               | Some (pq, pc) ->
+                 if q < pq then bad "%s: fractions not sorted" what;
+                 if cct < pc -. 1e-12 then
+                   bad "%s: quantiles decrease (%g at q=%g after %g at q=%g)"
+                     what cct q pc pq
+               | None -> ());
+               if cct < 0. then bad "%s: negative CCT quantile %g" what cct;
+               Some (q, cct))
+             None qs))
+      (as_arr "body.cct_cdf" (field body "cct_cdf"));
+    (* per-port duty-cycle fractions in [0, 1] *)
+    List.iter
+      (fun pr ->
+        let port = as_str "body.ports.port" (field pr "port") in
+        let what key = Printf.sprintf "body.ports[%s].%s" port key in
+        let util = as_num (what "utilization") (field pr "utilization") in
+        let reconf = as_num (what "reconfiguring") (field pr "reconfiguring") in
+        List.iter
+          (fun (key, v) ->
+            if v < 0. || v > 1. +. 1e-9 then
+              bad "%s: %g outside [0, 1]" (what key) v)
+          [ ("utilization", util); ("reconfiguring", reconf) ];
+        if util +. reconf > 1. +. 1e-6 then
+          bad
+            "body.ports[%s]: busy + reconfiguring duty cycle %g exceeds 1 — \
+             the port's reservations overlap"
+            port (util +. reconf))
+      (as_arr "body.ports" (field body "ports"));
+    (* slowest rows conserve individually, blame sums to blocked *)
+    List.iter
+      (fun row ->
+        let id =
+          let x = as_num "body.slowest.coflow" (field row "coflow") in
+          Float.to_int x
+        in
+        let what key = Printf.sprintf "body.slowest[%d].%s" id key in
+        let f key = as_num (what key) (field row key) in
+        let cct = f "cct_s" in
+        let sum = f "wait_s" +. f "setup_s" +. f "transfer_s" +. f "blocked_s" in
+        if Float.abs (sum -. cct) > 1e-6 +. (1e-9 *. Float.abs cct) then
+          bad "%s: components sum to %g, cct_s is %g" (what "cct_s") sum cct;
+        let blame_sum =
+          List.fold_left
+            (fun acc b -> acc +. as_num (what "blame.seconds") (field b "seconds"))
+            0.
+            (as_arr (what "blame") (field row "blame"))
+        in
+        if Float.abs (blame_sum -. f "blocked_s") > 1e-6 then
+          bad "%s: blame vector sums to %g, blocked_s is %g" (what "blame")
+            blame_sum (f "blocked_s"))
+      (as_arr "body.slowest" (field body "slowest"))
+
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/7" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/8" then bad "unknown schema %S" schema;
   let fast =
     match field root "fast" with
     | Bool b -> b
@@ -671,6 +881,7 @@ let check root json_dir =
   check_replay root fast;
   check_scf_drift root;
   check_shards root fast;
+  check_report root json_dir;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

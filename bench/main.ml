@@ -794,6 +794,126 @@ let shard_section ppf _s =
         sh_rows = rows;
       }
 
+(* --- report: CCT attribution across engine variants -------------------
+
+   The PR-8 gate: replay the settings trace with attribution enabled
+   under the anchored engine variants (incremental, its rebuild
+   oracle, and a sharded incremental run) and build the [sunflow
+   report] JSON from each. The report body — everything derived from
+   the executed schedule — must digest identically across the
+   variants, since the anchored modes are bit-identical by
+   construction ([`Full] is excluded: its drain-then-recompute
+   semantics drift in the last float bits by design, see
+   [Circuit_sim]). Attribution conservation (wait + setup + transfer
+   + blocked = CCT for every Coflow) must hold with zero violations.
+   The first variant's full report is written to BENCH_report.json
+   (SUNFLOW_BENCH_REPORT_JSON overrides) for the checker to
+   schema-validate: CDF monotone, blame summing to total CCT,
+   utilization in [0, 1]. *)
+
+type report_row = {
+  t_variant : string;
+  t_replan : string;
+  t_shards : int;
+  t_wall_s : float;
+  t_body_digest : string;
+  t_violations : int;
+}
+
+type report_summary = {
+  rp_file : string;
+  rp_coflows : int;
+  rp_samples : int;
+  rp_rows : report_row list;
+}
+
+let report_summary : report_summary option ref = ref None
+
+let report_section ppf s =
+  let module Check = Sunflow_check in
+  E.Common.section ppf "REPORT: CCT attribution across engine variants";
+  let delta = s.E.Common.delta and bandwidth = s.E.Common.bandwidth in
+  let coflows = (E.Common.raw_trace s).Sunflow_trace.Trace.coflows in
+  let report_file =
+    match Sys.getenv_opt "SUNFLOW_BENCH_REPORT_JSON" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_report.json"
+  in
+  let was = Obs.Control.enabled () in
+  let first_json = ref None in
+  let n_samples = ref 0 in
+  let rows =
+    List.map
+      (fun (t_variant, t_replan, replan, shards) ->
+        Obs.Control.set_enabled true;
+        Obs.Attrib.clear ();
+        Obs.Sampler.clear ();
+        Obs.Timeline.clear ();
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Circuit_sim.run ~policy:Sunflow_core.Inter.Shortest_first ~replan
+            ~shards ~delta ~bandwidth coflows
+        in
+        let t_wall_s = Unix.gettimeofday () -. t0 in
+        Obs.Control.set_enabled false;
+        let run =
+          [
+            ("trace", "\"bench-settings\"");
+            ("policy", "\"scf\"");
+            ("replan", Printf.sprintf "\"%s\"" t_replan);
+            ("shards", string_of_int shards);
+            ("bandwidth_gbps", Printf.sprintf "%.9g" (Units.to_gbps bandwidth));
+            ("delta_s", Printf.sprintf "%.9g" delta);
+            ("samples", string_of_int (List.length (Obs.Sampler.samples ())));
+          ]
+        in
+        let rep, violations =
+          Check.Attrib_report.build ~run ~coflows r
+        in
+        let t_body_digest = digest_string (Obs.Report.body_json rep) in
+        if !first_json = None then begin
+          first_json := Some (Obs.Report.to_json rep);
+          n_samples := List.length (Obs.Sampler.samples ())
+        end;
+        List.iter
+          (fun v -> Format.fprintf ppf "  ATTRIB %a@." Check.Violation.pp v)
+          violations;
+        Format.fprintf ppf
+          "  %-15s wall %6.2fs  body digest %s  %d violations@." t_variant
+          t_wall_s t_body_digest (List.length violations);
+        {
+          t_variant;
+          t_replan;
+          t_shards = shards;
+          t_wall_s;
+          t_body_digest;
+          t_violations = List.length violations;
+        })
+      [
+        ("incremental", "incremental", `Incremental, 1);
+        ("rebuild", "rebuild", `Rebuild, 1);
+        ("incremental-s4", "incremental", `Incremental, 4);
+      ]
+  in
+  Obs.Attrib.clear ();
+  Obs.Sampler.clear ();
+  Obs.Timeline.clear ();
+  Obs.Tracer.clear ();
+  Obs.Control.set_enabled was;
+  (match !first_json with
+  | Some json ->
+    Obs.Io.write_file report_file json;
+    Format.fprintf ppf "  wrote %s@." report_file
+  | None -> ());
+  report_summary :=
+    Some
+      {
+        rp_file = report_file;
+        rp_coflows = List.length coflows;
+        rp_samples = !n_samples;
+        rp_rows = rows;
+      }
+
 (* --- JSON emission ----------------------------------------------------
 
    Hand-rolled (no JSON library in the dependency set); the shapes are
@@ -827,7 +947,7 @@ let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/7\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/8\",\n";
   add "  \"fast\": %b,\n" (fast ());
   add "  \"domains\": %d,\n" domains;
   add
@@ -951,6 +1071,26 @@ let emit_json path s domains =
           (if i = List.length sh.sh_rows - 1 then "" else ","))
       sh.sh_rows;
     add "  ]},\n");
+  (match !report_summary with
+  | None -> add "  \"report\": null,\n"
+  | Some rp ->
+    add
+      "  \"report\": {\"file\": \"%s\", \"coflows\": %d, \"samples\": %d, \
+       \"rows\": [\n"
+      (json_escape rp.rp_file) rp.rp_coflows rp.rp_samples;
+    List.iteri
+      (fun i row ->
+        add
+          "    {\"variant\": \"%s\", \"replan\": \"%s\", \"shards\": %d, \
+           \"wall_s\": %s, \"body_digest\": \"%s\", \"violations\": %d}%s\n"
+          (json_escape row.t_variant)
+          (json_escape row.t_replan)
+          row.t_shards (json_float row.t_wall_s)
+          (json_escape row.t_body_digest)
+          row.t_violations
+          (if i = List.length rp.rp_rows - 1 then "" else ","))
+      rp.rp_rows;
+    add "  ]},\n");
   add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
   add "}\n";
   Obs.Io.write_file path (Buffer.contents buf)
@@ -974,6 +1114,7 @@ let () =
   check_section ppf s;
   replay_section ppf s;
   shard_section ppf s;
+  report_section ppf s;
   let json_path =
     match Sys.getenv_opt "SUNFLOW_BENCH_JSON" with
     | Some p when p <> "" -> p

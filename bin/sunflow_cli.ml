@@ -8,18 +8,23 @@
      inter / sim  replay a trace through a chosen fabric/scheduler
      experiments  regenerate the paper's tables and figures
      check        validate plans + run the differential switch oracle
+                  (the fuzz leg also proves attribution conservation)
+     report       replay a trace with CCT attribution on and render a
+                  machine-validatable JSON report (blame breakdown,
+                  CCT CDFs by width, per-port utilization)
 
    intra, inter/sim and experiments also take --validate, which runs
    the Sunflow_check plan validator on every plan produced (and the
    conservation checker on every simulator result) and exits non-zero
    on any violation.
 
-   intra, inter/sim and experiments take --trace-out FILE (Chrome
-   trace-event JSON of the run's scheduler spans, for Perfetto /
-   chrome://tracing) and --metrics-out FILE (the metrics registry as
-   JSON); inter/sim additionally takes --timeline-out FILE (the
-   per-Coflow simulated-time timeline as CSV, or JSON when FILE ends
-   in .json). *)
+   intra, inter/sim, experiments and check take --trace-out FILE
+   (Chrome trace-event JSON of the run's scheduler spans, for
+   Perfetto / chrome://tracing) and --metrics-out FILE (the metrics
+   registry as JSON); inter/sim additionally takes --timeline-out
+   FILE (the per-Coflow simulated-time timeline as CSV, or JSON when
+   FILE ends in .json); report takes --samples-out FILE (per-slice
+   telemetry samples as JSON Lines). *)
 
 open Cmdliner
 module Units = Sunflow_core.Units
@@ -120,7 +125,13 @@ let with_obs ?timeline_out ~trace_out ~metrics_out f =
       (fun path ->
         Obs.Io.write_file path (Obs.Tracer.to_chrome_json ());
         Format.printf "wrote %d trace events to %s (load in Perfetto)@."
-          (Obs.Tracer.event_count ()) path)
+          (Obs.Tracer.event_count ()) path;
+        let d = Obs.Tracer.dropped () in
+        if d > 0 then
+          Format.eprintf
+            "warning: %d span events were dropped (per-domain buffer cap) — \
+             the trace written to %s is truncated@."
+            d path)
       trace_out;
     Option.iter
       (fun path ->
@@ -667,9 +678,11 @@ let experiments_cmd =
 
 (* --- check --- *)
 
-let check path fuzz seed gbps ms jobs =
+let check path fuzz seed gbps ms jobs trace_out metrics_out =
   set_jobs jobs;
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let any_failed =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
   let failed = ref false in
   let verdict what vs = if report_violations ~what vs then failed := true in
   (match path with
@@ -705,9 +718,11 @@ let check path fuzz seed gbps ms jobs =
   | None -> ());
   let fuzz = match (path, fuzz) with None, 0 -> 200 | _ -> fuzz in
   if fuzz > 0 then begin
+    (* check_attrib: every fuzzed replay also proves the CCT
+       attribution conservation invariant (Sim_check.attribution) *)
     let s =
-      Check.Diff_oracle.fuzz ~seed ~traces:fuzz ~n_ports:8 ~max_coflows:6
-        ~span:1.5 ~max_mb:40. ~delta ~bandwidth ()
+      Check.Diff_oracle.fuzz ~check_attrib:true ~seed ~traces:fuzz ~n_ports:8
+        ~max_coflows:6 ~span:1.5 ~max_mb:40. ~delta ~bandwidth ()
     in
     verdict
       (Printf.sprintf
@@ -716,7 +731,9 @@ let check path fuzz seed gbps ms jobs =
          s.Check.Diff_oracle.worst_err_s)
       s.Check.Diff_oracle.total_violations
   end;
-  if !failed then begin
+  !failed
+  in
+  if any_failed then begin
     Format.printf "FAIL@.";
     exit 1
   end
@@ -747,7 +764,143 @@ let check_cmd =
          "Validate Sunflow plans and cross-check the simulator against the \
           physical switch model.")
     Term.(
-      const check $ trace $ fuzz $ seed $ bandwidth_arg $ delta_arg $ jobs_arg)
+      const check $ trace $ fuzz $ seed $ bandwidth_arg $ delta_arg $ jobs_arg
+      $ trace_out_arg $ metrics_out_arg)
+
+(* --- report --- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let report path gbps ms replan buckets bucket_base shards shard_block jobs out
+    samples_out top_k =
+  set_jobs jobs;
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let trace = load_trace path in
+  if trace.Trace.coflows = [] then begin
+    Format.eprintf "trace %s contains no Coflows — nothing to report on@." path;
+    exit 1
+  end;
+  (* Attribution needs the recording state on regardless of export
+     flags; run over a cleared state so the report sees this replay
+     alone. *)
+  let was = Obs.Control.enabled () in
+  Obs.Control.set_enabled true;
+  Obs.Tracer.clear ();
+  Obs.Timeline.clear ();
+  Obs.Attrib.clear ();
+  Obs.Sampler.clear ();
+  let shard_stats =
+    ref
+      {
+        Sunflow_core.Inter.shard_steps = 0;
+        shard_conflicts = 0;
+        shard_rollbacks = 0;
+      }
+  in
+  let result =
+    Sunflow_sim.Circuit_sim.run ~replan ~buckets ~bucket_base ~shards
+      ~shard_block ~shard_stats ~delta ~bandwidth trace.Trace.coflows
+  in
+  Obs.Control.set_enabled was;
+  let s = !shard_stats in
+  let n_samples = List.length (Obs.Sampler.samples ()) in
+  let run =
+    [
+      ("trace", json_string path);
+      ("policy", json_string "scf");
+      ( "replan",
+        json_string
+          (match replan with
+          | `Full -> "full"
+          | `Rebuild -> "rebuild"
+          | `Incremental -> "incremental") );
+      ("buckets", string_of_int buckets);
+      ("bucket_base", Printf.sprintf "%.9g" bucket_base);
+      ("shards", string_of_int shards);
+      ("shard_block", string_of_int shard_block);
+      ("bandwidth_gbps", Printf.sprintf "%.9g" gbps);
+      ("delta_ms", Printf.sprintf "%.9g" ms);
+      ("shard_steps", string_of_int s.Sunflow_core.Inter.shard_steps);
+      ("shard_conflicts", string_of_int s.Sunflow_core.Inter.shard_conflicts);
+      ("shard_rollbacks", string_of_int s.Sunflow_core.Inter.shard_rollbacks);
+      ("samples", string_of_int n_samples);
+    ]
+  in
+  let rep, violations =
+    Check.Attrib_report.build ~top_k ~run ~coflows:trace.Trace.coflows result
+  in
+  let json = Obs.Report.to_json rep in
+  (match out with
+  | None ->
+    print_string json;
+    print_newline ()
+  | Some path ->
+    Obs.Io.write_file path json;
+    Format.printf "wrote report to %s@." path);
+  (match samples_out with
+  | None -> ()
+  | Some path ->
+    Obs.Io.write_file path (Obs.Sampler.to_jsonl ());
+    Format.printf "wrote %d per-slice samples to %s@." n_samples path);
+  (* stderr, so stdout stays a single parseable JSON document *)
+  if violations <> [] then begin
+    Format.eprintf "attribution conservation: %a@." Check.Violation.pp_report
+      violations;
+    exit 1
+  end
+
+let report_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the report JSON to $(docv) instead of stdout.")
+  in
+  let samples_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "samples-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-slice telemetry samples (active Coflows, circuit \
+             transmit/reconfigure seconds, busy ports, dirty-suffix size, \
+             shard conflicts) as JSON Lines to $(docv).")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Slowest-Coflow rows to include in the report.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Replay a trace with CCT attribution enabled and render a \
+          machine-validatable JSON report: CCT CDFs binned by Coflow width, \
+          aggregate blame breakdown (admission wait, reconfiguration, \
+          transfer, blocked-on-contention), per-port utilization, and the \
+          slowest Coflows with their blame vectors.")
+    Term.(
+      const report $ trace_file_arg $ bandwidth_arg $ delta_arg $ replan_arg
+      $ buckets_arg $ bucket_base_arg $ shards_arg $ shard_block_arg $ jobs_arg
+      $ out $ samples_out $ top_k)
 
 let () =
   let info =
@@ -767,4 +920,5 @@ let () =
             gantt_cmd;
             experiments_cmd;
             check_cmd;
+            report_cmd;
           ]))

@@ -1,0 +1,41 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Obs = Sunflow_obs
+
+let width (c : Coflow.t) =
+  max
+    (List.length (Demand.senders c.demand))
+    (List.length (Demand.receivers c.demand))
+
+let build ?(top_k = 10) ?tol ~run ~coflows r =
+  let breakdowns, violations = Sim_check.attribution ?tol ~coflows r in
+  let by_id : (int, Obs.Attrib.breakdown) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (b : Obs.Attrib.breakdown) -> Hashtbl.replace by_id b.a_id b) breakdowns;
+  let rows =
+    List.filter_map
+      (fun (c : Coflow.t) ->
+        match Hashtbl.find_opt by_id c.id with
+        | Some b ->
+          Some
+            {
+              Obs.Report.c_width = width c;
+              c_bytes = Demand.total_bytes c.demand;
+              c_breakdown = b;
+            }
+        | None -> None)
+      coflows
+    |> List.sort (fun (a : Obs.Report.coflow_row) b ->
+           compare a.c_breakdown.Obs.Attrib.a_id b.c_breakdown.Obs.Attrib.a_id)
+  in
+  let report =
+    {
+      Obs.Report.r_run = run;
+      r_makespan_s = r.Sunflow_sim.Sim_result.makespan;
+      r_events = r.Sunflow_sim.Sim_result.n_events;
+      r_setups = r.Sunflow_sim.Sim_result.total_setups;
+      r_rows = rows;
+      r_ports = Obs.Sampler.port_totals ();
+      r_top_k = top_k;
+    }
+  in
+  (report, violations)

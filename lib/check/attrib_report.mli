@@ -1,0 +1,28 @@
+(** Assemble an [Obs.Report] from a simulated run.
+
+    [Obs.Report] only renders primitive rows — it cannot see
+    [Coflow.t] or [Sim_result.t] (the dependency runs the other way).
+    This module is the glue the CLI's [sunflow report] subcommand and
+    the bench report section share: it derives each Coflow's width and
+    byte count from its demand, runs {!Sim_check.attribution} over the
+    recorded windows (enforcing conservation), pulls the per-port
+    ledger from [Obs.Sampler], and returns the renderable report
+    together with any conservation violations. *)
+
+val width : Sunflow_core.Coflow.t -> int
+(** max(#sender ports, #receiver ports) of the Coflow's demand. *)
+
+val build :
+  ?top_k:int ->
+  ?tol:float ->
+  run:(string * string) list ->
+  coflows:Sunflow_core.Coflow.t list ->
+  Sunflow_sim.Sim_result.t ->
+  Sunflow_obs.Report.t * Violation.t list
+(** The run must have executed with observability enabled (windows in
+    [Obs.Attrib], port totals in [Obs.Sampler], flow finishes in
+    [Obs.Timeline]) and not yet cleared. [run] becomes the report's
+    mode-dependent ["run"] object verbatim (values are pre-rendered
+    JSON); [top_k] bounds the slowest-Coflows section (default 10);
+    [tol] is {!Sim_check.attribution}'s conservation slack. Rows are
+    sorted by Coflow id, so the report body is deterministic. *)

@@ -8,6 +8,7 @@ module Circuit_sim = Sunflow_sim.Circuit_sim
 module Sim_result = Sunflow_sim.Sim_result
 module Controller = Sunflow_switch.Controller
 module Rng = Sunflow_stats.Rng
+module Obs = Sunflow_obs
 module V = Violation
 
 type outcome = {
@@ -24,8 +25,8 @@ let snap_eps bandwidth = Float.max 1e-3 (bandwidth *. 1e-6)
 
 let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
     ?(carry_circuits = true) ?(replan = `Full) ?buckets ?bucket_base ?shards
-    ?shard_block ?(validate_plans = true) ?tol ~delta ~bandwidth ~n_ports
-    coflows =
+    ?shard_block ?(validate_plans = true) ?(check_attrib = false) ?tol ~delta
+    ~bandwidth ~n_ports coflows =
   let tol = match tol with Some t -> t | None -> default_tol bandwidth in
   let vs = ref [] in
   let push v = vs := v :: !vs in
@@ -86,10 +87,26 @@ let replay ?(policy = Inter.Shortest_first) ?(order = Order.Ordered_port)
           end)
         (Prt.all_reservations plan.Inter.prt)
     in
+    (* Attribution rides on the recorded windows, so its fuzz leg runs
+       the replay with observability forced on (restored afterwards)
+       over a cleared recording state; the conservation invariant then
+       has to hold for every Coflow of every fuzzed configuration. *)
+    let was_obs = Obs.Control.enabled () in
+    if check_attrib then begin
+      Obs.Control.set_enabled true;
+      Obs.Attrib.clear ();
+      Obs.Sampler.clear ();
+      Obs.Timeline.clear ()
+    end;
     let sim =
       Circuit_sim.run ~policy ~order ~carry_circuits ~replan ?buckets
         ?bucket_base ?shards ?shard_block ~on_slice ~delta ~bandwidth coflows
     in
+    if check_attrib then begin
+      Obs.Control.set_enabled was_obs;
+      let _, avs = Sim_check.attribution ~coflows sim in
+      List.iter push avs
+    end;
     List.iter push (Sim_check.result ~bandwidth ~coflows sim);
     let plan = List.rev !fragments in
     match Controller.execute ~delta ~bandwidth ~n_ports ~coflows ~plan with
@@ -168,8 +185,8 @@ let random_trace rng ~n_ports ~max_coflows ~span ~max_mb =
       let arrival = if id = 0 then 0. else Rng.float rng span in
       Coflow.make ~id ~arrival demand)
 
-let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
-    ~max_coflows ~span ~max_mb ~delta ~bandwidth () =
+let fuzz ?(policy = Inter.Shortest_first) ?(check_attrib = false) ?tol ~seed
+    ~traces ~n_ports ~max_coflows ~span ~max_mb ~delta ~bandwidth () =
   let compared = ref 0 and worst = ref 0. and vs = ref [] in
   for i = 0 to traces - 1 do
     let trace_seed = seed + (7919 * i) in
@@ -190,13 +207,13 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
             :: !vs)
         o.violations
     in
-    record "" (replay ~policy ?tol ~delta ~bandwidth ~n_ports trace);
+    record "" (replay ~policy ~check_attrib ?tol ~delta ~bandwidth ~n_ports trace);
     (* the incremental engine replays the same trace through the
        physical oracle too, with its per-slice plan views validated;
        Plan_check.replay_equiv separately pins it to the rebuild mode *)
     record ", incremental"
-      (replay ~policy ~replan:`Incremental ?tol ~delta ~bandwidth ~n_ports
-         trace);
+      (replay ~policy ~replan:`Incremental ~check_attrib ?tol ~delta ~bandwidth
+         ~n_ports trace);
     let equiv label vlist =
       List.iter
         (fun (v : V.t) ->
@@ -236,22 +253,22 @@ let fuzz ?(policy = Inter.Shortest_first) ?tol ~seed ~traces ~n_ports
        incremental schedule through the physical switch *)
     if i mod 3 = 2 then begin
       record ", all-stop"
-        (replay ~policy ~carry_circuits:false ?tol ~delta ~bandwidth ~n_ports
-           trace);
-      record ", all-stop incremental"
-        (replay ~policy ~carry_circuits:false ~replan:`Incremental ?tol ~delta
+        (replay ~policy ~carry_circuits:false ~check_attrib ?tol ~delta
            ~bandwidth ~n_ports trace);
+      record ", all-stop incremental"
+        (replay ~policy ~carry_circuits:false ~replan:`Incremental ~check_attrib
+           ?tol ~delta ~bandwidth ~n_ports trace);
       record
         (Printf.sprintf ", incremental buckets=%d" buckets)
-        (replay ~policy ~replan:`Incremental ~buckets ?tol ~delta ~bandwidth
-           ~n_ports trace);
+        (replay ~policy ~replan:`Incremental ~buckets ~check_attrib ?tol ~delta
+           ~bandwidth ~n_ports trace);
       (* drive the sharded engine's executed schedule through the
          physical switch too — engine_slice's mirror-deduped merge is
          what actually executes, so it gets its own oracle run *)
       record
         (Printf.sprintf ", incremental shards=%d" shards)
-        (replay ~policy ~replan:`Incremental ~shards ~shard_block ?tol ~delta
-           ~bandwidth ~n_ports trace)
+        (replay ~policy ~replan:`Incremental ~shards ~shard_block ~check_attrib
+           ?tol ~delta ~bandwidth ~n_ports trace)
     end
   done;
   {

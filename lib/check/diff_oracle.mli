@@ -35,6 +35,7 @@ val replay :
   ?shards:int ->
   ?shard_block:int ->
   ?validate_plans:bool ->
+  ?check_attrib:bool ->
   ?tol:float ->
   delta:float ->
   bandwidth:float ->
@@ -52,7 +53,12 @@ val replay :
     engine's schedules face the switch too. With [validate_plans]
     (default [true]) every slice plan also runs through {!Plan_check},
     so a single fuzz pass exercises the validator and the oracle
-    together. [tol] is the permitted finish-time gap in seconds; the
+    together. With [check_attrib] (default [false]) the replay runs
+    with observability forced on over a cleared recording state
+    (clobbering any attribution windows, sampler state and timeline
+    the caller had accumulated; the enabled flag is restored) and
+    enforces {!Sim_check.attribution}'s conservation invariant on the
+    result. [tol] is the permitted finish-time gap in seconds; the
     default allows for the simulator's byte-residue snapping
     ([2 * max (1e-3 / bandwidth) 1e-6]). Duplicate ids or ports
     outside [[0, n_ports)] are reported as violations, not raised. *)
@@ -80,6 +86,7 @@ type stats = {
 
 val fuzz :
   ?policy:Sunflow_core.Inter.policy ->
+  ?check_attrib:bool ->
   ?tol:float ->
   seed:int ->
   traces:int ->
@@ -101,4 +108,7 @@ val fuzz :
     1/2) in both the exact and bucketed orders. Every third trace
     additionally repeats both replays with [carry_circuits = false]
     (the all-stop ablation) and drives the sharded engine's executed
-    schedule through the physical switch. *)
+    schedule through the physical switch. [check_attrib] forwards to
+    every {!replay} leg, so one fuzz pass also proves attribution
+    conservation across replan modes, shard counts, bucketed orders
+    and the all-stop ablation. *)

@@ -2,6 +2,7 @@ module Coflow = Sunflow_core.Coflow
 module Demand = Sunflow_core.Demand
 module Bounds = Sunflow_core.Bounds
 module Sim_result = Sunflow_sim.Sim_result
+module Obs = Sunflow_obs
 module V = Violation
 
 let result ?bandwidth ?(tol = 1e-9) ~coflows (r : Sim_result.t) =
@@ -84,3 +85,76 @@ let result ?bandwidth ?(tol = 1e-9) ~coflows (r : Sim_result.t) =
          "replay of a non-empty trace recorded %d scheduling events"
          r.n_events);
   List.rev !vs
+
+(* CCT attribution lives in lib/obs (Obs.Attrib cannot see Coflow or
+   Violation — the dependency runs the other way), so the bridge is
+   here: derive each Coflow's attribution spec from its demand and
+   simulated finish, run the decomposition over the recorded windows,
+   and enforce the conservation invariant as typed violations. *)
+let attribution_specs ~coflows (r : Sim_result.t) =
+  List.filter_map
+    (fun (c : Coflow.t) ->
+      match List.assoc_opt c.id r.finishes with
+      | None -> None
+      | Some finish ->
+        let group project =
+          let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun ((i, j), _) ->
+              let p = project i j in
+              Hashtbl.replace tbl p
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl p)))
+            (Demand.entries c.demand);
+          Hashtbl.fold
+            (fun p n acc -> { Obs.Attrib.p_port = p; p_flows = n } :: acc)
+            tbl []
+          |> List.sort (fun (a : Obs.Attrib.port_demand) b ->
+                 compare a.p_port b.p_port)
+        in
+        Some
+          {
+            Obs.Attrib.s_id = c.id;
+            s_arrival = c.arrival;
+            s_finish = finish;
+            s_srcs = group (fun i _ -> i);
+            s_dsts = group (fun _ j -> j);
+          })
+    coflows
+
+let attribution ?(tol = 1e-6) ~coflows (r : Sim_result.t) =
+  let breakdowns = Obs.Attrib.compute (attribution_specs ~coflows r) in
+  let vs = ref [] in
+  let push v = vs := v :: !vs in
+  let slack x = tol +. (1e-9 *. Float.max 1. (Float.abs x)) in
+  List.iter
+    (fun (b : Obs.Attrib.breakdown) ->
+      List.iter
+        (fun (name, x) ->
+          if x < -.slack 0. then
+            push
+              (V.v ~coflow:b.a_id V.Conservation
+                 "attribution component %s is negative: %.9g" name x))
+        [
+          ("wait", b.a_wait);
+          ("setup", b.a_setup);
+          ("transfer", b.a_transfer);
+          ("blocked", b.a_blocked);
+        ];
+      let sum = b.a_wait +. b.a_setup +. b.a_transfer +. b.a_blocked in
+      if Float.abs (b.a_cct -. sum) > slack b.a_cct then
+        push
+          (V.v ~coflow:b.a_id ~at:b.a_finish V.Conservation
+             "attribution components sum to %.9g, cct is %.9g (residual %.3g)"
+             sum b.a_cct (Obs.Attrib.residual b));
+      let blame_sum =
+        List.fold_left
+          (fun acc (bl : Obs.Attrib.blame) -> acc +. bl.b_seconds)
+          0. b.a_blame
+      in
+      if Float.abs (blame_sum -. b.a_blocked) > slack b.a_blocked then
+        push
+          (V.v ~coflow:b.a_id ~at:b.a_finish V.Conservation
+             "blame vector sums to %.9g, blocked time is %.9g" blame_sum
+             b.a_blocked))
+    breakdowns;
+  (breakdowns, List.rev !vs)

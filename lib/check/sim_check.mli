@@ -28,3 +28,19 @@ val result :
   Violation.t list
 (** [tol] is the absolute slack (seconds) allowed on the finish /
     cct / makespan identities, default [1e-9]. *)
+
+val attribution :
+  ?tol:float ->
+  coflows:Sunflow_core.Coflow.t list ->
+  Sunflow_sim.Sim_result.t ->
+  Sunflow_obs.Attrib.breakdown list * Violation.t list
+(** Run {!Sunflow_obs.Attrib.compute} over the windows the simulator
+    recorded (the run must have executed with observability enabled)
+    and enforce its conservation invariant: every component
+    non-negative, wait + setup + transfer + blocked = cct, and the
+    blame vector summing to the blocked component. Returns the
+    breakdowns (one per input Coflow present in the result, ascending
+    id) alongside the violations. [tol] is the absolute slack in
+    seconds, default [1e-6] — looser than {!result}'s because each
+    component is a sum over the elementary intervals of the Coflow's
+    span, so float error grows with the interval count. *)

@@ -5,6 +5,10 @@ let transmission_overlap (r : Prt.reservation) ~t0 ~t1 =
   let tx_start = r.start +. r.setup and tx_stop = Prt.stop r in
   Float.max 0. (Float.min t1 tx_stop -. Float.max t0 tx_start)
 
+let setup_overlap (r : Prt.reservation) ~t0 ~t1 =
+  let su_stop = Float.min (r.start +. r.setup) (Prt.stop r) in
+  Float.max 0. (Float.min t1 su_stop -. Float.max t0 r.start)
+
 let bytes_in_window ~bandwidth ~t0 ~t1 reservations =
   List.fold_left
     (fun acc r -> acc +. (bandwidth *. transmission_overlap r ~t0 ~t1))

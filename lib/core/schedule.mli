@@ -13,6 +13,13 @@ val transmission_overlap : Prt.reservation -> t0:float -> t1:float -> float
     window [[t0, t1)] — the overlap of its transmission phase
     [[start + setup, stop)] with the window. *)
 
+val setup_overlap : Prt.reservation -> t0:float -> t1:float -> float
+(** Seconds of reconfiguration a reservation pays inside the window
+    [[t0, t1)] — the overlap of its setup phase
+    [[start, start + setup)] with the window. The complement of
+    {!transmission_overlap} over the reservation's span, so the two
+    always sum to the reservation's overlap with the window. *)
+
 val bytes_in_window :
   bandwidth:float -> t0:float -> t1:float -> Prt.reservation list -> float
 (** Total bytes a plan transfers inside a window at full link rate per

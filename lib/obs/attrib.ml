@@ -1,0 +1,212 @@
+type window = {
+  w_coflow : int;
+  w_src : int;
+  w_dst : int;
+  w_t0 : float;
+  w_tx : float;
+  w_t1 : float;
+}
+
+(* Same storage discipline as Timeline: recording happens at
+   simulator-event granularity, so a single mutex-protected list is
+   cold. Kept reversed; [windows] restores recording order. *)
+let mu = Mutex.create ()
+let store : window list ref = ref []
+
+let record_window ~coflow ~src ~dst ~t0 ~tx ~t1 =
+  if Control.enabled () && t1 > t0 then begin
+    let tx = Float.max t0 (Float.min t1 tx) in
+    Mutex.lock mu;
+    store :=
+      { w_coflow = coflow; w_src = src; w_dst = dst; w_t0 = t0; w_tx = tx; w_t1 = t1 }
+      :: !store;
+    Mutex.unlock mu
+  end
+
+let windows () =
+  Mutex.lock mu;
+  let l = List.rev !store in
+  Mutex.unlock mu;
+  l
+
+let clear () =
+  Mutex.lock mu;
+  store := [];
+  Mutex.unlock mu
+
+(* --- attribution ------------------------------------------------------- *)
+
+type port_demand = { p_port : int; p_flows : int }
+
+type spec = {
+  s_id : int;
+  s_arrival : float;
+  s_finish : float;
+  s_srcs : port_demand list;
+  s_dsts : port_demand list;
+}
+
+type blame = { b_coflow : int; b_seconds : float }
+
+type breakdown = {
+  a_id : int;
+  a_arrival : float;
+  a_finish : float;
+  a_cct : float;
+  a_wait : float;
+  a_setup : float;
+  a_transfer : float;
+  a_blocked : float;
+  a_blame : blame list;
+}
+
+let push tbl k v =
+  Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
+
+let find_all tbl k = try Hashtbl.find tbl k with Not_found -> []
+
+(* Flow_finish narrowing: for each (coflow, side, port), how many flows
+   have drained and when the last one did. [side] is 0 for input ports
+   (window src), 1 for output ports (window dst). *)
+let flow_finish_table () =
+  let tbl : (int * int * int, int * float) Hashtbl.t = Hashtbl.create 64 in
+  let bump key t =
+    let n, mx = try Hashtbl.find tbl key with Not_found -> (0, neg_infinity) in
+    Hashtbl.replace tbl key (n + 1, Float.max mx t)
+  in
+  List.iter
+    (function
+      | Timeline.Flow_finish { coflow; src; dst; t } ->
+        bump (coflow, 0, src) t;
+        bump (coflow, 1, dst) t
+      | _ -> ())
+    (Timeline.events ());
+  tbl
+
+let compute specs =
+  let ws = windows () in
+  let by_owner = Hashtbl.create 64 in
+  let by_src = Hashtbl.create 64 in
+  let by_dst = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      push by_owner w.w_coflow w;
+      push by_src w.w_src w;
+      push by_dst w.w_dst w)
+    ws;
+  let finished = flow_finish_table () in
+  let attribute s =
+    let arr = s.s_arrival and fin = s.s_finish in
+    if not (fin > arr) then
+      {
+        a_id = s.s_id;
+        a_arrival = arr;
+        a_finish = fin;
+        a_cct = Float.max 0. (fin -. arr);
+        a_wait = 0.;
+        a_setup = 0.;
+        a_transfer = 0.;
+        a_blocked = 0.;
+        a_blame = [];
+      }
+    else begin
+      let clamp t = Float.max arr (Float.min fin t) in
+      let own =
+        List.filter_map
+          (fun w ->
+            let t0 = clamp w.w_t0 and t1 = clamp w.w_t1 in
+            if t1 > t0 then Some { w with w_t0 = t0; w_tx = clamp w.w_tx; w_t1 = t1 }
+            else None)
+          (find_all by_owner s.s_id)
+      in
+      (* A port stays needed until the last Flow_finish that drains the
+         Coflow's flows on it; if the run never recorded them all (e.g.
+         obs was flipped mid-run), fall back to the finish — needed the
+         whole span, which can over-blame but never breaks
+         conservation. *)
+      let needed_until side (pd : port_demand) =
+        match Hashtbl.find_opt finished (s.s_id, side, pd.p_port) with
+        | Some (n, mx) when n >= pd.p_flows -> clamp mx
+        | _ -> fin
+      in
+      (* (until, windows of other Coflows occupying the port) *)
+      let occ =
+        List.concat_map
+          (fun (side, pd) ->
+            let until = needed_until side pd in
+            let all = if side = 0 then find_all by_src pd.p_port else find_all by_dst pd.p_port in
+            List.filter_map
+              (fun w ->
+                if w.w_coflow = s.s_id then None
+                else
+                  let t0 = Float.max arr w.w_t0 and t1 = Float.min until w.w_t1 in
+                  if t1 > t0 then Some (t0, t1, w.w_coflow) else None)
+              all)
+          (List.map (fun pd -> (0, pd)) s.s_srcs
+          @ List.map (fun pd -> (1, pd)) s.s_dsts)
+      in
+      let bounds =
+        List.sort_uniq Float.compare
+          ((arr :: fin
+            :: List.concat_map (fun w -> [ w.w_t0; w.w_tx; w.w_t1 ]) own)
+          @ List.concat_map (fun (t0, t1, _) -> [ t0; t1 ]) occ)
+      in
+      let wait = ref 0. and setup = ref 0. and transfer = ref 0. in
+      let blocked = ref 0. in
+      let blame : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+      let rec sweep = function
+        | a :: (b :: _ as rest) ->
+          let len = b -. a in
+          if len > 0. then begin
+            let m = a +. (0.5 *. len) in
+            if List.exists (fun w -> w.w_tx <= m && m < w.w_t1) own then
+              transfer := !transfer +. len
+            else if List.exists (fun w -> w.w_t0 <= m && m < w.w_tx) own then
+              setup := !setup +. len
+            else begin
+              let blockers =
+                List.sort_uniq compare
+                  (List.filter_map
+                     (fun (t0, t1, id) -> if t0 <= m && m < t1 then Some id else None)
+                     occ)
+              in
+              match blockers with
+              | [] -> wait := !wait +. len
+              | ids ->
+                blocked := !blocked +. len;
+                let share = len /. float_of_int (List.length ids) in
+                List.iter
+                  (fun id ->
+                    match Hashtbl.find_opt blame id with
+                    | Some r -> r := !r +. share
+                    | None -> Hashtbl.add blame id (ref share))
+                  ids
+            end
+          end;
+          sweep rest
+        | _ -> ()
+      in
+      sweep bounds;
+      let a_blame =
+        Hashtbl.fold (fun id r acc -> { b_coflow = id; b_seconds = !r } :: acc) blame []
+        |> List.sort (fun x y ->
+               match Float.compare y.b_seconds x.b_seconds with
+               | 0 -> compare x.b_coflow y.b_coflow
+               | c -> c)
+      in
+      {
+        a_id = s.s_id;
+        a_arrival = arr;
+        a_finish = fin;
+        a_cct = fin -. arr;
+        a_wait = !wait;
+        a_setup = !setup;
+        a_transfer = !transfer;
+        a_blocked = !blocked;
+        a_blame;
+      }
+    end
+  in
+  List.map attribute specs
+
+let residual b = b.a_cct -. (b.a_wait +. b.a_setup +. b.a_transfer +. b.a_blocked)

@@ -1,0 +1,107 @@
+(** CCT attribution: decompose each Coflow's completion time into
+    admission wait, reconfiguration (delta) time, transfer time, and
+    blocked-on-contention time — with the blocked share blamed on the
+    specific Coflows occupying the ports it still needs.
+
+    The simulators record, when {!Control.enabled}, every {e executed}
+    circuit segment: the part of a PRT reservation that actually ran
+    inside a scheduling slice, clipped to the slice, with the instant
+    its setup phase completed. {!compute} then sweeps each Coflow's
+    [[arrival, finish)] span: the recorded segments and the span
+    boundaries partition it into elementary intervals, and every
+    interval is classified into exactly one component by priority —
+
+    + {b transfer}: some own circuit is transmitting;
+    + {b setup}: else, some own circuit is paying reconfiguration;
+    + {b blocked}: else, some port the Coflow still needs is occupied
+      by another Coflow's circuit. The interval's length is split
+      equally over the distinct occupying Coflows, so the blame vector
+      sums to the blocked component;
+    + {b wait}: otherwise — admitted but unscheduled with its ports
+      free (scheduler queueing, the gap before the first circuit).
+
+    "Still needs" narrows as the run progresses: a port is needed from
+    arrival until the last {!Timeline.Flow_finish} recorded for that
+    (Coflow, port) once all its flows on the port have drained — so
+    contention on a port the Coflow is already done with reads as wait,
+    not blame.
+
+    Because the components partition the span, they sum to the CCT
+    {e by construction}, up to float summation error — the conservation
+    invariant [Sim_check.attribution] enforces (the checker lives in
+    [lib/check], which owns {!Violation}-style reporting).
+
+    Like {!Timeline}, recording is mutex-serialised at simulator-event
+    granularity (cold path, never inside scheduler loops) and costs
+    nothing when {!Control.enabled} is off. *)
+
+type window = {
+  w_coflow : int;
+  w_src : int;  (** input port *)
+  w_dst : int;  (** output port *)
+  w_t0 : float;  (** segment start (simulated seconds) *)
+  w_tx : float;  (** instant setup completes and transfer begins,
+                     clamped into [[w_t0, w_t1]] *)
+  w_t1 : float;  (** segment end *)
+}
+(** One executed circuit segment, clipped to the scheduling slice it
+    ran in. A reservation spanning several slices is recorded as
+    several abutting windows. *)
+
+val record_window :
+  coflow:int -> src:int -> dst:int -> t0:float -> tx:float -> t1:float -> unit
+(** No-op when {!Control.enabled} is false (gate at the call site
+    anyway, like {!Timeline.record}) or when the segment is empty
+    ([t1 <= t0]). *)
+
+val windows : unit -> window list
+(** Recorded windows in recording order. *)
+
+val clear : unit -> unit
+
+(** {1 Attribution} *)
+
+type port_demand = {
+  p_port : int;
+  p_flows : int;  (** flows of the Coflow's demand on this port *)
+}
+
+type spec = {
+  s_id : int;
+  s_arrival : float;
+  s_finish : float;
+  s_srcs : port_demand list;  (** input ports the demand touches *)
+  s_dsts : port_demand list;  (** output ports the demand touches *)
+}
+(** What {!compute} needs to know about one Coflow. The caller (which,
+    unlike this library, can see [Coflow.t]/[Sim_result.t]) derives
+    ports and flow counts from the demand matrix and the finish from
+    the simulation result. *)
+
+type blame = { b_coflow : int; b_seconds : float }
+
+type breakdown = {
+  a_id : int;
+  a_arrival : float;
+  a_finish : float;
+  a_cct : float;
+  a_wait : float;
+  a_setup : float;
+  a_transfer : float;
+  a_blocked : float;
+  a_blame : blame list;
+      (** distinct blamed Coflows, seconds descending then id
+          ascending; sums to [a_blocked] *)
+}
+
+val compute : spec list -> breakdown list
+(** Attribute every given Coflow against the recorded windows and the
+    {!Timeline} (for per-port flow-finish narrowing), in input order.
+    Pure with respect to the recording state: call after the run, as
+    often as needed. Cost is O(relevant windows * boundaries) per
+    Coflow — windows are indexed by port and owner first, so only a
+    Coflow's own segments and its ports' occupants are swept. *)
+
+val residual : breakdown -> float
+(** [a_cct - (a_wait + a_setup + a_transfer + a_blocked)] — the
+    conservation error, zero up to float summation noise. *)

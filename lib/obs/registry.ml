@@ -237,6 +237,32 @@ let histogram_value h =
   done;
   { h_count = !n; h_sum = !sum; h_min = !mn; h_max = !mx; h_buckets = !buckets }
 
+(* A log-bucket histogram only remembers counts per power-of-two range,
+   so a quantile is estimated: walk the cumulative counts to the bucket
+   holding the target rank and interpolate linearly inside it. The
+   tracked exact min/max replace the unbounded edges of the underflow/
+   overflow buckets and clamp the estimate, so q=0 and q=1 are exact. *)
+let quantile (s : histogram_snapshot) q =
+  if s.h_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int s.h_count in
+    let clamp v = Float.max s.h_min (Float.min s.h_max v) in
+    let rec walk cum = function
+      | [] -> s.h_max
+      | (lo, hi, k) :: rest ->
+        let cum' = cum +. float_of_int k in
+        if cum' >= target || rest = [] then begin
+          let lo = if Float.is_finite lo then lo else s.h_min in
+          let hi = if Float.is_finite hi then hi else s.h_max in
+          let frac = if k = 0 then 0. else (target -. cum) /. float_of_int k in
+          clamp (lo +. (frac *. (hi -. lo)))
+        end
+        else walk cum' rest
+    in
+    walk 0. s.h_buckets
+  end
+
 (* --- snapshots -------------------------------------------------------- *)
 
 type snapshot = {
@@ -317,7 +343,7 @@ let to_json s =
       fields
   in
   add "{\n";
-  add "  \"schema\": \"sunflow-obs-metrics/1\",\n";
+  add "  \"schema\": \"sunflow-obs-metrics/2\",\n";
   add "  \"counters\": {\n";
   obj s.counters (fun v -> add "%d" v);
   add "  },\n";
@@ -326,9 +352,14 @@ let to_json s =
   add "  },\n";
   add "  \"histograms\": {\n";
   obj s.histograms (fun (h : histogram_snapshot) ->
-      add "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": ["
+      add
+        "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+         \"p95\": %s, \"p99\": %s, \"buckets\": ["
         h.h_count (json_float h.h_sum) (json_float h.h_min)
-        (json_float h.h_max);
+        (json_float h.h_max)
+        (json_float (quantile h 0.5))
+        (json_float (quantile h 0.95))
+        (json_float (quantile h 0.99));
       List.iteri
         (fun i (lo, hi, k) ->
           add "%s{\"lo\": %s, \"hi\": %s, \"count\": %d}"

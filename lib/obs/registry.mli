@@ -85,6 +85,17 @@ type histogram_snapshot = {
 
 val histogram_value : histogram -> histogram_snapshot
 
+val quantile : histogram_snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([q] clamped to [0, 1])
+    of the observations behind a snapshot: cumulative counts locate
+    the log bucket holding rank [q * count], and the estimate
+    interpolates linearly inside that bucket's [(lo, hi)] range. The
+    exact tracked [h_min]/[h_max] stand in for the unbounded edges of
+    the underflow/overflow buckets and clamp the result, so [q = 0]
+    returns [h_min] and [q = 1] returns [h_max] exactly. The error is
+    bounded by the width of one power-of-two bucket. NaN when the
+    snapshot is empty. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -101,7 +112,8 @@ val reset : unit -> unit
 
 val to_json : snapshot -> string
 (** Render as a JSON object:
-    [{"schema": "sunflow-obs-metrics/1", "counters": {..}, "gauges":
-    {..}, "histograms": {name: {count, sum, min, max, buckets:
-    [{lo, hi, count}]}}}]. Keys sorted, floats emitted with [%.9g]
-    ([null] for non-finite), so equal snapshots render identically. *)
+    [{"schema": "sunflow-obs-metrics/2", "counters": {..}, "gauges":
+    {..}, "histograms": {name: {count, sum, min, max, p50, p95, p99,
+    buckets: [{lo, hi, count}]}}}] — the [pNN] fields are {!quantile}
+    estimates. Keys sorted, floats emitted with [%.9g] ([null] for
+    non-finite), so equal snapshots render identically. *)

@@ -20,6 +20,11 @@ type buf = {
 
 let max_events_per_domain = 1 lsl 20
 
+(* Mirror of [dropped ()] in the metrics registry, so a metrics export
+   records whether the trace export it accompanies is truncated. Kept
+   in lockstep: bumped on the drop path, zeroed by [clear]. *)
+let c_dropped = Registry.counter "tracer.dropped"
+
 let registry_mu = Mutex.create ()
 let bufs : buf list ref = ref []
 
@@ -39,7 +44,10 @@ let buf_key =
       b)
 
 let append b ev =
-  if b.len >= max_events_per_domain then b.b_dropped <- b.b_dropped + 1
+  if b.len >= max_events_per_domain then begin
+    b.b_dropped <- b.b_dropped + 1;
+    Registry.incr c_dropped
+  end
   else begin
     let cap = Array.length b.evs in
     if b.len = cap then begin
@@ -103,6 +111,7 @@ let indexed_events () =
 let events () = List.map fst (indexed_events ())
 
 let clear () =
+  Registry.counter_reset c_dropped;
   with_bufs
     (List.iter (fun b ->
          b.evs <- [||];

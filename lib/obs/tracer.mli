@@ -43,7 +43,10 @@ val event_count : unit -> int
 (** Events currently buffered, over all domains. *)
 
 val dropped : unit -> int
-(** Events discarded to per-domain capacity, over all domains. *)
+(** Events discarded to per-domain capacity, over all domains. Also
+    mirrored as the ["tracer.dropped"] {!Registry} counter (zeroed by
+    {!clear}), so metrics exports record that a trace export taken at
+    the same instant is truncated. *)
 
 val events : unit -> event list
 (** All buffered events, sorted by [(ts, tid, append order)]. Within

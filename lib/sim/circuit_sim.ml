@@ -36,6 +36,50 @@ let check_unique_ids coflows =
 
 let no_release _ _ = []
 
+(* Executed-slice telemetry (only called when obs is on): record every
+   reservation's executed segment — clipped to [t, t_next) — into the
+   attribution window store and the per-port ledger, plus one sampler
+   snapshot for the slice. Both replay paths feed it the same
+   slice-overlapping windows, so the recorded series is bit-identical
+   wherever the executed schedules are. *)
+let sample_slice ~t ~t_next ~n_active ~rescheduled ~spliced ~conflicts
+    ~rollbacks reservations =
+  let circuits = ref 0 and tx_total = ref 0. and su_total = ref 0. in
+  let busy : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Prt.reservation) ->
+      let seg0 = Float.max r.start t in
+      let seg1 = Float.min (Prt.stop r) t_next in
+      if seg1 > seg0 then begin
+        incr circuits;
+        let tx_s = Schedule.transmission_overlap r ~t0:t ~t1:t_next in
+        let su_s = Schedule.setup_overlap r ~t0:t ~t1:t_next in
+        tx_total := !tx_total +. tx_s;
+        su_total := !su_total +. su_s;
+        Hashtbl.replace busy (0, r.src) ();
+        Hashtbl.replace busy (1, r.dst) ();
+        Obs.Attrib.record_window ~coflow:r.coflow ~src:r.src ~dst:r.dst
+          ~t0:seg0
+          ~tx:(r.start +. r.setup)
+          ~t1:seg1;
+        Obs.Sampler.port_busy ~src:r.src ~dst:r.dst ~setup_s:su_s ~tx_s
+      end)
+    reservations;
+  Obs.Sampler.record
+    {
+      Obs.Sampler.m_t = t;
+      m_t_next = t_next;
+      m_active = n_active;
+      m_circuits = !circuits;
+      m_transmit_s = !tx_total;
+      m_setup_s = !su_total;
+      m_busy_ports = Hashtbl.length busy;
+      m_rescheduled = rescheduled;
+      m_spliced = spliced;
+      m_conflicts = conflicts;
+      m_rollbacks = rollbacks;
+    }
+
 type replan = [ `Full | `Rebuild | `Incremental ]
 
 let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
@@ -126,6 +170,9 @@ let run_full ~policy ~order ~carry_circuits ~on_complete ~on_slice ~delta
       | None -> ());
       (* execute the plan over [t, t_next) *)
       let reservations = Prt.all_reservations plan.Inter.prt in
+      if obs then
+        sample_slice ~t ~t_next ~n_active:(List.length actives) ~rescheduled:0
+          ~spliced:0 ~conflicts:0 ~rollbacks:0 reservations;
       (* circuits the new plan carries over without a fresh setup *)
       Hashtbl.clear reused;
       List.iter
@@ -288,6 +335,9 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
   let live : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
   (* per-slice scratch, reused across events (cleared, not reallocated) *)
   let reused = Hashtbl.create 8 in
+  (* cumulative engine counters, differenced per event for the sampler *)
+  let prev_resched = ref 0 and prev_spliced = ref 0 in
+  let prev_conflicts = ref 0 and prev_rollbacks = ref 0 in
   let admit t =
     List.iter
       (fun (_, (c : Coflow.t)) ->
@@ -363,6 +413,21 @@ let run_anchored ~rebuild ~policy ~order ~carry_circuits ~buckets ~bucket_base
       (* execute the persistent plan over [t, t_next): same executor as
          the full path, fed the slice-overlapping windows only *)
       let reservations = Inter.engine_slice eng ~t0:t ~t1:t_next in
+      if obs then begin
+        let res = Inter.engine_rescheduled eng in
+        let spl = Inter.engine_spliced eng in
+        let ss = Inter.engine_shard_stats eng in
+        sample_slice ~t ~t_next ~n_active:(List.length acts)
+          ~rescheduled:(res - !prev_resched)
+          ~spliced:(spl - !prev_spliced)
+          ~conflicts:(ss.Inter.shard_conflicts - !prev_conflicts)
+          ~rollbacks:(ss.Inter.shard_rollbacks - !prev_rollbacks)
+          reservations;
+        prev_resched := res;
+        prev_spliced := spl;
+        prev_conflicts := ss.Inter.shard_conflicts;
+        prev_rollbacks := ss.Inter.shard_rollbacks
+      end;
       Hashtbl.clear reused;
       List.iter
         (fun (r : Prt.reservation) ->

@@ -214,6 +214,46 @@ let test_teardowns_zero_delta () =
   Alcotest.(check int) "no setups at delta=0" 0 (s1 - s0);
   Alcotest.(check int) "no teardowns at delta=0" 0 (t1 - t0)
 
+(* --- attribution conservation end-to-end --- *)
+
+let test_attribution_conserves () =
+  (* a real simulated run, attribution derived from its recorded
+     windows: every Coflow's components must sum to its CCT and the
+     whole trace must report zero violations *)
+  let coflows = arrival_trace () in
+  Obs.Control.set_enabled true;
+  Obs.Attrib.clear ();
+  Obs.Sampler.clear ();
+  Obs.Timeline.clear ();
+  let r = Circuit_sim.run ~delta ~bandwidth:b coflows in
+  Obs.Control.set_enabled false;
+  let breakdowns, vs = Check.Sim_check.attribution ~coflows r in
+  Obs.Attrib.clear ();
+  Obs.Sampler.clear ();
+  Obs.Timeline.clear ();
+  check_clean "attribution over the arrival trace" vs;
+  Alcotest.(check int) "one breakdown per finished Coflow" 3
+    (List.length breakdowns);
+  List.iter
+    (fun (bk : Obs.Attrib.breakdown) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "Coflow %d conserves" bk.Obs.Attrib.a_id)
+        0.
+        (Obs.Attrib.residual bk);
+      Alcotest.(check bool)
+        (Printf.sprintf "Coflow %d transfers" bk.Obs.Attrib.a_id)
+        true
+        (bk.Obs.Attrib.a_transfer > 0.))
+    breakdowns
+
+let test_attribution_via_oracle () =
+  (* the fuzz harness's attribution leg on one deterministic trace *)
+  let o =
+    Check.Diff_oracle.replay ~check_attrib:true ~replan:`Incremental ~delta
+      ~bandwidth:b ~n_ports:4 (arrival_trace ())
+  in
+  check_clean "oracle replay with check_attrib" o.Check.Diff_oracle.violations
+
 (* --- differential oracle --- *)
 
 let test_oracle_rejects_bad_input () =
@@ -273,6 +313,10 @@ let suite =
       test_teardowns_balance;
     Alcotest.test_case "zero delta, zero switching" `Quick
       test_teardowns_zero_delta;
+    Alcotest.test_case "attribution conserves end-to-end" `Quick
+      test_attribution_conserves;
+    Alcotest.test_case "attribution rides the oracle replay" `Quick
+      test_attribution_via_oracle;
     Alcotest.test_case "oracle rejects bad input" `Quick
       test_oracle_rejects_bad_input;
     Alcotest.test_case "oracle on a deterministic trace" `Quick

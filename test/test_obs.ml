@@ -120,6 +120,41 @@ let test_histogram_buckets () =
   Registry.observe h2 Float.nan;
   Alcotest.(check int) "nan counted" 1 (Registry.histogram_value h2).h_count
 
+(* --- histogram quantile estimation -------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Registry.histogram "test.obs.quantiles" in
+  (* 100 samples 1..100: log-bucket interpolation cannot be exact, but
+     every estimate must stay inside the sample range, be monotone in
+     q, and land in the right power-of-two neighbourhood *)
+  for i = 1 to 100 do
+    Registry.observe h (float_of_int i)
+  done;
+  let snap = Registry.histogram_value h in
+  let p50 = Registry.quantile snap 0.5 in
+  let p95 = Registry.quantile snap 0.95 in
+  let p99 = Registry.quantile snap 0.99 in
+  Alcotest.(check bool) "p50 in the right bucket" true (p50 >= 32. && p50 <= 64.);
+  Alcotest.(check bool) "p95 above p50" true (p95 >= p50);
+  Alcotest.(check bool) "p99 above p95" true (p99 >= p95);
+  Alcotest.(check bool) "p99 clamped to the observed max" true (p99 <= 100.);
+  Alcotest.(check (float 0.)) "q=0 is the min" 1. (Registry.quantile snap 0.);
+  Alcotest.(check (float 0.)) "q=1 is the max" 100. (Registry.quantile snap 1.);
+  (* a single sample collapses every quantile onto it *)
+  let h1 = Registry.histogram "test.obs.quantiles_one" in
+  Registry.observe h1 42.;
+  let s1 = Registry.histogram_value h1 in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "single sample at q=%g" q)
+        42. (Registry.quantile s1 q))
+    [ 0.; 0.5; 1. ];
+  (* empty histogram: NaN, not a crash *)
+  let h0 = Registry.histogram "test.obs.quantiles_empty" in
+  Alcotest.(check bool) "empty is NaN" true
+    (Float.is_nan (Registry.quantile (Registry.histogram_value h0) 0.5))
+
 (* --- tracer ------------------------------------------------------------ *)
 
 let test_tracer_ordering () =
@@ -193,7 +228,7 @@ let test_metrics_json_parses () =
   match Obs.Json.of_string json with
   | Ok (Obs.Json.Obj _ as root) ->
     (match Obs.Json.member "schema" root with
-    | Some (Obs.Json.Str "sunflow-obs-metrics/1") -> ()
+    | Some (Obs.Json.Str "sunflow-obs-metrics/2") -> ()
     | _ -> Alcotest.fail "schema field missing or wrong");
     (match Obs.Json.member "counters" root with
     | Some (Obs.Json.Obj _) -> ()
@@ -234,6 +269,198 @@ let test_timeline_exports () =
         | _ -> Alcotest.fail "cct missing from the timeline JSON")
       | Ok _ -> Alcotest.fail "timeline JSON is not a one-Coflow array"
       | Error msg -> Alcotest.failf "timeline JSON does not parse: %s" msg)
+
+(* --- CCT attribution ---------------------------------------------------- *)
+
+(* Run [f] with the full recording state (attribution windows, sampler,
+   timeline) enabled and cleared, restoring the disabled default. *)
+let with_attrib f =
+  Obs.Control.set_enabled true;
+  Obs.Attrib.clear ();
+  Obs.Sampler.clear ();
+  Obs.Timeline.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.set_enabled false;
+      Obs.Attrib.clear ();
+      Obs.Sampler.clear ();
+      Obs.Timeline.clear ())
+    f
+
+(* A hand-built scenario where every component of the decomposition is
+   a round number. Coflow 1 (arrival 0, finish 10, one flow 0 -> 1):
+   its circuit sets up over [2, 3) and transmits over [3, 6); Coflow 2
+   then occupies input port 0 over [6, 8). With no Flow_finish
+   recorded, port 0 stays "needed" until the finish, so [6, 8) is
+   blocked on Coflow 2 and the rest — [0, 2) and [8, 10) — is
+   admission wait. *)
+let test_attrib_decomposition () =
+  with_attrib (fun () ->
+      Obs.Attrib.record_window ~coflow:1 ~src:0 ~dst:1 ~t0:2. ~tx:3. ~t1:6.;
+      Obs.Attrib.record_window ~coflow:2 ~src:0 ~dst:2 ~t0:6. ~tx:6. ~t1:8.;
+      let spec =
+        {
+          Obs.Attrib.s_id = 1;
+          s_arrival = 0.;
+          s_finish = 10.;
+          s_srcs = [ { Obs.Attrib.p_port = 0; p_flows = 1 } ];
+          s_dsts = [ { Obs.Attrib.p_port = 1; p_flows = 1 } ];
+        }
+      in
+      match Obs.Attrib.compute [ spec ] with
+      | [ b ] ->
+        Alcotest.(check (float 1e-9)) "cct" 10. b.Obs.Attrib.a_cct;
+        Alcotest.(check (float 1e-9)) "wait" 4. b.Obs.Attrib.a_wait;
+        Alcotest.(check (float 1e-9)) "setup" 1. b.Obs.Attrib.a_setup;
+        Alcotest.(check (float 1e-9)) "transfer" 3. b.Obs.Attrib.a_transfer;
+        Alcotest.(check (float 1e-9)) "blocked" 2. b.Obs.Attrib.a_blocked;
+        Alcotest.(check (float 1e-9)) "conserves" 0. (Obs.Attrib.residual b);
+        (match b.Obs.Attrib.a_blame with
+        | [ bl ] ->
+          Alcotest.(check int) "blamed on Coflow 2" 2 bl.Obs.Attrib.b_coflow;
+          Alcotest.(check (float 1e-9)) "blame seconds" 2.
+            bl.Obs.Attrib.b_seconds
+        | blame ->
+          Alcotest.failf "expected one blame entry, got %d"
+            (List.length blame))
+      | bs -> Alcotest.failf "expected one breakdown, got %d" (List.length bs))
+
+(* Flow_finish narrowing: once the timeline records that a port's
+   flows all finished, later occupancy of that port no longer counts
+   as blocked. Same geometry as above, but port 0's single flow is
+   recorded finished at t = 6 — exactly when Coflow 2 moves in — so
+   [6, 8) flips from blocked to wait. *)
+let test_attrib_flow_finish_narrowing () =
+  with_attrib (fun () ->
+      Obs.Attrib.record_window ~coflow:1 ~src:0 ~dst:1 ~t0:2. ~tx:3. ~t1:6.;
+      Obs.Attrib.record_window ~coflow:2 ~src:0 ~dst:2 ~t0:6. ~tx:6. ~t1:8.;
+      Obs.Timeline.record
+        (Obs.Timeline.Flow_finish { coflow = 1; src = 0; dst = 1; t = 6. });
+      let spec =
+        {
+          Obs.Attrib.s_id = 1;
+          s_arrival = 0.;
+          s_finish = 10.;
+          s_srcs = [ { Obs.Attrib.p_port = 0; p_flows = 1 } ];
+          s_dsts = [ { Obs.Attrib.p_port = 1; p_flows = 1 } ];
+        }
+      in
+      match Obs.Attrib.compute [ spec ] with
+      | [ b ] ->
+        Alcotest.(check (float 1e-9)) "blocked gone" 0. b.Obs.Attrib.a_blocked;
+        Alcotest.(check (float 1e-9)) "wait absorbs it" 6. b.Obs.Attrib.a_wait;
+        Alcotest.(check (float 1e-9)) "conserves" 0. (Obs.Attrib.residual b)
+      | bs -> Alcotest.failf "expected one breakdown, got %d" (List.length bs))
+
+(* --- sampler ------------------------------------------------------------ *)
+
+let test_sampler_ledger_and_jsonl () =
+  with_attrib (fun () ->
+      Obs.Sampler.port_busy ~src:0 ~dst:3 ~setup_s:0.01 ~tx_s:0.5;
+      Obs.Sampler.port_busy ~src:0 ~dst:2 ~setup_s:0.02 ~tx_s:0.25;
+      Obs.Sampler.record
+        {
+          Obs.Sampler.m_t = 0.;
+          m_t_next = 0.5;
+          m_active = 2;
+          m_circuits = 2;
+          m_transmit_s = 0.75;
+          m_setup_s = 0.03;
+          m_busy_ports = 3;
+          m_rescheduled = 1;
+          m_spliced = 0;
+          m_conflicts = 0;
+          m_rollbacks = 0;
+        };
+      (* input port 0 accumulated both segments; outputs sort after *)
+      (match Obs.Sampler.port_totals () with
+      | [ (p_in, tx, su); (p2, _, _); (p3, _, _) ] ->
+        Alcotest.(check string) "input first" "in.0" p_in;
+        Alcotest.(check (float 1e-9)) "transmit accumulates" 0.75 tx;
+        Alcotest.(check (float 1e-9)) "setup accumulates" 0.03 su;
+        Alcotest.(check string) "outputs sorted" "out.2" p2;
+        Alcotest.(check string) "then out.3" "out.3" p3
+      | rows -> Alcotest.failf "expected 3 port rows, got %d" (List.length rows));
+      let jsonl = Obs.Sampler.to_jsonl () in
+      let lines = String.split_on_char '\n' (String.trim jsonl) in
+      Alcotest.(check int) "one line per sample" 1 (List.length lines);
+      match Obs.Json.of_string (List.hd lines) with
+      | Ok line ->
+        (match Obs.Json.member "active" line with
+        | Some (Obs.Json.Num a) -> Alcotest.(check (float 0.)) "active" 2. a
+        | _ -> Alcotest.fail "active missing from the sample line")
+      | Error msg -> Alcotest.failf "sample line does not parse: %s" msg)
+
+(* --- report rendering --------------------------------------------------- *)
+
+let test_report_body () =
+  Alcotest.(check (list string))
+    "width bins"
+    [ "0"; "1"; "2"; "3-4"; "3-4"; "5-8"; "9-16" ]
+    (List.map Obs.Report.width_bin [ 0; 1; 2; 3; 4; 5; 9 ]);
+  let breakdown a_id cct wait tx =
+    {
+      Obs.Attrib.a_id;
+      a_arrival = 0.;
+      a_finish = cct;
+      a_cct = cct;
+      a_wait = wait;
+      a_setup = 0.;
+      a_transfer = tx;
+      a_blocked = cct -. wait -. tx;
+      a_blame =
+        (if cct -. wait -. tx > 0. then
+           [ { Obs.Attrib.b_coflow = 99; b_seconds = cct -. wait -. tx } ]
+         else []);
+    }
+  in
+  let row w bytes b = { Obs.Report.c_width = w; c_bytes = bytes; c_breakdown = b } in
+  let r =
+    {
+      Obs.Report.r_run = [ ("trace", "\"test\"") ];
+      r_makespan_s = 4.;
+      r_events = 7;
+      r_setups = 3;
+      r_rows =
+        [
+          row 1 1e6 (breakdown 0 1. 0.2 0.8);
+          row 1 2e6 (breakdown 1 2. 0.5 1.0);
+          row 4 8e6 (breakdown 2 4. 1.0 2.0);
+        ];
+      r_ports = [ ("in.0", 3.0, 0.5); ("out.1", 2.0, 0.25) ];
+      r_top_k = 2;
+    }
+  in
+  let body = Obs.Report.body_json r in
+  match Obs.Json.of_string body with
+  | Error msg -> Alcotest.failf "report body does not parse: %s" msg
+  | Ok root ->
+    (match Obs.Json.member "blame" root with
+    | Some blame ->
+      let num key =
+        match Obs.Json.member key blame with
+        | Some (Obs.Json.Num v) -> v
+        | _ -> Alcotest.failf "blame.%s missing" key
+      in
+      Alcotest.(check (float 1e-9))
+        "blame components sum to total CCT" (num "total_cct_s")
+        (num "wait_s" +. num "setup_s" +. num "transfer_s" +. num "blocked_s")
+    | None -> Alcotest.fail "blame object missing");
+    (match Obs.Json.member "ports" root with
+    | Some (Obs.Json.Arr (first :: _)) ->
+      (match Obs.Json.member "utilization" first with
+      | Some (Obs.Json.Num u) ->
+        Alcotest.(check (float 1e-9)) "utilization is a makespan fraction" 0.75 u
+      | _ -> Alcotest.fail "utilization missing")
+    | _ -> Alcotest.fail "ports array missing");
+    (match Obs.Json.member "slowest" root with
+    | Some (Obs.Json.Arr rows) ->
+      Alcotest.(check int) "top_k bounds the slowest section" 2
+        (List.length rows)
+    | _ -> Alcotest.fail "slowest array missing");
+    (* byte-stability in the small: rendering is a pure function *)
+    Alcotest.(check string) "body render is deterministic" body
+      (Obs.Report.body_json r)
 
 (* --- the PRT façade ----------------------------------------------------- *)
 
@@ -278,6 +505,8 @@ let suite =
       test_metric_identity_and_kind_clash;
     Alcotest.test_case "histogram bucket boundaries" `Quick
       test_histogram_buckets;
+    Alcotest.test_case "histogram quantile estimation" `Quick
+      test_histogram_quantiles;
     Alcotest.test_case "tracer preserves emission order" `Quick
       test_tracer_ordering;
     Alcotest.test_case "with_span is exception-safe" `Quick
@@ -288,6 +517,13 @@ let suite =
       test_chrome_trace_valid;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
     Alcotest.test_case "timeline exports" `Quick test_timeline_exports;
+    Alcotest.test_case "attribution decomposition conserves" `Quick
+      test_attrib_decomposition;
+    Alcotest.test_case "attribution narrows on flow finish" `Quick
+      test_attrib_flow_finish_narrowing;
+    Alcotest.test_case "sampler ledger and JSONL export" `Quick
+      test_sampler_ledger_and_jsonl;
+    Alcotest.test_case "report body rendering" `Quick test_report_body;
     Alcotest.test_case "PRT stats bit-identical under tracing" `Quick
       test_prt_stats_bit_identical_under_obs;
   ]

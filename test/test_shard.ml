@@ -189,6 +189,49 @@ let test_pod_trace_identity () =
   Alcotest.(check bool) "conflicts stay rare" true
     (!stats.Inter.shard_conflicts * 2 < !stats.Inter.shard_steps)
 
+(* --- observability under shards: event-for-event identity --- *)
+
+module Obs = Sunflow_obs
+
+(* Bit-identity of the Sim_result is necessary but not sufficient for
+   the observability layer: the timeline, the attribution windows and
+   the per-port sampler ledger are recorded inside the event loop, so
+   a sharded run that merely converged to the same finishes could
+   still record different events. Capture all three at shards = 1 and
+   compare structurally at every shard count. *)
+let test_timeline_identical_under_shards () =
+  let trace = trace_of_seed 909 in
+  let capture shards =
+    Obs.Control.set_enabled true;
+    Obs.Timeline.clear ();
+    Obs.Attrib.clear ();
+    Obs.Sampler.clear ();
+    let r = run ~buckets:4 ~shards trace in
+    let out =
+      (r, Obs.Timeline.events (), Obs.Attrib.windows (),
+       Obs.Sampler.port_totals ())
+    in
+    Obs.Control.set_enabled false;
+    Obs.Timeline.clear ();
+    Obs.Attrib.clear ();
+    Obs.Sampler.clear ();
+    out
+  in
+  let r1, evs1, w1, p1 = capture 1 in
+  Alcotest.(check bool) "shards=1 recorded a non-empty timeline" true
+    (evs1 <> []);
+  Alcotest.(check bool) "shards=1 recorded windows" true (w1 <> []);
+  List.iter
+    (fun shards ->
+      let r, evs, w, p = capture shards in
+      let label what = Printf.sprintf "%s shards=%d" what shards in
+      Alcotest.(check bool) (label "Sim_result") true (r = r1);
+      Alcotest.(check bool) (label "timeline event-for-event") true
+        (evs = evs1);
+      Alcotest.(check bool) (label "attribution windows") true (w = w1);
+      Alcotest.(check bool) (label "sampler port ledger") true (p = p1))
+    [ 2; 4; 8 ]
+
 (* --- argument validation --- *)
 
 let test_validation () =
@@ -234,6 +277,8 @@ let suite =
       test_all_cross_adversarial;
     Alcotest.test_case "pod trace identity + rare conflicts" `Quick
       test_pod_trace_identity;
+    Alcotest.test_case "timeline event-for-event identical under shards"
+      `Quick test_timeline_identical_under_shards;
     Alcotest.test_case "argument validation" `Quick test_validation;
     prop_equiv_sharded;
   ]
