@@ -835,9 +835,69 @@ let check_report root json_dir =
             blame_sum (f "blocked_s"))
       (as_arr "body.slowest" (field body "slowest"))
 
+let check_serve root fast =
+  match field root "serve" with
+  | Null -> bad "serve: missing — the harness did not run the serve section"
+  | v ->
+    let num key = as_num ("serve." ^ key) (field v key) in
+    let int key =
+      let x = num key in
+      if Float.of_int (Float.to_int x) <> x || x < 0. then
+        bad "serve.%s: expected a non-negative integer, got %g" key x;
+      Float.to_int x
+    in
+    let coflows = int "coflows" in
+    let floor = if fast then 100_000 else 1_000_000 in
+    if coflows < floor then
+      bad "serve.coflows: %d is below the %d stream-scale floor" coflows floor;
+    let arrivals = int "arrivals" in
+    if arrivals <> coflows then
+      bad "serve.arrivals: %d but the stream carried %d Coflows" arrivals
+        coflows;
+    let admitted = int "admitted" and rejected = int "rejected" in
+    if admitted + rejected <> arrivals then
+      bad
+        "serve: admitted %d + rejected %d does not conserve the %d arrivals"
+        admitted rejected arrivals;
+    if int "completed" <> admitted then
+      bad "serve.completed: %d admitted Coflows, %d completed" admitted
+        (int "completed");
+    (* the bounded-memory gates *)
+    let max_live = int "max_live" in
+    if max_live >= coflows / 100 then
+      bad
+        "serve.max_live: %d resident engine entries on a %d-Coflow stream — \
+         the active-set ceiling (%d) is blown, the loop is not \
+         bounded-memory"
+        max_live coflows (coflows / 100);
+    if int "max_journal" <> 0 then
+      bad
+        "serve.max_journal: %d undo-journal entries survived an engine step"
+        (int "max_journal");
+    if num "wall_s" <= 0. then bad "serve.wall_s: non-positive";
+    if num "events_per_s" <= 0. then bad "serve.events_per_s: non-positive";
+    if num "p99_event_s" < 0. then bad "serve.p99_event_s: negative";
+    ignore (int "events");
+    (* the checked deadline-mode run *)
+    let ck = field v "checked" in
+    let cint key =
+      let x = as_num ("serve.checked." ^ key) (field ck key) in
+      Float.to_int x
+    in
+    if cint "admitted" + cint "rejected" <> cint "coflows" then
+      bad
+        "serve.checked: admitted %d + rejected %d does not conserve the %d \
+         arrivals"
+        (cint "admitted") (cint "rejected") (cint "coflows");
+    if cint "violations" <> 0 then
+      bad
+        "serve.checked.violations: %d — the admitted subset does not pass \
+         the conservation check"
+        (cint "violations")
+
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/8" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/9" then bad "unknown schema %S" schema;
   let fast =
     match field root "fast" with
     | Bool b -> b
@@ -882,6 +942,7 @@ let check root json_dir =
   check_scf_drift root;
   check_shards root fast;
   check_report root json_dir;
+  check_serve root fast;
   check_prt_stats "prt_stats" (field root "prt_stats");
   let totals = field root "prt_stats" in
   if as_num "prt_stats.queries" (field totals "queries") <= 0. then

@@ -914,6 +914,188 @@ let report_section ppf s =
         rp_rows = rows;
       }
 
+(* --- serve: the streaming scheduler at stream scale -------------------
+
+   The PR-9 gate: drive a synthetic arrival stream — generated
+   chunk-by-chunk, never materialised as one list — through
+   [Sunflow_serve.Serve] and prove the bounded-memory claims at bench
+   scale: 10^6 Coflows in full mode (10^5 under SUNFLOW_BENCH_FAST)
+   with live engine entries bounded by the active set and a PRT undo
+   journal that never survives a step. Sustained events/s and the p99
+   per-event scheduling latency come from the loop's own bounded
+   observability ([serve.event_s]). A second, smaller deadline-mode
+   run exercises admission control and is validated end-to-end with
+   [Sim_check] on the admitted subset. *)
+
+type serve_summary = {
+  v_coflows : int;
+  v_arrivals : int;
+  v_wall_s : float;
+  v_events : int;
+  v_events_per_s : float;
+  v_p99_event_s : float;
+  v_max_live : int;
+  v_max_journal : int;
+  v_admitted : int;
+  v_rejected : int;
+  v_completed : int;
+  v_checked_coflows : int;
+  v_checked_admitted : int;
+  v_checked_rejected : int;
+  v_checked_violations : int;
+}
+
+let serve_summary : serve_summary option ref = ref None
+
+(* an unbounded-looking arrival stream at the generator's default
+   offered load: chunk [i] is a fresh synthetic trace with re-based
+   ids, shifted to start where the previous chunk's Poisson process
+   actually ended (the process overshoots its span), so arrivals stay
+   non-decreasing and only one chunk is ever resident *)
+let synthetic_stream ~seed ~chunk ~chunks =
+  let span = 3600. *. float_of_int chunk /. 526. in
+  let idx = ref 0 in
+  let offset = ref 0. in
+  let rest = ref [] in
+  let rec next () =
+    match !rest with
+    | c :: tl ->
+      rest := tl;
+      Some c
+    | [] ->
+      if !idx >= chunks then None
+      else begin
+        let i = !idx in
+        incr idx;
+        let base = i * chunk in
+        let p =
+          {
+            Sunflow_trace.Synthetic.default_params with
+            seed = seed + i;
+            n_coflows = chunk;
+            span;
+          }
+        in
+        let t0 = !offset in
+        rest :=
+          List.map
+            (fun (c : Sunflow_core.Coflow.t) ->
+              let shifted =
+                Sunflow_core.Coflow.make ~id:(base + c.id)
+                  ~arrival:(c.arrival +. t0) c.demand
+              in
+              offset := shifted.Sunflow_core.Coflow.arrival;
+              shifted)
+            (Sunflow_trace.Synthetic.generate p).Sunflow_trace.Trace.coflows;
+        next ()
+      end
+  in
+  next
+
+let serve_section ppf _s =
+  let module Serve = Sunflow_serve.Serve in
+  let module Check = Sunflow_check in
+  E.Common.section ppf "SERVE: streaming scheduler, bounded memory";
+  let delta = Units.ms 10. and bandwidth = Units.gbps 1. in
+  let chunk = 10_000 in
+  let chunks = if fast () then 10 else 100 in
+  let n = chunk * chunks in
+  let was = Obs.Control.enabled () in
+  Obs.Control.set_enabled true;
+  Obs.Registry.reset ();
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Serve.run ~delta ~bandwidth (synthetic_stream ~seed:97 ~chunk ~chunks)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let p99 =
+    Obs.Registry.quantile
+      (Obs.Registry.histogram_value (Obs.Registry.histogram "serve.event_s"))
+      0.99
+  in
+  Obs.Registry.reset ();
+  Obs.Control.set_enabled was;
+  let events_per_s = float_of_int stats.Serve.events /. wall in
+  Format.fprintf ppf
+    "  %d Coflows  wall %6.2fs  %.0f events/s  p99 event %.3g ms@." n wall
+    events_per_s (p99 *. 1e3);
+  Format.fprintf ppf "  max live %d (%.4f%% of stream)  max journal %d@."
+    stats.Serve.max_live
+    (100. *. float_of_int stats.Serve.max_live /. float_of_int n)
+    stats.Serve.max_journal;
+  (* the smaller checked run: deadline admission, then full
+     conservation on the admitted subset *)
+  let checked_n = if fast () then 150 else 526 in
+  let trace =
+    Sunflow_trace.Synthetic.generate
+      {
+        Sunflow_trace.Synthetic.default_params with
+        seed = 53;
+        n_coflows = checked_n;
+      }
+  in
+  let deadline_of (c : Sunflow_core.Coflow.t) =
+    c.Sunflow_core.Coflow.arrival
+    +. 3.
+       *. Sunflow_core.Bounds.circuit_lower ~bandwidth ~delta
+            c.Sunflow_core.Coflow.demand
+  in
+  let kept = ref [] and ccts = ref [] and finishes = ref [] in
+  let rest = ref trace.Sunflow_trace.Trace.coflows in
+  let cstats =
+    Serve.run ~deadline_of ~delta ~bandwidth
+      ~on_admit:(fun c ~finish:_ -> kept := c :: !kept)
+      ~on_finish:(fun ~id ~t ~cct ->
+        finishes := (id, t) :: !finishes;
+        ccts := (id, cct) :: !ccts)
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | c :: tl ->
+          rest := tl;
+          Some c)
+  in
+  let by_id l = List.sort (fun (a, _) (x, _) -> compare a x) l in
+  let result =
+    {
+      Sunflow_sim.Sim_result.ccts = by_id !ccts;
+      finishes = by_id !finishes;
+      makespan = cstats.Serve.makespan;
+      n_events = cstats.Serve.events;
+      total_setups = cstats.Serve.setups;
+    }
+  in
+  let violations =
+    Check.Sim_check.result ~bandwidth ~coflows:!kept result
+  in
+  List.iter
+    (fun v -> Format.fprintf ppf "  SERVE %a@." Check.Violation.pp v)
+    violations;
+  Format.fprintf ppf
+    "  checked run: %d Coflows, %d admitted / %d rejected, %d violations@."
+    checked_n cstats.Serve.admitted cstats.Serve.rejected
+    (List.length violations);
+  serve_summary :=
+    Some
+      {
+        v_coflows = n;
+        v_arrivals = stats.Serve.arrivals;
+        v_wall_s = wall;
+        v_events = stats.Serve.events;
+        v_events_per_s = events_per_s;
+        v_p99_event_s = p99;
+        v_max_live = stats.Serve.max_live;
+        v_max_journal = stats.Serve.max_journal;
+        v_admitted = stats.Serve.admitted;
+        v_rejected = stats.Serve.rejected;
+        v_completed = stats.Serve.completed;
+        v_checked_coflows = checked_n;
+        v_checked_admitted = cstats.Serve.admitted;
+        v_checked_rejected = cstats.Serve.rejected;
+        v_checked_violations = List.length violations;
+      }
+
 (* --- JSON emission ----------------------------------------------------
 
    Hand-rolled (no JSON library in the dependency set); the shapes are
@@ -947,7 +1129,7 @@ let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/8\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/9\",\n";
   add "  \"fast\": %b,\n" (fast ());
   add "  \"domains\": %d,\n" domains;
   add
@@ -1091,6 +1273,21 @@ let emit_json path s domains =
           (if i = List.length rp.rp_rows - 1 then "" else ","))
       rp.rp_rows;
     add "  ]},\n");
+  (match !serve_summary with
+  | None -> add "  \"serve\": null,\n"
+  | Some v ->
+    add
+      "  \"serve\": {\"coflows\": %d, \"arrivals\": %d, \"wall_s\": %s, \
+       \"events\": %d, \"events_per_s\": %s, \"p99_event_s\": %s, \
+       \"max_live\": %d, \"max_journal\": %d, \"admitted\": %d, \
+       \"rejected\": %d, \"completed\": %d, \"checked\": {\"coflows\": %d, \
+       \"admitted\": %d, \"rejected\": %d, \"violations\": %d}},\n"
+      v.v_coflows v.v_arrivals (json_float v.v_wall_s) v.v_events
+      (json_float v.v_events_per_s)
+      (json_float v.v_p99_event_s)
+      v.v_max_live v.v_max_journal v.v_admitted v.v_rejected v.v_completed
+      v.v_checked_coflows v.v_checked_admitted v.v_checked_rejected
+      v.v_checked_violations);
   add "  \"prt_stats\": %s\n" (json_stats (Prt.stats ()));
   add "}\n";
   Obs.Io.write_file path (Buffer.contents buf)
@@ -1115,6 +1312,7 @@ let () =
   replay_section ppf s;
   shard_section ppf s;
   report_section ppf s;
+  serve_section ppf s;
   let json_path =
     match Sys.getenv_opt "SUNFLOW_BENCH_JSON" with
     | Some p when p <> "" -> p

@@ -37,6 +37,7 @@ module Workload = Sunflow_trace.Workload
 module D = Sunflow_stats.Descriptive
 module Obs = Sunflow_obs
 module Check = Sunflow_check
+module Serve = Sunflow_serve.Serve
 
 (* --- shared options --- *)
 
@@ -105,6 +106,24 @@ let timeline_out_arg =
   Arg.(
     value & opt (some string) None & info [ "timeline-out" ] ~docv:"FILE" ~doc)
 
+(* Flush-on-interrupt: a SIGINT mid-run used to kill the process with
+   every buffered export (--trace-out / --metrics-out / --timeline-out
+   / --samples-out) silently dropped. Commands that buffer telemetry
+   park their export writer here; the handler drains it, then dies
+   with the conventional 128 + SIGINT. *)
+let sigint_flush : (unit -> unit) ref = ref (fun () -> ())
+
+let install_sigint_flush () =
+  try
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           !sigint_flush ();
+           exit 130))
+  with Invalid_argument _ | Sys_error _ ->
+    (* platform without SIGINT handling — nothing to install *)
+    ()
+
 (* Enable the obs layer around [f] when any export was requested, and
    write the requested files afterwards. Without flags, [f] runs with
    observability fully disabled (the default single-branch path). *)
@@ -113,13 +132,7 @@ let with_obs ?timeline_out ~trace_out ~metrics_out f =
   let wanted =
     trace_out <> None || metrics_out <> None || timeline_out <> None
   in
-  if wanted then begin
-    Obs.Control.set_enabled true;
-    Obs.Tracer.clear ();
-    Obs.Timeline.clear ()
-  end;
-  let result = f () in
-  if wanted then begin
+  let write_exports () =
     Obs.Control.set_enabled false;
     Option.iter
       (fun path ->
@@ -147,6 +160,18 @@ let with_obs ?timeline_out ~trace_out ~metrics_out f =
         Obs.Io.write_file path contents;
         Format.printf "wrote per-Coflow timeline to %s@." path)
       timeline_out
+  in
+  if wanted then begin
+    Obs.Control.set_enabled true;
+    Obs.Tracer.clear ();
+    Obs.Timeline.clear ();
+    sigint_flush := write_exports;
+    install_sigint_flush ()
+  end;
+  let result = f () in
+  if wanted then begin
+    sigint_flush := (fun () -> ());
+    write_exports ()
   end;
   result
 
@@ -813,10 +838,17 @@ let report path gbps ms replan buckets bucket_base shards shard_block jobs out
         shard_rollbacks = 0;
       }
   in
+  (* an interrupt mid-replay still drains the per-slice sample ledger *)
+  Option.iter
+    (fun path ->
+      sigint_flush := (fun () -> Obs.Io.write_file path (Obs.Sampler.to_jsonl ()));
+      install_sigint_flush ())
+    samples_out;
   let result =
     Sunflow_sim.Circuit_sim.run ~replan ~buckets ~bucket_base ~shards
       ~shard_block ~shard_stats ~delta ~bandwidth trace.Trace.coflows
   in
+  sigint_flush := (fun () -> ());
   Obs.Control.set_enabled was;
   let s = !shard_stats in
   let n_samples = List.length (Obs.Sampler.samples ()) in
@@ -902,6 +934,134 @@ let report_cmd =
       $ buckets_arg $ bucket_base_arg $ shards_arg $ shard_block_arg $ jobs_arg
       $ out $ samples_out $ top_k)
 
+(* --- serve --- *)
+
+let serve path gbps ms buckets bucket_base shards shard_block jobs
+    deadline_mult validate trace_out metrics_out =
+  set_jobs jobs;
+  let bandwidth = to_bandwidth gbps and delta = to_delta ms in
+  let stats, broken =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    let ic = if path = "-" then stdin else open_in path in
+    Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+    @@ fun () ->
+    let next = Trace.reader ic in
+    let deadline_of =
+      if deadline_mult <= 0. then None
+      else
+        Some
+          (fun (c : Coflow.t) ->
+            c.arrival
+            +. deadline_mult
+               *. Bounds.circuit_lower ~bandwidth ~delta c.demand)
+    in
+    (* graceful interrupt: the loop polls the flag, finishes its
+       current event and falls through to the summary and the export
+       writes below — overriding the kill-with-a-flush handler
+       [with_obs] installs for the batch commands *)
+    let interrupted = ref false in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> interrupted := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let runner =
+      if shards > 1 then Sunflow_sim.Circuit_sim.shard_runner ()
+      else Sunflow_core.Inter.sequential_runner
+    in
+    (* --validate buffers every admitted Coflow and its finish —
+       O(stream) memory, for bounded test runs only *)
+    let kept = ref [] and ccts = ref [] and finishes = ref [] in
+    let on_admit, on_finish =
+      if validate then
+        ( (fun (c : Coflow.t) ~finish:_ -> kept := c :: !kept),
+          fun ~id ~t ~cct ->
+            ccts := (id, cct) :: !ccts;
+            finishes := (id, t) :: !finishes )
+      else ((fun _ ~finish:_ -> ()), fun ~id:_ ~t:_ ~cct:_ -> ())
+    in
+    let w0 = Obs.Control.now_ns () in
+    let stats =
+      Serve.run ~buckets ~bucket_base ~shards ~shard_block ~runner ?deadline_of
+        ~stop:(fun () -> !interrupted)
+        ~on_admit ~on_finish ~delta ~bandwidth next
+    in
+    let wall_s =
+      Int64.to_float (Int64.sub (Obs.Control.now_ns ()) w0) /. 1e9
+    in
+    Format.printf "%a@." Serve.pp_stats stats;
+    if wall_s > 0. then
+      Format.printf "throughput:  %.0f events/s (%.3f s wall)@."
+        (float_of_int stats.Serve.events /. wall_s)
+        wall_s;
+    if Obs.Control.enabled () then begin
+      let h = Obs.Registry.histogram_value (Obs.Registry.histogram "serve.event_s") in
+      if h.Obs.Registry.h_count > 0 then
+        Format.printf "p99 event:   %.6f s@." (Obs.Registry.quantile h 0.99)
+    end;
+    let broken =
+      validate
+      && (not stats.Serve.stopped)
+      &&
+      let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+      let result =
+        {
+          Sunflow_sim.Sim_result.ccts = sort !ccts;
+          finishes = sort !finishes;
+          makespan = stats.Serve.makespan;
+          n_events = stats.Serve.events;
+          total_setups = stats.Serve.setups;
+        }
+      in
+      report_violations ~what:"serve conservation (admitted subset)"
+        (Check.Sim_check.result ~bandwidth ~coflows:!kept result)
+    in
+    (stats, broken)
+  in
+  if broken then exit 1;
+  if stats.Serve.stopped then exit 130
+
+let serve_cmd =
+  let stream_arg =
+    let doc =
+      "Arrival stream in the coflow-benchmark format ($(b,-) reads stdin). \
+       Arrival times must be non-decreasing."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc)
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline" ] ~docv:"MULT"
+          ~doc:
+            "Deadline admission control: each Coflow's absolute deadline is \
+             its arrival plus $(docv) times its standalone circuit lower \
+             bound (so $(docv) close to 1 is tight, larger is looser). A \
+             Coflow is admitted only if its tentative plan on the current \
+             reservation table meets the deadline; otherwise the plan is \
+             rolled back and the Coflow rejected. 0 disables admission — \
+             every Coflow is served shortest-first.")
+  in
+  let validate_serve_arg =
+    let doc =
+      "Buffer every admitted Coflow's result and run the conservation \
+       checker on the admitted subset at EOF (unbounded memory — for \
+       bounded test streams); exit 1 on any violation."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running serving mode: consume an unbounded arrival stream \
+          through the incremental engine at bounded resident memory, with \
+          optional deadline admission control. Reports a summary (and any \
+          requested obs exports) on EOF or SIGINT; exits 130 when \
+          interrupted.")
+    Term.(
+      const serve $ stream_arg $ bandwidth_arg $ delta_arg $ buckets_arg
+      $ bucket_base_arg $ shards_arg $ shard_block_arg $ jobs_arg
+      $ deadline_arg $ validate_serve_arg $ trace_out_arg $ metrics_out_arg)
+
 let () =
   let info =
     Cmd.info "sunflow" ~version:"1.0.0"
@@ -921,4 +1081,5 @@ let () =
             experiments_cmd;
             check_cmd;
             report_cmd;
+            serve_cmd;
           ]))

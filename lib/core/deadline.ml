@@ -20,16 +20,16 @@ let admit ?(now = 0.) ?(order = Order.Ordered_port) ~deadline_of ~delta
   let admitted = ref [] and rejected = ref [] in
   List.iter
     (fun (c : Coflow.t) ->
-      (* tentative plan on a copy: rejection must leave no trace *)
-      let trial = Prt.copy prt in
-      let plan = Sunflow.schedule ~prt:trial ~now ~order ~delta ~bandwidth c in
-      if plan.finish <= deadline_of c then begin
-        (* commit by replaying on the real table (same outcome: the
-           trial started from an identical table) *)
-        let committed = Sunflow.schedule ~prt ~now ~order ~delta ~bandwidth c in
-        admitted := (c.id, committed.finish) :: !admitted
-      end
-      else rejected := (c.id, plan.finish) :: !rejected)
+      (* plan once, on the real table; rejection rolls the journal back
+         to the mark, so it leaves no trace *)
+      let mark = Prt.checkpoint prt in
+      let plan = Sunflow.schedule ~prt ~now ~order ~delta ~bandwidth c in
+      if plan.finish <= deadline_of c then
+        admitted := (c.id, plan.finish) :: !admitted
+      else begin
+        Prt.rollback prt mark;
+        rejected := (c.id, plan.finish) :: !rejected
+      end)
     ordered;
   let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
   { admitted = sorted !admitted; rejected = sorted !rejected; prt }

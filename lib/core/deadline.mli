@@ -34,8 +34,10 @@ val admit :
   bandwidth:float ->
   Coflow.t list ->
   admission
-(** Consider Coflows in EDF order; tentatively schedule each on a copy
-    of the reservation table and admit it only if its plan finishes by
-    its (absolute) deadline. Rejected Coflows add nothing to the table,
-    so they cannot hurt anyone admitted before or after them. Empty
+(** Consider Coflows in EDF order; schedule each once, directly on the
+    real reservation table, and admit it only if its plan finishes by
+    its (absolute) deadline — a rejected plan is undone through the
+    table's checkpoint/rollback journal, leaving the table exactly as
+    it was. Rejected Coflows therefore add nothing to the table, so
+    they cannot hurt anyone admitted before or after them. Empty
     Coflows are admitted with finish [now]. *)

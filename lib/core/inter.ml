@@ -115,7 +115,6 @@ type entry = {
       (* sorted distinct shards of the original demand footprint;
          [[||]] in unsharded engines (never consulted there) *)
   mutable e_plan : Sunflow.result;
-  mutable e_mark : Prt.checkpoint;  (* undo-log position when scheduled *)
 }
 
 (* a sorted vector of entries — the same layout as [g_entries], one per
@@ -272,7 +271,6 @@ let dummy_entry =
       e_bucket = 0;
       e_shards = [||];
       e_plan = { Sunflow.reservations = []; finish = neg_infinity; setups = 0 };
-      e_mark = Prt.checkpoint (Prt.create ());
     }
 
 (* first index whose entry sorts at or after [e] *)
@@ -408,6 +406,11 @@ let engine_rescheduled g = g.g_rescheduled
 let engine_spliced g = g.g_spliced
 let engine_shards g = g.g_shards
 
+let engine_journal_length g =
+  if g.g_shards > 1 then
+    Array.fold_left (fun acc p -> acc + Prt.journal_length p) 0 g.g_sprt
+  else Prt.journal_length g.g_prt
+
 type shard_stats = {
   shard_steps : int;
   shard_conflicts : int;
@@ -453,7 +456,6 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
   (* 2. admit arrivals at their priority positions *)
   let dirty = Hashtbl.create 8 in
   let arrived = Hashtbl.create 8 in
-  let fresh_mark = Prt.checkpoint g.g_prt in
   List.iter
     (fun c ->
       if Hashtbl.mem g.g_index c.Coflow.id then
@@ -468,7 +470,6 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
               ~bucket_base:g.g_bucket_base ~delta:g.g_delta key;
           e_shards = [||];
           e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
-          e_mark = fresh_mark;
         }
       in
       insert_entry g e;
@@ -563,24 +564,24 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
         g.g_entries.(i).e_plan.Sunflow.reservations
     done
   end
-  else if g.g_buckets = 0 && dirty_pos < g.g_n then begin
-    (* marks increase with position among retained entries, so the
-       oldest mark in the suffix is the first non-arrival's; an all-new
-       suffix rolls back to the current log end, a no-op. Bucketed
-       engines skip this: they repair the table in place (step 6),
-       touching only the ports the dirty entries' planners can see. *)
-    let mark = ref fresh_mark in
-    (try
-       for i = dirty_pos to g.g_n - 1 do
-         let e = g.g_entries.(i) in
-         if not (Hashtbl.mem arrived e.e_coflow.Coflow.id) then begin
-           mark := e.e_mark;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    Prt.rollback g.g_prt !mark
-  end;
+  else if g.g_buckets = 0 && dirty_pos < g.g_n then
+    (* clear the suffix by ownership rather than by undo-log rollback:
+       the windows removed are exactly the suffix entries' stored
+       reservations either way (prefix windows belong to Coflows
+       sorting before the suffix, which this step never touches), so
+       the table content is identical — but retraction does not need
+       the undo log to survive across steps. A long-running engine
+       that rolled back to per-entry marks had to keep the log for the
+       life of the table, growing it with every reserve and pinning
+       retired Coflows' windows against the GC; see forget_history
+       below. Bucketed engines skip this: they repair the table in
+       place (step 6), touching only the ports the dirty entries'
+       planners can see. *)
+    for i = dirty_pos to g.g_n - 1 do
+      let e = g.g_entries.(i) in
+      if not (Hashtbl.mem arrived e.e_coflow.Coflow.id) then
+        ignore (Prt.retract_coflow g.g_prt e.e_coflow.Coflow.id : int)
+    done;
   (* 6. re-run Sunflow for the suffix, in priority order, against the
      retained prefix *)
   let est_set = Hashtbl.create 16 in
@@ -593,10 +594,9 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
         ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
     g.g_rescheduled <- g.g_rescheduled + 1
   in
-  if g.g_rebuild || g.g_buckets = 0 then
+  if g.g_rebuild || g.g_buckets = 0 then begin
     for i = dirty_pos to g.g_n - 1 do
       let e = g.g_entries.(i) in
-      e.e_mark <- Prt.checkpoint g.g_prt;
       if g.g_buckets = 0 || Hashtbl.mem dirty e.e_coflow.Coflow.id then
         reschedule e
       else begin
@@ -623,7 +623,14 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
           reschedule e
         end
       end
-    done
+    done;
+    (* nothing rolls the table back any more (suffix clearing goes
+       through [retract_coflow]) — drop the log so a persistent engine
+       cannot grow it with every reserve for the life of the process.
+       The rebuild oracle skips this: its table is rebuilt from scratch
+       next step anyway. *)
+    if not g.g_rebuild then Prt.forget_history g.g_prt
+  end
   else begin
     (* lazy damage-bounded repair (bucketed incremental mode). No
        rollback: a dirty entry, at its turn in priority order, clears
@@ -992,7 +999,6 @@ let sharded_step g ~now ~arrivals ~finished ~remaining =
               ~bucket_base:g.g_bucket_base ~delta:g.g_delta key;
           e_shards = coflow_shards g cf;
           e_plan = { Sunflow.reservations = []; finish = now; setups = 0 };
-          e_mark = Prt.checkpoint g.g_prt;  (* unused: no PRT rollback here *)
         }
       in
       insert_entry g e;

@@ -208,6 +208,16 @@ val engine_spliced : engine -> int
 val engine_shards : engine -> int
 (** The effective shard count ([1] for unsharded and rebuild engines). *)
 
+val engine_journal_length : engine -> int
+(** Total undo-log length across the engine's reservation tables.
+    Every steady-state stepping mode drops its log at the end of each
+    step (the exact order clears invalidated suffixes through
+    {!Prt.retract_coflow}, the bucketed and sharded repairs never roll
+    back), so between steps this is [0] for incremental engines and
+    bounded by one step's reserves during one — the serving loop's
+    soak test pins that down. The rebuild oracle reports its current
+    from-scratch table's log, bounded by the active plan. *)
+
 val engine_shard_stats : engine -> shard_stats
 (** Cumulative sharded-path statistics; all zero when [shards = 1]. *)
 

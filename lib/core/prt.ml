@@ -645,6 +645,7 @@ let retract_coflow t id =
 type checkpoint = int
 
 let checkpoint t = t.n_journal
+let journal_length t = t.n_journal
 
 let rollback t mark =
   if mark < 0 || mark > t.n_journal then

@@ -139,6 +139,13 @@ type checkpoint
 val checkpoint : t -> checkpoint
 (** Mark the current undo-log position. O(1). *)
 
+val journal_length : t -> int
+(** Current undo-log length: {!reserve}s recorded since the last
+    {!forget_history} (or creation) and not yet undone by {!rollback}.
+    The serving loop's memory-boundedness monitor — a table whose
+    journal grows without bound pins every recorded window against the
+    GC. O(1). *)
+
 val rollback : t -> checkpoint -> unit
 (** Undo every {!reserve} recorded after the checkpoint, newest first,
     skipping windows already gone via {!retract_coflow}, and truncate

@@ -97,6 +97,13 @@ val run :
     modes the hook receives the persistent plan materialised as the
     equivalent from-scratch result ([Inter.engine_view]). *)
 
+val shard_runner : unit -> Sunflow_core.Inter.pass_runner
+(** The executor {!run}'s sharded replan uses: the
+    {!Sunflow_parallel.Pool} domain pool when it has more than one
+    domain, {!Sunflow_core.Inter.sequential_runner} otherwise.
+    Exposed for other event loops driving a sharded engine
+    ([Sunflow_serve]). *)
+
 val intra_cct :
   ?order:Sunflow_core.Order.t ->
   delta:float ->

@@ -70,6 +70,88 @@ let parse_coflow ~n_ports ~line toks =
     | [] -> fail line "coflow %d: missing reducer count" id)
   | _ -> fail line "coflow line needs at least id, arrival and mapper count"
 
+(* --- streaming reader ---
+
+   One line at a time over a [next] thunk, so pipes and stdin work and
+   resident memory stays O(1 coflow) regardless of stream length. The
+   header-count check moves to where a stream can make it: at EOF for a
+   shortfall, at the first surplus line (after counting the rest, so the
+   message matches the batch parser's) for an excess. *)
+
+let channel_lines ic () =
+  match input_line ic with l -> Some l | exception End_of_file -> None
+
+let no_header ~n_ports:_ ~n_coflows:_ = ()
+
+(* Pull core: parse the header eagerly, then hand back a generator
+   producing one [(line, coflow)] per call. *)
+let read_stream next ~on_header =
+  let lineno = ref 0 in
+  let rec next_meaningful () =
+    match next () with
+    | None -> None
+    | Some raw ->
+      incr lineno;
+      let l = String.trim raw in
+      if l = "" || l.[0] = '#' then next_meaningful () else Some (!lineno, l)
+  in
+  match next_meaningful () with
+  | None -> raise (Parse_error { line = 1; message = "empty trace" })
+  | Some (line0, header) ->
+    (match tokens_of_line header with
+    | [ n_ports; n_coflows ] ->
+      let n_ports = int_tok line0 n_ports in
+      let n_coflows = int_tok line0 n_coflows in
+      if n_ports <= 0 then fail line0 "non-positive port count";
+      on_header ~n_ports ~n_coflows;
+      let count = ref 0 in
+      let eof = ref false in
+      begin
+        fun () ->
+          if !eof then None
+          else
+            match next_meaningful () with
+            | None ->
+              eof := true;
+              if !count <> n_coflows then
+                fail line0 "header promises %d coflows, file has %d" n_coflows
+                  !count;
+              None
+            | Some (line, l) ->
+              if !count = n_coflows then begin
+                (* surplus line: count the rest so the message matches
+                   the one-shot parser's *)
+                let rec drain n =
+                  match next_meaningful () with
+                  | None -> n
+                  | Some _ -> drain (n + 1)
+                in
+                fail line0 "header promises %d coflows, file has %d" n_coflows
+                  (drain (!count + 1))
+              end;
+              let c = parse_coflow ~n_ports ~line (tokens_of_line l) in
+              incr count;
+              Some (line, c)
+      end
+    | _ -> fail line0 "header must be: <num_racks> <num_coflows>")
+
+let reader ?(on_header = no_header) ic =
+  let pull = read_stream (channel_lines ic) ~on_header in
+  fun () -> Option.map snd (pull ())
+
+let fold_meaningful next ~on_header ~init ~f =
+  let pull = read_stream next ~on_header in
+  let rec go acc =
+    match pull () with None -> acc | Some (line, c) -> go (f acc ~line c)
+  in
+  go init
+
+let fold ?(on_header = no_header) ic ~init ~f =
+  fold_meaningful (channel_lines ic) ~on_header ~init
+    ~f:(fun acc ~line:_ c -> f acc c)
+
+let iter ?on_header ic ~f = fold ?on_header ic ~init:() ~f:(fun () c -> f c)
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let meaningful =
@@ -103,12 +185,25 @@ let parse text =
 
 let load path =
   let ic = open_in path in
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse content
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (* stream through the same core [fold] uses — no whole-file read,
+         no [in_channel_length] (which fails on non-seekable inputs) —
+         adding back the duplicate-id check the one-shot [parse] does *)
+      let ports = ref 0 in
+      let seen = Hashtbl.create 64 in
+      let coflows =
+        fold_meaningful (channel_lines ic)
+          ~on_header:(fun ~n_ports ~n_coflows:_ -> ports := n_ports)
+          ~init:[]
+          ~f:(fun acc ~line (c : Coflow.t) ->
+            if Hashtbl.mem seen c.Coflow.id then
+              fail line "duplicate Coflow id %d" c.Coflow.id;
+            Hashtbl.replace seen c.Coflow.id ();
+            c :: acc)
+      in
+      { n_ports = !ports; coflows = List.rev coflows })
 
 (* --- full-precision serialisation ---
 

@@ -30,8 +30,52 @@ val parse : string -> t
     Blank lines and lines starting with [#] are skipped. *)
 
 val load : string -> t
-(** [parse] the contents of a file. The input channel is closed even
-    when reading or parsing raises. *)
+(** Read a trace file through the streaming core {!fold} is built on —
+    one line at a time, never the whole file at once — with {!parse}'s
+    duplicate-Coflow-id check added back. The input channel is closed
+    even when reading or parsing raises. Same successful results and
+    {!Parse_error} line numbers as [parse] on the file's contents; the
+    only divergence is ordering when a header-count mismatch coexists
+    with a malformed line (streaming reports whichever it reaches
+    first, the one-shot parser always reports the count). *)
+
+val fold :
+  ?on_header:(n_ports:int -> n_coflows:int -> unit) ->
+  in_channel ->
+  init:'a ->
+  f:('a -> Sunflow_core.Coflow.t -> 'a) ->
+  'a
+(** Stream the format from a channel, folding [f] over Coflows in file
+    order without ever materialising the list — the serving loop's
+    reader, and it works on non-seekable inputs (pipes, stdin) where
+    {!load}'s old whole-file read could not. [on_header] fires once
+    with the header's declared counts before the first Coflow. The
+    header count is still enforced (a shortfall is detected at EOF, a
+    surplus at the first extra line), but duplicate Coflow ids are
+    {e not} — a dup-id check needs every id ever seen, which is exactly
+    the unbounded state a streaming consumer exists to avoid; callers
+    that need it (like {!load}) layer it on top. Raises {!Parse_error}
+    as {!parse} does. Does not close the channel. *)
+
+val iter :
+  ?on_header:(n_ports:int -> n_coflows:int -> unit) ->
+  in_channel ->
+  f:(Sunflow_core.Coflow.t -> unit) ->
+  unit
+(** [fold] with a unit accumulator. *)
+
+val reader :
+  ?on_header:(n_ports:int -> n_coflows:int -> unit) ->
+  in_channel ->
+  unit ->
+  Sunflow_core.Coflow.t option
+(** The pull form of {!fold}: parses the header immediately (calling
+    [on_header], and raising {!Parse_error} on a malformed one), then
+    returns a generator yielding one Coflow per call, [None] at a
+    clean EOF, and raising {!Parse_error} lazily at the offending
+    line otherwise. This is the shape the serving loop consumes
+    ([Sunflow_serve.run]'s [next]); same checks and caveats as
+    {!fold}. Does not close the channel. *)
 
 val to_string : t -> string
 (** Serialise. Senders become the mapper list; each receiver's column

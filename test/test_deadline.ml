@@ -80,6 +80,113 @@ let prop_admitted_meet_deadlines =
          && List.length a.Deadline.admitted + List.length a.Deadline.rejected
             = List.length coflows))
 
+(* --- schedule-once admit against the old copy-trial path --- *)
+
+module Prt = Sunflow_core.Prt
+module Sunflow = Sunflow_core.Sunflow
+module Order = Sunflow_core.Order
+
+(* The pre-journal implementation: schedule each candidate on a deep
+   copy of the table, then schedule it AGAIN on the real table when it
+   passes — two [Sunflow.schedule] calls per admitted Coflow. Kept here
+   as the equivalence oracle for the checkpoint/rollback path. *)
+let admit_copy_path ~deadline_of ~delta ~bandwidth coflows =
+  let ordered = Inter.sort (Deadline.edf ~deadline_of) ~bandwidth coflows in
+  let prt = Prt.create () in
+  let admitted = ref [] and rejected = ref [] in
+  List.iter
+    (fun (c : Coflow.t) ->
+      let trial =
+        Sunflow.schedule ~prt:(Prt.copy prt) ~now:0. ~order:Order.Ordered_port
+          ~delta ~bandwidth c
+      in
+      if trial.Sunflow.finish <= deadline_of c then begin
+        let plan =
+          Sunflow.schedule ~prt ~now:0. ~order:Order.Ordered_port ~delta
+            ~bandwidth c
+        in
+        admitted := (c.Coflow.id, plan.Sunflow.finish) :: !admitted
+      end
+      else rejected := (c.Coflow.id, trial.Sunflow.finish) :: !rejected)
+    ordered;
+  let sorted l = List.sort (fun (a, _) (x, _) -> compare a x) l in
+  (sorted !admitted, sorted !rejected, prt)
+
+let prop_equals_copy_path =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"admit == old copy-trial path, bit for bit" ~count:150
+       QCheck2.Gen.(
+         list_size (int_range 1 6)
+           (pair (Util.Gen.coflow ~n_ports:5 ()) (float_range 0.05 2.)))
+       (fun entries ->
+         let coflows = List.mapi (fun i (c, _) -> { c with Coflow.id = i }) entries in
+         let deadlines = List.mapi (fun i (_, d) -> (i, d)) entries in
+         let deadline_of (c : Coflow.t) = List.assoc c.id deadlines in
+         let a = Deadline.admit ~deadline_of ~delta ~bandwidth:b coflows in
+         let adm, rej, prt_old =
+           admit_copy_path ~deadline_of ~delta ~bandwidth:b coflows
+         in
+         (* same admit/reject sets with exactly equal finish floats, and
+            the same reservation table afterwards *)
+         a.Deadline.admitted = adm && a.Deadline.rejected = rej
+         && Prt.all_reservations a.Deadline.prt = Prt.all_reservations prt_old))
+
+let test_rejection_prt_byte_identical () =
+  (* a run with a hopeless Coflow in the middle leaves the very same
+     table — windows AND undo journal — as the run without it *)
+  let big = mk 9 [ ((0, 5), Units.gb 10.) ] in
+  let with_big =
+    Deadline.admit
+      ~deadline_of:(deadline_table [ (1, 0.1); (9, 0.15); (2, 10.) ])
+      ~delta ~bandwidth:b [ c1; big; c2 ]
+  in
+  let without =
+    Deadline.admit
+      ~deadline_of:(deadline_table [ (1, 0.1); (2, 10.) ])
+      ~delta ~bandwidth:b [ c1; c2 ]
+  in
+  Alcotest.(check (list int)) "big rejected" [ 9 ]
+    (List.map fst with_big.Deadline.rejected);
+  Alcotest.(check bool) "identical reservations" true
+    (Prt.all_reservations with_big.Deadline.prt
+    = Prt.all_reservations without.Deadline.prt);
+  Alcotest.(check int) "identical undo journal"
+    (Prt.journal_length without.Deadline.prt)
+    (Prt.journal_length with_big.Deadline.prt)
+
+let test_single_schedule_per_coflow () =
+  (* the reservation counter must move exactly as much as scheduling
+     each Coflow once on one shared table — the copy-trial path moved
+     it roughly twice as far *)
+  let deadline_of = deadline_table [ (1, 10.); (2, 10.); (3, 10.) ] in
+  let reserves f =
+    let s0 = Prt.stats () in
+    f ();
+    let s1 = Prt.stats () in
+    s1.Prt.reservations - s0.Prt.reservations
+  in
+  let baseline =
+    reserves (fun () ->
+        let prt = Prt.create () in
+        List.iter
+          (fun c ->
+            ignore
+              (Sunflow.schedule ~prt ~now:0. ~order:Order.Ordered_port ~delta
+                 ~bandwidth:b c))
+          [ c1; c2; c3 ])
+  in
+  let admit_cost =
+    reserves (fun () ->
+        ignore (Deadline.admit ~deadline_of ~delta ~bandwidth:b [ c1; c2; c3 ]))
+  in
+  let copy_cost =
+    reserves (fun () ->
+        ignore (admit_copy_path ~deadline_of ~delta ~bandwidth:b [ c1; c2; c3 ]))
+  in
+  Alcotest.(check int) "one schedule per Coflow" baseline admit_cost;
+  Alcotest.(check bool) "old path double-scheduled" true (copy_cost > admit_cost)
+
 let suite =
   [
     Alcotest.test_case "edf ordering" `Quick test_edf_ordering;
@@ -89,4 +196,9 @@ let suite =
     Alcotest.test_case "rejection leaves no trace" `Quick
       test_rejection_leaves_no_trace;
     prop_admitted_meet_deadlines;
+    prop_equals_copy_path;
+    Alcotest.test_case "rejection leaves PRT byte-identical" `Quick
+      test_rejection_prt_byte_identical;
+    Alcotest.test_case "single schedule per admitted Coflow" `Quick
+      test_single_schedule_per_coflow;
   ]

@@ -145,6 +145,100 @@ let test_totals () =
   let t = Trace.parse sample_text in
   Util.check_close "total" (Units.mb 106.) (Trace.total_bytes t)
 
+(* --- streaming readers (serve-mode plumbing) --- *)
+
+let with_text_channel text f =
+  let path = Filename.temp_file "sunflow" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let check_coflows_equal name expected got =
+  Alcotest.(check int) (name ^ ": count") (List.length expected) (List.length got);
+  List.iter2
+    (fun (a : Coflow.t) (b : Coflow.t) ->
+      Alcotest.(check int) (name ^ ": id") a.id b.id;
+      Alcotest.(check bool) (name ^ ": arrival") true (a.arrival = b.arrival);
+      Alcotest.(check bool)
+        (name ^ ": demand") true
+        (Demand.entries a.demand = Demand.entries b.demand))
+    expected got
+
+let test_fold_matches_parse () =
+  let t = Trace.parse sample_text in
+  let header = ref (0, 0) in
+  let got =
+    with_text_channel sample_text (fun ic ->
+        Trace.fold
+          ~on_header:(fun ~n_ports ~n_coflows -> header := (n_ports, n_coflows))
+          ic ~init:[]
+          ~f:(fun acc c -> c :: acc))
+    |> List.rev
+  in
+  Alcotest.(check (pair int int)) "header seen" (150, 2) !header;
+  check_coflows_equal "fold" t.Trace.coflows got
+
+let test_reader_matches_parse () =
+  let t = Trace.parse sample_text in
+  let got =
+    with_text_channel sample_text (fun ic ->
+        let next = Trace.reader ic in
+        let rec pull acc =
+          match next () with None -> List.rev acc | Some c -> pull (c :: acc)
+        in
+        pull [])
+  in
+  check_coflows_equal "reader" t.Trace.coflows got;
+  (* the reader stays exhausted after EOF *)
+  Alcotest.(check bool) "sticky EOF" true
+    (with_text_channel sample_text (fun ic ->
+         let next = Trace.reader ic in
+         let rec drain () = match next () with None -> () | Some _ -> drain () in
+         drain ();
+         next () = None))
+
+(* the whole point of the rewrite: reading from a non-seekable fd (a
+   pipe, stdin) must work — the old loader measured the file size *)
+let test_fold_over_pipe () =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc sample_text;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let t = Trace.parse sample_text in
+  let got = List.rev (Trace.fold ic ~init:[] ~f:(fun acc c -> c :: acc)) in
+  check_coflows_equal "pipe" t.Trace.coflows got
+
+let test_stream_error_semantics () =
+  (* header shortfall is detected at EOF and reported at the header
+     line, same as the batch parser *)
+  (match
+     with_text_channel "10 2\n0 0 1 0 1 1:5\n" (fun ic ->
+         Trace.fold ic ~init:0 ~f:(fun n _ -> n + 1))
+   with
+  | exception Trace.Parse_error e ->
+    Alcotest.(check int) "shortfall at header line" 1 e.line
+  | _ -> Alcotest.fail "expected a parse error");
+  (* fold itself keeps no id set (bounded memory): duplicate ids
+     stream through; [load] still rejects them *)
+  let dup = "10 2\n0 0 1 0 1 1:5\n0 5 1 0 1 1:5\n" in
+  Alcotest.(check int) "fold streams duplicate ids" 2
+    (with_text_channel dup (fun ic ->
+         Trace.fold ic ~init:0 ~f:(fun n _ -> n + 1)));
+  let path = Filename.temp_file "sunflow" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc dup;
+  close_out oc;
+  match Trace.load path with
+  | exception Trace.Parse_error e ->
+    Alcotest.(check int) "load rejects duplicate at its line" 3 e.line
+  | _ -> Alcotest.fail "expected a duplicate-id error"
+
 let suite =
   [
     Alcotest.test_case "parse" `Quick test_parse;
@@ -158,4 +252,9 @@ let suite =
     prop_roundtrip_identity;
     Alcotest.test_case "save and load" `Quick test_save_load;
     Alcotest.test_case "totals" `Quick test_totals;
+    Alcotest.test_case "fold matches parse" `Quick test_fold_matches_parse;
+    Alcotest.test_case "reader matches parse" `Quick test_reader_matches_parse;
+    Alcotest.test_case "fold over a pipe" `Quick test_fold_over_pipe;
+    Alcotest.test_case "streaming error semantics" `Quick
+      test_stream_error_semantics;
   ]
