@@ -51,7 +51,19 @@
    non-decreasing over non-decreasing fractions, per-port utilization
    and reconfiguring fractions in [0, 1], and every slowest-Coflow
    row conserving (wait + setup + transfer + blocked = CCT) with its
-   blame vector summing to its blocked time. *)
+   blame vector summing to its blocked time.
+
+   Since schema /10 it gates the footprint-epoch plan cache and the
+   schedule kernel: the SCF storm must have replayed cache-off and
+   cache-on (one cold populate run, then warm runs on the shared
+   handle) with every row's Sim_result digest identical — the cache
+   may change when the answer is computed, never the answer — the
+   warm hit rate over 50%, and — full harness only — the warm replan
+   wall at least 1.3x faster than cache-off; and the steady-state
+   Sunflow.schedule microbench must hold its ns/schedule and
+   minor-words/schedule under ceilings set with ~2x headroom over the
+   measured baseline, so an accidental per-call allocation in the
+   kernel's hot path moves a gated number. *)
 
 type json =
   | Null
@@ -637,6 +649,108 @@ let check_shards root fast =
           wall_speedup
     end
 
+(* The plan-cache section (schema /10): cache-off vs shared-handle
+   cached replays of the SCF storm. Digest identity across every row
+   is the soundness gate; the speedup and hit-rate floors are the
+   usefulness gates. *)
+let check_plan_cache root fast =
+  match field root "plan_cache" with
+  | Null ->
+    bad "plan_cache: missing — the harness did not run the cache section"
+  | pc ->
+    List.iter
+      (fun key -> check_counter ("plan_cache." ^ key) (field pc key))
+      [ "coflows"; "reps"; "max_windows"; "hits"; "misses"; "invalidations";
+        "replayed_windows"; "entries"; "windows" ];
+    let windows = as_num "plan_cache.windows" (field pc "windows") in
+    let max_windows = as_num "plan_cache.max_windows" (field pc "max_windows") in
+    if windows > max_windows then
+      bad "plan_cache.windows: %g resident windows exceed the %g cap" windows
+        max_windows;
+    let entries = as_num "plan_cache.entries" (field pc "entries") in
+    if entries <= 0. then
+      bad "plan_cache.entries: the cached runs left nothing resident";
+    let rows =
+      List.map
+        (fun row ->
+          let variant =
+            as_str "plan_cache.rows.variant" (field row "variant")
+          in
+          let what fmt = Printf.sprintf "plan_cache.rows[%s].%s" variant fmt in
+          check_counter (what "rep") (field row "rep");
+          let wall = as_num (what "wall_s") (field row "wall_s") in
+          let plan = as_num (what "plan_s") (field row "plan_s") in
+          if wall <= 0. || plan <= 0. then
+            bad "%s: non-positive wall time" (what "wall_s/plan_s");
+          if plan > wall then
+            bad "%s: replan wall %g exceeds the end-to-end wall %g"
+              (what "plan_s") plan wall;
+          (variant, wall, plan, as_str (what "digest") (field row "digest")))
+        (as_arr "plan_cache.rows" (field pc "rows"))
+    in
+    let of_variant v = List.filter (fun (v', _, _, _) -> v' = v) rows in
+    let off = of_variant "off" and warm = of_variant "warm" in
+    if off = [] || warm = [] || List.length (of_variant "cold") <> 1 then
+      bad "plan_cache.rows: expected off rows, one cold row and warm rows";
+    (match rows with
+    | (_, _, _, digest0) :: rest ->
+      List.iter
+        (fun (v, _, _, d) ->
+          if d <> digest0 then
+            bad
+              "plan_cache.rows[%s]: digest %S differs from %S — the cache \
+               changed the answer"
+              v d digest0)
+        rest
+    | [] -> assert false);
+    let hits = as_num "plan_cache.hits" (field pc "hits") in
+    let misses = as_num "plan_cache.misses" (field pc "misses") in
+    if hits +. misses <= 0. then
+      bad "plan_cache: the cached runs made no lookups";
+    let rate = hits /. (hits +. misses) in
+    if rate < 0.5 then
+      bad
+        "plan_cache: hit rate %.2f is under the 0.5 floor — the warm runs \
+         are not replaying"
+        rate;
+    if not fast then begin
+      let min_plan rows =
+        List.fold_left (fun a (_, _, p, _) -> Float.min a p) infinity rows
+      in
+      let speedup = min_plan off /. min_plan warm in
+      if speedup < 1.3 then
+        bad "plan_cache: warm replan speedup %.2fx is below the 1.3x gate"
+          speedup
+    end
+
+(* The kernel microbench (schema /10): steady-state Sunflow.schedule
+   against a persistent table. Ceilings sit ~2x over the measured
+   baseline — loose enough for machine noise, tight enough that a
+   per-call allocation slipping into the probe loop or the DLS sweep
+   (which multiplies minor words by the flow count) trips them. *)
+let check_kernel root =
+  match field root "kernel" with
+  | Null -> bad "kernel: missing — the harness did not run the microbench"
+  | k ->
+    check_counter "kernel.ports" (field k "ports");
+    check_counter "kernel.iters" (field k "iters");
+    if as_num "kernel.iters" (field k "iters") <= 0. then
+      bad "kernel.iters: the microbench ran no iterations";
+    let ns = as_num "kernel.ns_per_schedule" (field k "ns_per_schedule") in
+    if ns <= 0. then bad "kernel.ns_per_schedule: non-positive (%g)" ns;
+    if ns > 100_000. then
+      bad "kernel.ns_per_schedule: %.0f ns is over the 100000 ns ceiling" ns;
+    let mw =
+      as_num "kernel.minor_words_per_schedule"
+        (field k "minor_words_per_schedule")
+    in
+    if mw < 0. then bad "kernel.minor_words_per_schedule: negative (%g)" mw;
+    if mw > 14_000. then
+      bad
+        "kernel.minor_words_per_schedule: %.0f words is over the 14000-word \
+         ceiling — the kernel is allocating per call beyond its output"
+        mw
+
 (* The report section (schema /8): body digests byte-identical across
    the anchored engine variants, zero conservation violations, and the
    exported sunflow-report file well-formed with its internal
@@ -897,7 +1011,7 @@ let check_serve root fast =
 
 let check root json_dir =
   let schema = as_str "schema" (field root "schema") in
-  if schema <> "sunflow-bench-prt/9" then bad "unknown schema %S" schema;
+  if schema <> "sunflow-bench-prt/10" then bad "unknown schema %S" schema;
   let fast =
     match field root "fast" with
     | Bool b -> b
@@ -941,6 +1055,8 @@ let check root json_dir =
   check_replay root fast;
   check_scf_drift root;
   check_shards root fast;
+  check_plan_cache root fast;
+  check_kernel root;
   check_report root json_dir;
   check_serve root fast;
   check_prt_stats "prt_stats" (field root "prt_stats");

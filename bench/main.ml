@@ -17,6 +17,8 @@
 module E = Sunflow_experiments
 module Units = Sunflow_core.Units
 module Prt = Sunflow_core.Prt
+module Plan_cache = Sunflow_core.Plan_cache
+module Sunflow = Sunflow_core.Sunflow
 module Pool = Sunflow_parallel.Pool
 module Obs = Sunflow_obs
 module Circuit_sim = Sunflow_sim.Circuit_sim
@@ -438,6 +440,69 @@ type drift_row = {
 
 let drift_row : drift_row option ref = ref None
 
+(* The SCF-adversarial storm (PR-6 gate): the large trace's arrival
+   mix at 10x density — a standing backlog, so full replanning prices
+   the whole active set at every event — interleaved at the same rate
+   with a stream of near-identical single-flow mice whose sizes
+   decrease monotonically, so under the exact shortest-first order
+   every stream arrival head-inserts ahead of the still-draining
+   backlog. Memoised: the replay and plan-cache sections share it. *)
+let storm_memo : Sunflow_core.Coflow.t list option ref = ref None
+
+let storm_trace s =
+  match !storm_memo with
+  | Some t -> t
+  | None ->
+    let p = s.E.Common.trace_params in
+    let base_n = if fast () then 800 else 10_000 in
+    let mice_n = if fast () then 2_600 else 40_600 in
+    (* the density factor compresses the arrival span against the
+       fixed M2M service times — 0.1 sustains the standing backlog the
+       gate needs. Fast mode keeps the span longer: at 800 base
+       Coflows a 0.1 factor leaves the span shorter than the giants'
+       drain times, the backlog never clears, and the smoke run stops
+       being smoke-sized. *)
+    let density = if fast () then 0.4 else 0.1 in
+    let span =
+      p.Sunflow_trace.Synthetic.span
+      *. float_of_int base_n
+      /. float_of_int p.Sunflow_trace.Synthetic.n_coflows
+      *. density
+    in
+    let base =
+      Sunflow_trace.Synthetic.generate
+        {
+          p with
+          Sunflow_trace.Synthetic.n_coflows = base_n;
+          span;
+          m2m_reducer_mb = (fst p.Sunflow_trace.Synthetic.m2m_reducer_mb, 2.2);
+        }
+    in
+    let rng = Sunflow_stats.Rng.create 4242 in
+    let mice =
+      List.init mice_n (fun i ->
+          let src = Sunflow_stats.Rng.int rng p.Sunflow_trace.Synthetic.n_ports in
+          let dst =
+            let d =
+              Sunflow_stats.Rng.int rng
+                (p.Sunflow_trace.Synthetic.n_ports - 1)
+            in
+            if d >= src then d + 1 else d
+          in
+          let mb = 64. -. (60. *. float_of_int i /. float_of_int mice_n) in
+          let d = Sunflow_core.Demand.create () in
+          Sunflow_core.Demand.set d src dst (Sunflow_core.Units.mb mb);
+          Sunflow_core.Coflow.make ~id:(base_n + i)
+            ~arrival:(span *. float_of_int i /. float_of_int mice_n)
+            d)
+    in
+    let t =
+      List.sort Sunflow_core.Coflow.compare_arrival
+        (base.Sunflow_trace.Trace.coflows @ mice)
+    in
+    storm_memo := Some t;
+    t
+
 let digest_result (r : Sunflow_sim.Sim_result.t) =
   let buf = Buffer.create 65536 in
   List.iter
@@ -539,54 +604,7 @@ let replay_section ppf s =
   let scf = Sunflow_core.Inter.Shortest_first in
   let scf_buckets = 24 in
   let scf_bucket_base = 2. in
-  let storm =
-    let p = s.E.Common.trace_params in
-    let base_n = if fast () then 800 else 10_000 in
-    let mice_n = if fast () then 2_600 else 40_600 in
-    (* the density factor compresses the arrival span against the
-       fixed M2M service times — 0.1 sustains the standing backlog the
-       gate needs. Fast mode keeps the span longer: at 800 base
-       Coflows a 0.1 factor leaves the span shorter than the giants'
-       drain times, the backlog never clears, and the smoke run stops
-       being smoke-sized. *)
-    let density = if fast () then 0.4 else 0.1 in
-    let span =
-      p.Sunflow_trace.Synthetic.span
-      *. float_of_int base_n
-      /. float_of_int p.Sunflow_trace.Synthetic.n_coflows
-      *. density
-    in
-    let base =
-      Sunflow_trace.Synthetic.generate
-        {
-          p with
-          Sunflow_trace.Synthetic.n_coflows = base_n;
-          span;
-          m2m_reducer_mb =
-            (fst p.Sunflow_trace.Synthetic.m2m_reducer_mb, 2.2);
-        }
-    in
-    let rng = Sunflow_stats.Rng.create 4242 in
-    let mice =
-      List.init mice_n (fun i ->
-          let src = Sunflow_stats.Rng.int rng p.Sunflow_trace.Synthetic.n_ports in
-          let dst =
-            let d =
-              Sunflow_stats.Rng.int rng
-                (p.Sunflow_trace.Synthetic.n_ports - 1)
-            in
-            if d >= src then d + 1 else d
-          in
-          let mb = 64. -. (60. *. float_of_int i /. float_of_int mice_n) in
-          let d = Sunflow_core.Demand.create () in
-          Sunflow_core.Demand.set d src dst (Sunflow_core.Units.mb mb);
-          Sunflow_core.Coflow.make ~id:(base_n + i)
-            ~arrival:(span *. float_of_int i /. float_of_int mice_n)
-            d)
-    in
-    List.sort Sunflow_core.Coflow.compare_arrival
-      (base.Sunflow_trace.Trace.coflows @ mice)
-  in
+  let storm = storm_trace s in
   let wall_full, _ = run_one "storm" "scf" scf storm "full" `Full 0 in
   ignore
     (run_one ~bucket_base:scf_bucket_base "storm" "scf" scf storm "rebuild"
@@ -645,6 +663,183 @@ let replay_section ppf s =
      worst per-Coflow %+.1f%%@."
     scf_buckets (100. *. d_rel_mean) d_mean_cct_bucketed_s d_mean_cct_exact_s
     (100. *. d_max_rel)
+
+(* --- plan cache: cross-replay verbatim window replays -----------------
+
+   The PR-10 gate: replay the SCF storm at the PR-6 gate configuration
+   (bucketed incremental, 24 classes at base 2) with and without a
+   footprint-epoch plan cache. Cache-off runs [reps] times; the cached
+   runs share one handle — the first run populates (every lookup
+   misses: within a run the kernel's own reserves advance the
+   footprint epochs past any stored snapshot), and the warm runs
+   replay stored reservations verbatim wherever the fresh table's
+   deterministic mutation history matches the snapshot. The checker
+   requires the warm replan wall (min over reps, the [sim.plan_s]
+   histogram sum) to beat the cache-off replan wall by >= 1.3x, the
+   warm hit rate to clear 50 %, and every row's Sim_result digest to
+   agree — the cache may only change *when* the answer is computed,
+   never the answer. *)
+
+type cache_row = {
+  pcr_variant : string;  (** "off" | "cold" | "warm" *)
+  pcr_rep : int;
+  pcr_wall_s : float;
+  pcr_plan_s : float;  (** summed per-event replan wall for this run *)
+  pcr_digest : string;
+}
+
+type cache_summary = {
+  pc_coflows : int;
+  pc_reps : int;
+  pc_max_windows : int;
+  pc_rows : cache_row list;
+  pc_hits : int;
+  pc_misses : int;
+  pc_invalidations : int;
+  pc_replayed_windows : int;
+  pc_entries : int;  (** resident after the last warm run *)
+  pc_windows : int;
+}
+
+let cache_summary : cache_summary option ref = ref None
+
+let cache_section ppf s =
+  E.Common.section ppf "PLAN CACHE: cross-replay verbatim replays";
+  let storm = storm_trace s in
+  (* gates calibrated at the paper-default fabric speed, like shards *)
+  let delta = Units.ms 10. and bandwidth = Units.gbps 1. in
+  let reps = if fast () then 2 else 3 in
+  let was_enabled = Obs.Control.enabled () in
+  Obs.Control.set_enabled true;
+  let plan_sum () =
+    (Obs.Registry.histogram_value (Obs.Registry.histogram "sim.plan_s"))
+      .Obs.Registry.h_sum
+  in
+  let run_once ?plan_cache () =
+    Gc.full_major ();
+    let p0 = plan_sum () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Circuit_sim.run ~policy:Sunflow_core.Inter.Shortest_first
+        ~replan:`Incremental ~buckets:24 ~bucket_base:2. ?plan_cache ~delta
+        ~bandwidth storm
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, plan_sum () -. p0, digest_result r)
+  in
+  let row pcr_variant pcr_rep (pcr_wall_s, pcr_plan_s, pcr_digest) =
+    Format.fprintf ppf "  %-4s rep %d  wall %6.2fs  replan %6.2fs  digest %s@."
+      pcr_variant pcr_rep pcr_wall_s pcr_plan_s pcr_digest;
+    { pcr_variant; pcr_rep; pcr_wall_s; pcr_plan_s; pcr_digest }
+  in
+  let off = List.init reps (fun i -> row "off" (i + 1) (run_once ())) in
+  (* the handle must be sized above the replay's stored-window working
+     set or the FIFO eviction thrashes: the cold run alone stores one
+     plan per schedule call (~190k entries, ~4.5M windows on the full
+     storm — the default 2M cap replays *nothing* at this scale, 0
+     hits). 8M windows is ~1.8x the measured working set. *)
+  let max_windows = 8_000_000 in
+  let cache = Plan_cache.create ~max_windows () in
+  let cold = row "cold" 1 (run_once ~plan_cache:cache ()) in
+  let warm =
+    List.init reps (fun i -> row "warm" (i + 1) (run_once ~plan_cache:cache ()))
+  in
+  Obs.Tracer.clear ();
+  Obs.Control.set_enabled was_enabled;
+  let st = Plan_cache.stats cache in
+  let min_plan rows =
+    List.fold_left (fun a r -> Float.min a r.pcr_plan_s) infinity rows
+  in
+  Format.fprintf ppf
+    "  warm replan speedup over cache-off: %.2fx  (%d hits, %d misses, %d \
+     stale, %d windows replayed; %d entries / %d windows resident)@."
+    (min_plan off /. min_plan warm)
+    st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.invalidations
+    st.Plan_cache.replayed_windows st.Plan_cache.entries st.Plan_cache.windows;
+  cache_summary :=
+    Some
+      {
+        pc_coflows = List.length storm;
+        pc_reps = reps;
+        pc_max_windows = max_windows;
+        pc_rows = off @ (cold :: warm);
+        pc_hits = st.Plan_cache.hits;
+        pc_misses = st.Plan_cache.misses;
+        pc_invalidations = st.Plan_cache.invalidations;
+        pc_replayed_windows = st.Plan_cache.replayed_windows;
+        pc_entries = st.Plan_cache.entries;
+        pc_windows = st.Plan_cache.windows;
+      }
+
+(* --- kernel: Sunflow.schedule steady state ----------------------------
+
+   The zero-allocation claim, priced: schedule a 16-port two-ring
+   shuffle against a persistent table, retract it, and repeat. After
+   warm-up the kernel's scratch — the DLS arena, the wake heap, the
+   made array — is at steady-state size, so the minor words per
+   iteration are the *output* (the reservations list and the result
+   record) plus whatever the kernel still allocates per call. The
+   checker holds ns/schedule and minor-words/schedule under ceilings
+   with headroom, so an accidental per-call allocation (a closure in
+   the hot loop, a tuple in the probe) moves a gated number. *)
+
+type kernel_row = {
+  k_ports : int;
+  k_iters : int;
+  k_ns_per_schedule : float;
+  k_minor_words_per_schedule : float;
+}
+
+let kernel_row : kernel_row option ref = ref None
+
+let kernel_section ppf _s =
+  E.Common.section ppf "KERNEL: Sunflow.schedule steady state";
+  let delta = Units.ms 10. and bandwidth = Units.gbps 1. in
+  let n_ports = 16 in
+  let c =
+    let d = Sunflow_core.Demand.create () in
+    for i = 0 to n_ports - 1 do
+      Sunflow_core.Demand.set d i
+        ((i + 1) mod n_ports)
+        (Units.mb (4. +. float_of_int (i mod 5)));
+      Sunflow_core.Demand.set d i
+        ((i + 5) mod n_ports)
+        (Units.mb (2. +. float_of_int (i mod 3)))
+    done;
+    Sunflow_core.Coflow.make ~id:0 ~arrival:0. d
+  in
+  let prt = Prt.create () in
+  let one () =
+    ignore (Sunflow.schedule ~prt ~delta ~bandwidth c : Sunflow.result);
+    ignore (Prt.retract_coflow prt 0 : int);
+    Prt.forget_history prt
+  in
+  for _ = 1 to 1_000 do
+    one ()
+  done;
+  let iters = if fast () then 5_000 else 50_000 in
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    one ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let k_ns_per_schedule = wall *. 1e9 /. float_of_int iters in
+  let k_minor_words_per_schedule = mw /. float_of_int iters in
+  Format.fprintf ppf
+    "  %d-port shuffle: %.0f ns/schedule, %.0f minor words/schedule (%d \
+     iters)@."
+    n_ports k_ns_per_schedule k_minor_words_per_schedule iters;
+  kernel_row :=
+    Some
+      {
+        k_ports = n_ports;
+        k_iters = iters;
+        k_ns_per_schedule;
+        k_minor_words_per_schedule;
+      }
 
 (* --- shards: the sharded simulation core ------------------------------
 
@@ -1129,7 +1324,7 @@ let emit_json path s domains =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sunflow-bench-prt/9\",\n";
+  add "  \"schema\": \"sunflow-bench-prt/10\",\n";
   add "  \"fast\": %b,\n" (fast ());
   add "  \"domains\": %d,\n" domains;
   add
@@ -1253,6 +1448,38 @@ let emit_json path s domains =
           (if i = List.length sh.sh_rows - 1 then "" else ","))
       sh.sh_rows;
     add "  ]},\n");
+  (match !cache_summary with
+  | None -> add "  \"plan_cache\": null,\n"
+  | Some pc ->
+    add
+      "  \"plan_cache\": {\"coflows\": %d, \"reps\": %d, \"max_windows\": %d, \
+       \"hits\": %d, \"misses\": %d, \"invalidations\": %d, \
+       \"replayed_windows\": %d, \"entries\": %d, \"windows\": %d, \
+       \"rows\": [\n"
+      pc.pc_coflows pc.pc_reps pc.pc_max_windows pc.pc_hits pc.pc_misses
+      pc.pc_invalidations pc.pc_replayed_windows pc.pc_entries pc.pc_windows;
+    List.iteri
+      (fun i row ->
+        add
+          "    {\"variant\": \"%s\", \"rep\": %d, \"wall_s\": %s, \"plan_s\": \
+           %s, \"digest\": \"%s\"}%s\n"
+          (json_escape row.pcr_variant)
+          row.pcr_rep
+          (json_float row.pcr_wall_s)
+          (json_float row.pcr_plan_s)
+          (json_escape row.pcr_digest)
+          (if i = List.length pc.pc_rows - 1 then "" else ","))
+      pc.pc_rows;
+    add "  ]},\n");
+  (match !kernel_row with
+  | None -> add "  \"kernel\": null,\n"
+  | Some k ->
+    add
+      "  \"kernel\": {\"ports\": %d, \"iters\": %d, \"ns_per_schedule\": %s, \
+       \"minor_words_per_schedule\": %s},\n"
+      k.k_ports k.k_iters
+      (json_float k.k_ns_per_schedule)
+      (json_float k.k_minor_words_per_schedule));
   (match !report_summary with
   | None -> add "  \"report\": null,\n"
   | Some rp ->
@@ -1310,6 +1537,8 @@ let () =
   obs_section ppf s;
   check_section ppf s;
   replay_section ppf s;
+  cache_section ppf s;
+  kernel_section ppf s;
   shard_section ppf s;
   report_section ppf s;
   serve_section ppf s;

@@ -47,7 +47,7 @@ let m_rounds = Obs.Registry.counter "inter.rounds"
 let h_batch = Obs.Registry.histogram "inter.coflows_per_round"
 
 let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
-    ~policy ~delta ~bandwidth coflows =
+    ?plan_cache ~policy ~delta ~bandwidth coflows =
   (* [finish_of] keys the result on Coflow ids, so duplicates would
      silently shadow one another — reject them like Circuit_sim.run *)
   let ids = List.map (fun c -> c.Coflow.id) coflows in
@@ -73,8 +73,8 @@ let schedule ?(now = 0.) ?(order = Order.Ordered_port) ?(established = [])
     List.map
       (fun c ->
         let r =
-          Sunflow.schedule ~prt ~now ~order ~established:is_established ~delta
-            ~bandwidth c
+          Sunflow.schedule ~prt ?cache:plan_cache ~now ~order
+            ~established:is_established ~delta ~bandwidth c
         in
         (c.Coflow.id, r))
       ordered
@@ -133,6 +133,7 @@ type engine = {
   g_bandwidth : float;
   g_carry : bool;
   g_rebuild : bool;
+  g_cache : Plan_cache.t option;  (* plan cache threaded to every Sunflow call *)
   g_buckets : int;  (* 0 = exact order (buckets off) *)
   g_bucket_base : float;
   g_cmp : entry -> entry -> int;
@@ -218,8 +219,8 @@ let evec_make () = { v_arr = [||]; v_n = 0 }
 
 let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
     ?(rebuild = false) ?(buckets = 0) ?(bucket_base = 4.) ?(shards = 1)
-    ?(shard_block = 1) ?(runner = sequential_runner) ~policy ~delta ~bandwidth
-    () =
+    ?(shard_block = 1) ?(runner = sequential_runner) ?plan_cache ~policy ~delta
+    ~bandwidth () =
   if buckets < 0 then invalid_arg "Inter.engine: negative bucket count";
   if bucket_base <= 1. then invalid_arg "Inter.engine: bucket_base must be > 1";
   if shards < 1 then invalid_arg "Inter.engine: shards must be >= 1";
@@ -235,6 +236,7 @@ let engine ?(order = Order.Ordered_port) ?(carry_circuits = true)
     g_bandwidth = bandwidth;
     g_carry = carry_circuits;
     g_rebuild = rebuild;
+    g_cache = plan_cache;
     g_buckets = buckets;
     g_bucket_base = bucket_base;
     g_cmp = entry_cmp ~buckets policy;
@@ -590,7 +592,7 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
   let reschedule e =
     let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
     e.e_plan <-
-      Sunflow.schedule ~prt:g.g_prt ~now ~order:g.g_order
+      Sunflow.schedule ~prt:g.g_prt ?cache:g.g_cache ~now ~order:g.g_order
         ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
     g.g_rescheduled <- g.g_rescheduled + 1
   in
@@ -612,12 +614,11 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
            fit test must be exact, not [reserve]'s dust-tolerant one:
            a rescheduled upstream neighbour can land within rounding
            dust of a stored boundary, and re-admitting that would
-           break the validator's strict per-port disjointness. *)
-        if List.for_all (Prt.fits_exact g.g_prt) e.e_plan.Sunflow.reservations
-        then begin
-          List.iter (Prt.reserve g.g_prt) e.e_plan.Sunflow.reservations;
+           break the validator's strict per-port disjointness —
+           [Prt.splice_exact] is exactly that check-all-then-reserve-all
+           primitive. *)
+        if Prt.splice_exact g.g_prt e.e_plan.Sunflow.reservations then
           g.g_spliced <- g.g_spliced + 1
-        end
         else begin
           if obs then Obs.Registry.incr m_cascades;
           reschedule e
@@ -696,10 +697,8 @@ let step_unsharded g ~now ~arrivals ~finished ~remaining =
         | None -> g.g_spliced <- g.g_spliced + 1
         | Some l ->
             Hashtbl.remove touched id;
-            if List.for_all (Prt.fits_exact g.g_prt) !l then begin
-              List.iter (Prt.reserve g.g_prt) !l;
+            if Prt.splice_exact g.g_prt !l then
               g.g_spliced <- g.g_spliced + 1
-            end
             else begin
               if obs then Obs.Registry.incr m_cascades;
               ignore (Prt.retract_coflow g.g_prt id : int);
@@ -764,8 +763,8 @@ let make_pass g ~prt ~now ~remaining ~is_established ~dirty ~guard =
     old_plans := (e, e.e_plan) :: !old_plans;
     let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
     e.e_plan <-
-      Sunflow.schedule ~prt ~now ~order:g.g_order ~established:is_established
-        ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
+      Sunflow.schedule ~prt ?cache:g.g_cache ~now ~order:g.g_order
+        ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
     incr resched
   in
   let clear_demand_ports e d =
@@ -808,10 +807,7 @@ let make_pass g ~prt ~now ~remaining ~is_established ~dirty ~guard =
       | None -> incr spliced
       | Some l ->
         Hashtbl.remove touched id;
-        if List.for_all (Prt.fits_exact prt) !l then begin
-          List.iter (Prt.reserve prt) !l;
-          incr spliced
-        end
+        if Prt.splice_exact prt !l then incr spliced
         else begin
           incr cascades;
           ignore (Prt.retract_coflow prt id : int);

@@ -41,6 +41,7 @@ val schedule :
   ?now:float ->
   ?order:Order.t ->
   ?established:(int * int) list ->
+  ?plan_cache:Plan_cache.t ->
   policy:policy ->
   delta:float ->
   bandwidth:float ->
@@ -51,9 +52,11 @@ val schedule :
     [established] lists circuits physically up at [now]; any Coflow's
     first reservation on such a circuit starting exactly at [now] pays
     no reconfiguration delay. Coflows with empty demand get an empty
-    plan finishing at [now]. Raises [Invalid_argument] on duplicate
-    Coflow ids — {!finish_of} keys on ids, so duplicates would
-    silently shadow one another. *)
+    plan finishing at [now]. [plan_cache] threads a {!Plan_cache}
+    handle into every intra-Coflow [Sunflow.schedule] call; results
+    are bit-identical with or without it. Raises [Invalid_argument]
+    on duplicate Coflow ids — {!finish_of} keys on ids, so duplicates
+    would silently shadow one another. *)
 
 val finish_of : result -> int -> float option
 (** Planned finish time of a Coflow by id. *)
@@ -107,6 +110,7 @@ val engine :
   ?shards:int ->
   ?shard_block:int ->
   ?runner:pass_runner ->
+  ?plan_cache:Plan_cache.t ->
   policy:policy ->
   delta:float ->
   bandwidth:float ->
@@ -148,7 +152,14 @@ val engine :
     bit-identical to [shards = 1] for every shard count; [rebuild]
     coerces [shards] to [1] (the from-scratch oracle is inherently
     global). Raises [Invalid_argument] if [shards < 1] or
-    [shard_block < 1]. *)
+    [shard_block < 1].
+
+    [plan_cache] threads a {!Plan_cache} handle into every
+    [Sunflow.schedule] call the engine makes (all stepping modes,
+    including sharded passes and the rebuild oracle). Decisions are
+    bit-identical with or without it; a handle shared across repeated
+    replays of the same workload turns the repeated replans into
+    verbatim window replays. Default: no cache. *)
 
 val schedule_incremental :
   engine ->

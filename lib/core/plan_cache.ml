@@ -1,0 +1,196 @@
+(* Footprint-epoch plan cache for [Sunflow.schedule].
+
+   An entry remembers one schedule call: a normalized key (everything
+   the kernel's output depends on besides the table), the footprint —
+   the ports the plan's demand can touch — with each port's [Prt.mark]
+   snapshotted {e before} the kernel ran, and the plan itself. A later
+   call with the same key replays the stored reservations verbatim
+   (one [Prt.reserve] per window — no probe loop, no wake heap)
+   whenever every footprint port's mark still equals the snapshot:
+   by footprint-locality the kernel reads and writes only those ports,
+   so unchanged marks mean the kernel would recompute exactly the
+   stored plan.
+
+   The key is normalized past the caller-facing parameters: bandwidth
+   and quantum are already folded into the per-flow remaining
+   processing times, and the order is folded into the sequence of the
+   pending triples (the kernel consumes flows in consideration order),
+   so two calls that would drive the kernel identically share an
+   entry regardless of how they were phrased.
+
+   Capacity is bounded in stored windows (plus one unit per entry so
+   empty plans are bounded too) with FIFO eviction — the access
+   pattern this cache serves is whole-trace re-replays, where the
+   oldest entries are exactly the ones reused first, so anything
+   smarter than FIFO would have to be measured against thrash. *)
+
+module Registry = Sunflow_obs.Registry
+
+let m_hits = Registry.counter "sunflow.cache.hits"
+let m_misses = Registry.counter "sunflow.cache.misses"
+let m_invalidations = Registry.counter "sunflow.cache.invalidations"
+let m_replayed = Registry.counter "sunflow.cache.replayed_windows"
+
+type key = {
+  k_coflow : int;
+  k_now : int64;  (* IEEE bits: exact equality, no rounding *)
+  k_delta : int64;
+  k_src : int array;  (* pending flows in consideration order *)
+  k_dst : int array;
+  k_rem : int64 array;  (* remaining processing seconds, IEEE bits *)
+  k_est : bool array;  (* circuit already established at [now]? *)
+}
+
+let key ~coflow ~now ~delta ~src ~dst ~rem ~est =
+  {
+    k_coflow = coflow;
+    k_now = Int64.bits_of_float now;
+    k_delta = Int64.bits_of_float delta;
+    k_src = src;
+    k_dst = dst;
+    k_rem = Array.map Int64.bits_of_float rem;
+    k_est = est;
+  }
+
+type plan = {
+  p_reservations : Prt.reservation list;  (* creation order *)
+  p_finish : float;
+  p_setups : int;
+}
+
+type entry = {
+  e_ports : Prt.port array;  (* footprint, sorted *)
+  e_marks : (int * int * int) array;  (* [Prt.mark] per port, pre-kernel *)
+  e_plan : plan;
+  e_stamp : int;  (* insertion stamp, distinguishes FIFO ghosts *)
+  e_cost : int;  (* 1 + stored windows *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  replayed_windows : int;
+  entries : int;
+  windows : int;
+}
+
+type t = {
+  tbl : (key, entry) Hashtbl.t;
+  fifo : (key * int) Queue.t;
+  max_cost : int;
+  mutable stamp : int;
+  mutable n_cost : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_invalidations : int;
+  mutable s_replayed : int;
+}
+
+let create ?(max_windows = 2_000_000) () =
+  if max_windows <= 0 then invalid_arg "Plan_cache.create: max_windows <= 0";
+  {
+    tbl = Hashtbl.create 1024;
+    fifo = Queue.create ();
+    max_cost = max_windows;
+    stamp = 0;
+    n_cost = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_invalidations = 0;
+    s_replayed = 0;
+  }
+
+let stats t =
+  {
+    hits = t.s_hits;
+    misses = t.s_misses;
+    invalidations = t.s_invalidations;
+    replayed_windows = t.s_replayed;
+    entries = Hashtbl.length t.tbl;
+    windows = t.n_cost - Hashtbl.length t.tbl;
+  }
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.fifo;
+  t.n_cost <- 0
+
+let marks_valid prt e =
+  let n = Array.length e.e_ports in
+  let rec go i =
+    i >= n || (Prt.mark prt e.e_ports.(i) = e.e_marks.(i) && go (i + 1))
+  in
+  go 0
+
+let count_miss t =
+  t.s_misses <- t.s_misses + 1;
+  if Sunflow_obs.Control.enabled () then Registry.incr m_misses
+
+(* Lookup + verbatim replay in one step, so a hit is only counted once
+   the stored windows are actually back in the table. The replay is
+   guarded by a checkpoint: marks pin the footprint content up to a
+   63-bit hash collision, so a window failing to land is astronomically
+   unlikely — but if it happens the table is restored and the call
+   falls through to the kernel (a miss), never corrupting state. *)
+let find_and_replay t prt k =
+  match Hashtbl.find_opt t.tbl k with
+  | None ->
+    count_miss t;
+    None
+  | Some e ->
+    if not (marks_valid prt e) then begin
+      t.s_invalidations <- t.s_invalidations + 1;
+      if Sunflow_obs.Control.enabled () then Registry.incr m_invalidations;
+      count_miss t;
+      None
+    end
+    else begin
+      let cp = Prt.checkpoint prt in
+      match List.iter (Prt.reserve prt) e.e_plan.p_reservations with
+      | () ->
+        let w = e.e_cost - 1 in
+        t.s_hits <- t.s_hits + 1;
+        t.s_replayed <- t.s_replayed + w;
+        if Sunflow_obs.Control.enabled () then begin
+          Registry.incr m_hits;
+          Registry.add m_replayed w
+        end;
+        Some e.e_plan
+      | exception Invalid_argument _ ->
+        Prt.rollback prt cp;
+        count_miss t;
+        None
+    end
+
+let evict t =
+  while t.n_cost > t.max_cost && not (Queue.is_empty t.fifo) do
+    let k, stamp = Queue.pop t.fifo in
+    match Hashtbl.find_opt t.tbl k with
+    | Some e when e.e_stamp = stamp ->
+      Hashtbl.remove t.tbl k;
+      t.n_cost <- t.n_cost - e.e_cost
+    | _ -> ()  (* ghost: the entry was replaced by a newer store *)
+  done
+
+let store t k ~ports ~marks plan =
+  let cost = 1 + List.length plan.p_reservations in
+  (match Hashtbl.find_opt t.tbl k with
+   | Some old ->
+     t.n_cost <- t.n_cost - old.e_cost;
+     Hashtbl.remove t.tbl k
+   | None -> ());
+  t.stamp <- t.stamp + 1;
+  let e =
+    {
+      e_ports = ports;
+      e_marks = marks;
+      e_plan = plan;
+      e_stamp = t.stamp;
+      e_cost = cost;
+    }
+  in
+  Hashtbl.replace t.tbl k e;
+  Queue.push (k, t.stamp) t.fifo;
+  t.n_cost <- t.n_cost + cost;
+  evict t

@@ -1,0 +1,87 @@
+(** Footprint-epoch plan cache for {!Sunflow.schedule}.
+
+    Remembers schedule results keyed on everything the kernel's output
+    depends on besides the Port Reservation Table, and validates a
+    stored plan against the table through per-port {!Prt.mark}
+    snapshots of the plan's {e footprint} — the ports its demand can
+    touch. [Sunflow.schedule] reads and writes only those ports
+    (footprint-locality, DESIGN.md "Plan cache & schedule kernel"), so
+    when every footprint mark still equals its pre-kernel snapshot the
+    kernel would recompute exactly the stored plan, and the cache
+    replays it verbatim: one {!Prt.reserve} per window, no probe loop,
+    no wake heap.
+
+    A handle is single-domain mutable state, like the [Prt.t] it
+    fronts. Pass one to [Sunflow.schedule ?cache] (threaded from
+    [Inter.engine] / [Circuit_sim.run] / [Serve.run] as
+    [?plan_cache]); share the handle across runs of the same workload
+    to make later runs replay out of it. *)
+
+type t
+
+val create : ?max_windows:int -> unit -> t
+(** Fresh empty cache. [max_windows] (default 2,000,000) bounds the
+    stored windows (plus one unit per entry); the oldest entries are
+    evicted FIFO past the bound. Raises [Invalid_argument] when
+    non-positive. *)
+
+type key
+(** Normalized call identity: Coflow id, start time, delta, and the
+    pending flows in consideration order — [(src, dst)], remaining
+    processing seconds (bandwidth and quantum already folded in), and
+    whether the circuit counts as established at the start time. Two
+    calls with equal keys drive the kernel identically given equal
+    footprint content. *)
+
+val key :
+  coflow:int ->
+  now:float ->
+  delta:float ->
+  src:int array ->
+  dst:int array ->
+  rem:float array ->
+  est:bool array ->
+  key
+(** Build a key; the arrays are parallel over the pending flows in
+    consideration order and are taken over (not copied). Floats are
+    compared by IEEE bit pattern — exact, no tolerance. *)
+
+type plan = {
+  p_reservations : Prt.reservation list;  (** creation order *)
+  p_finish : float;
+  p_setups : int;
+}
+
+val find_and_replay : t -> Prt.t -> key -> plan option
+(** Cache lookup fused with the replay: on a key match whose footprint
+    marks all still equal their snapshots, re-reserve the stored
+    windows in order and return the plan. Any other outcome — no
+    entry, stale marks (counted as an invalidation), or a window
+    failing to land (possible only under a mark hash collision; the
+    table is checkpoint-rolled back) — returns [None] and counts a
+    miss, and the caller runs the kernel. *)
+
+val store : t -> key -> ports:Prt.port array -> marks:(int * int * int) array -> plan -> unit
+(** Record a freshly computed plan. [ports] is the footprint (sorted)
+    and [marks] the parallel {!Prt.mark} snapshots taken {e before}
+    the kernel reserved anything — validity means "the table looks
+    exactly as the kernel found it". Replaces any entry under the same
+    key; may evict the oldest entries to stay within budget. *)
+
+type stats = {
+  hits : int;  (** lookups that replayed a stored plan *)
+  misses : int;  (** all other lookups (invalidations included) *)
+  invalidations : int;  (** key matched, footprint marks stale *)
+  replayed_windows : int;  (** reservations re-admitted by hits *)
+  entries : int;
+  windows : int;  (** currently stored reservations *)
+}
+
+val stats : t -> stats
+(** Per-handle counters (exact, single-domain). The same counts
+    accumulate on the obs registry under [sunflow.cache.{hits,misses,
+    invalidations,replayed_windows}] when [Sunflow_obs.Control] is
+    enabled. *)
+
+val clear : t -> unit
+(** Drop every entry (the counters keep running). *)

@@ -99,6 +99,13 @@ type slot = {
   mutable res : reservation array;  (* sorted by start *)
   mutable stops : float array;  (* the same windows' stops, sorted *)
   mutable len : int;
+  (* change tracking for the plan cache: [epoch] counts every mutation
+     that ever touched the port (monotone, never reset), [sig_] is an
+     XOR-fold of the resident windows' hashes (self-inverse, so a
+     remove undoes the matching insert in O(1)). Together with [len]
+     they fingerprint the port's content; see [mark] below. *)
+  mutable epoch : int;
+  mutable sig_ : int;
 }
 
 (* The interval index: every live window once (keyed on its input-port
@@ -180,7 +187,13 @@ let copy t =
   Hashtbl.iter
     (fun p s ->
       Hashtbl.replace ports p
-        { res = Array.sub s.res 0 s.len; stops = Array.sub s.stops 0 s.len; len = s.len })
+        {
+          res = Array.sub s.res 0 s.len;
+          stops = Array.sub s.stops 0 s.len;
+          len = s.len;
+          epoch = s.epoch;
+          sig_ = s.sig_;
+        })
     t.ports;
   let owners = Hashtbl.create (Hashtbl.length t.owners) in
   Hashtbl.iter (fun id l -> Hashtbl.replace owners id (ref !l)) t.owners;
@@ -198,10 +211,52 @@ let copy t =
 
 let is_empty t = t.n_res = 0
 
-let empty_slot = { res = [||]; stops = [||]; len = 0 }
+(* Shared read-only stand-in for ports that never held a window. Its
+   epoch/signature stay 0 forever — a port with no slot reports the
+   same fingerprint as a freshly created slot before its first insert,
+   which is exactly right: both have empty content and no history.
+   [slot_insert] materialises a fresh slot on first use, so this record
+   is never mutated. *)
+let empty_slot = { res = [||]; stops = [||]; len = 0; epoch = 0; sig_ = 0 }
 
 let find_slot t p =
   match Hashtbl.find_opt t.ports p with Some s -> s | None -> empty_slot
+
+(* --- change tracking --------------------------------------------------
+
+   Every mutation funnels through [slot_insert] / [slot_remove] (reserve,
+   remove, retract_coflow, rollback and the failed-reserve In-undo all
+   bottom out there), so bumping the per-port epoch and XOR signature in
+   those two functions covers the whole mutation surface. *)
+
+(* FNV-1a over the window's identity; float fields enter by their IEEE
+   bit patterns so dust-distinct windows hash apart *)
+let res_hash (r : reservation) =
+  let fb f = Int64.to_int (Int64.bits_of_float f) in
+  let mix h x = (h lxor x) * 0x100000001b3 in
+  let h = mix 0x3bf29ce484222325 r.coflow in
+  let h = mix h r.src in
+  let h = mix h r.dst in
+  let h = mix h (fb r.start) in
+  let h = mix h (fb r.setup) in
+  mix h (fb r.length)
+
+let slot_touch s r =
+  s.epoch <- s.epoch + 1;
+  s.sig_ <- s.sig_ lxor res_hash r
+
+let epoch t p = (find_slot t p).epoch
+
+let epochs_of t ports =
+  Array.of_list (List.map (fun p -> (find_slot t p).epoch) ports)
+
+(* (epoch, window count, content signature) — the triple the plan cache
+   snapshots per footprint port. Equal marks mean equal resident window
+   multisets (up to a 63-bit hash collision): [len] + XOR [sig_] pin the
+   content, the epoch additionally pins the mutation count. *)
+let mark t p =
+  let s = find_slot t p in
+  (s.epoch, s.len, s.sig_)
 
 (* --- binary searches --------------------------------------------------
 
@@ -274,6 +329,41 @@ let probe t p instant =
   in
   (not (covered (i - 1)), next_start)
 
+(* The scheduler's inner-loop probe, fused across a circuit's two
+   endpoints: when both ports are free at [instant] it returns the
+   earlier next-start over both (the [tm] of Algorithm 1 line 16),
+   otherwise [neg_infinity] — unambiguous, since real next-starts are
+   positive or [infinity]. Counter accounting replicates the unfused
+   pair of [probe] calls it replaces: the In probe always counts as a
+   query, the Out probe only when the In port was free. *)
+let probe_pair t ~src ~dst instant =
+  let c = counters () in
+  let covered (s : slot) j0 =
+    let rec go j =
+      if j < 0 then false
+      else begin
+        c.c_scans.v <- c.c_scans.v + 1;
+        let st = stop s.res.(j) in
+        if st > instant then true
+        else if st > instant -. time_tolerance then go (j - 1)
+        else false
+      end
+    in
+    go j0
+  in
+  c.c_queries.v <- c.c_queries.v + 1;
+  let s = find_slot t (In src) in
+  let i = bsearch_gt c res_start s.res s.len instant in
+  let in_next = if i < s.len then s.res.(i).start else infinity in
+  if covered s (i - 1) then neg_infinity
+  else begin
+    c.c_queries.v <- c.c_queries.v + 1;
+    let s = find_slot t (Out dst) in
+    let i = bsearch_gt c res_start s.res s.len instant in
+    let out_next = if i < s.len then s.res.(i).start else infinity in
+    if covered s (i - 1) then neg_infinity else Float.min in_next out_next
+  end
+
 let port_next_release c t p instant =
   let s = find_slot t p in
   let i = bsearch_gt c float_id s.stops s.len instant in
@@ -291,6 +381,15 @@ let next_release_on_ports t ports instant =
   List.fold_left
     (fun acc p -> Float.min acc (port_next_release c t p instant))
     infinity ports
+
+(* [next_release_on_ports t [In src; Out dst] instant] without consing
+   the port list — the scheduler's retry path *)
+let next_release_pair t ~src ~dst instant =
+  let c = counters () in
+  c.c_queries.v <- c.c_queries.v + 1;
+  Float.min
+    (port_next_release c t (In src) instant)
+    (port_next_release c t (Out dst) instant)
 
 (* true when [r] intersects no existing window on either of its ports
    with positive measure — stricter than [reserve]'s dust-tolerant
@@ -355,7 +454,7 @@ let slot_insert c t p r =
     match Hashtbl.find_opt t.ports p with
     | Some s -> s
     | None ->
-      let s = { res = [||]; stops = [||]; len = 0 } in
+      let s = { res = [||]; stops = [||]; len = 0; epoch = 0; sig_ = 0 } in
       Hashtbl.replace t.ports p s;
       s
   in
@@ -401,10 +500,12 @@ let slot_insert c t p r =
   Array.blit s.stops sk s.stops (sk + 1) (s.len - sk);
   s.stops.(sk) <- stop r;
   s.len <- s.len + 1;
+  slot_touch s r;
   k
 
 let slot_remove c t p k stop_time =
   let s = find_slot t p in
+  slot_touch s s.res.(k);
   Array.blit s.res (k + 1) s.res k (s.len - k - 1);
   let sk =
     (* any entry equal to [stop_time] is interchangeable *)
@@ -578,6 +679,22 @@ let reserve t r =
    | Some l -> l := r :: !l
    | None -> Hashtbl.add t.owners r.coflow (ref [ r ]));
   c.c_reservations.v <- c.c_reservations.v + 1
+
+(* Re-admit a stored plan verbatim: all-or-nothing, and checked with
+   [fits_exact]'s strict disjointness before any window lands. The
+   check-all-then-reserve-all order matters: sibling windows of one
+   plan may overlap each other by rounding dust (within
+   [time_tolerance]), which [reserve] tolerates but [fits_exact] does
+   not — checking each window against the table {e before} any sibling
+   enters keeps the predicate equivalent to "the whole plan fits",
+   where a per-window check-then-reserve interleaving would reject a
+   plan whose dust-overlapping sibling was already admitted. *)
+let splice_exact t rs =
+  if List.for_all (fits_exact t) rs then begin
+    List.iter (reserve t) rs;
+    true
+  end
+  else false
 
 (* --- removal / rollback ----------------------------------------------- *)
 

@@ -95,6 +95,15 @@ val probe : t -> port -> float -> bool * float
 (** [(free_at t p i, next_start_after t p i)] in a single lookup — the
     fused form the scheduler hot path uses. *)
 
+val probe_pair : t -> src:int -> dst:int -> float -> float
+(** Fused probe across a circuit's two endpoints: when both [In src]
+    and [Out dst] are free at the instant, the earlier
+    {!next_start_after} over both ports; otherwise [neg_infinity]
+    (unambiguous — real next-starts are non-negative or [infinity]).
+    The scheduler's inner loop uses this instead of two {!probe}
+    calls; work-counter accounting is identical to the unfused pair
+    (the Out port is only probed when the In port was free). *)
+
 val next_release_after : t -> float -> float
 (** Earliest reservation stop strictly greater than the instant, over
     all ports (Algorithm 1 line 10), or [infinity]. *)
@@ -103,6 +112,10 @@ val next_release_on_ports : t -> port list -> float -> float
 (** Like {!next_release_after} but restricted to the given ports — the
     scheduler only cares about releases on ports its remaining demand
     can use, which keeps the scan local under inter-Coflow load. *)
+
+val next_release_pair : t -> src:int -> dst:int -> float -> float
+(** [next_release_on_ports t [In src; Out dst]] without consing the
+    port list — the scheduler's blocked-flow retry path. *)
 
 val fits_exact : t -> reservation -> bool
 (** Whether the window intersects no existing window on either of its
@@ -116,6 +129,42 @@ val reserve : t -> reservation -> unit
 (** Record a reservation on both of its ports. Raises
     [Invalid_argument] if it would overlap an existing window on either
     port, if [length <= 0.], or if [setup] is outside [[0, length]]. *)
+
+val splice_exact : t -> reservation list -> bool
+(** Re-admit a stored plan verbatim: if {e every} window passes
+    {!fits_exact} against the current table, {!reserve} them all (in
+    order) and return [true]; otherwise reserve nothing and return
+    [false]. The all-windows-checked-before-any-reserved order is part
+    of the contract: sibling windows of one plan may overlap each
+    other by sub-[time_tolerance] rounding dust, which [reserve]
+    tolerates but [fits_exact] rejects, so interleaving the check with
+    the reserves would spuriously fail such plans. This is the single
+    splice primitive behind the incremental engine's verbatim
+    re-admission and the plan cache's replay path. *)
+
+(** {1 Change tracking}
+
+    Every mutation — {!reserve}, {!remove}, {!retract_coflow},
+    {!rollback}, including the internal undo of a reserve that failed
+    on its second port — bumps a monotone per-port epoch counter and
+    updates a per-port content signature. The plan cache keys its
+    validity on these: a port whose mark is unchanged holds exactly
+    the windows it held when the plan was computed. *)
+
+val epoch : t -> port -> int
+(** Number of mutations that ever touched the port (never resets; a
+    port never touched reports [0]). *)
+
+val epochs_of : t -> port list -> int array
+(** {!epoch} over a footprint, one hash lookup per port. *)
+
+val mark : t -> port -> int * int * int
+(** [(epoch, window count, content signature)] for the port. The
+    signature is an XOR-fold of the resident windows' 63-bit hashes
+    (remove undoes the matching insert), so equal marks mean equal
+    resident window multisets up to hash collision — count and
+    signature pin the content, the epoch additionally pins the
+    mutation history. {!copy} preserves marks. *)
 
 val remove : t -> reservation -> bool
 (** Remove the window physically equal to the argument from both of its

@@ -25,6 +25,7 @@ type result = {
 
 val schedule :
   ?prt:Prt.t ->
+  ?cache:Plan_cache.t ->
   ?now:float ->
   ?order:Order.t ->
   ?established:(int * int -> bool) ->
@@ -40,6 +41,15 @@ val schedule :
       it are never preempted (they belong to higher-priority Coflows in
       inter-Coflow scheduling). The table is extended in place.
       Defaults to a fresh table.
+    - [cache]: optional {!Plan_cache} handle. When the cache holds a
+      plan for an identical call (same Coflow id, start time, delta,
+      pending flows and established set) and every footprint port's
+      {!Prt.mark} still equals the snapshot taken when that plan was
+      computed, the stored reservations are re-reserved verbatim —
+      one [Prt.reserve] per window, no probe loop — and the stored
+      result is returned, bit-identical to what the kernel would
+      recompute. On a miss the kernel runs and the entry is
+      refreshed. Default: no cache; the uncached path is untouched.
     - [now]: scheduling start time (default [0.]).
     - [order]: reservation consideration order (default
       {!Order.Ordered_port}).

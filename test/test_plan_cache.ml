@@ -1,0 +1,200 @@
+module Coflow = Sunflow_core.Coflow
+module Demand = Sunflow_core.Demand
+module Plan_cache = Sunflow_core.Plan_cache
+module Prt = Sunflow_core.Prt
+module Sunflow = Sunflow_core.Sunflow
+module Units = Sunflow_core.Units
+
+let delta = Units.ms 10.
+let bandwidth = Units.gbps 1.
+
+let coflow id =
+  let d = Demand.create () in
+  Demand.set d 0 1 (Units.mb 20.);
+  Demand.set d 1 2 (Units.mb 5.);
+  Demand.set d 2 0 (Units.mb 12.);
+  Coflow.make ~id ~arrival:0. d
+
+(* The cache's unit of reuse is the cross-run replay: a later run of
+   the same workload presents a fresh table whose footprint marks
+   evolved identically (epochs included), so the stored plan replays
+   verbatim. Within one table the kernel's own reserves advance the
+   footprint epochs past the stored snapshot, so a same-table repeat
+   is an invalidation, never a false hit. *)
+let test_hit_across_fresh_tables () =
+  let cache = Plan_cache.create () in
+  let c = coflow 0 in
+  let prt1 = Prt.create () in
+  let r1 = Sunflow.schedule ~prt:prt1 ~cache ~delta ~bandwidth c in
+  let s = Plan_cache.stats cache in
+  Alcotest.(check (pair int int)) "first run misses" (0, 1)
+    (s.Plan_cache.hits, s.misses);
+  let prt2 = Prt.create () in
+  let r2 = Sunflow.schedule ~prt:prt2 ~cache ~delta ~bandwidth c in
+  let s = Plan_cache.stats cache in
+  Alcotest.(check (pair int int)) "second run hits" (1, 1)
+    (s.Plan_cache.hits, s.misses);
+  Alcotest.(check int) "replayed every window"
+    (List.length r1.Sunflow.reservations)
+    s.Plan_cache.replayed_windows;
+  Alcotest.(check bool) "results bit-identical" true (r1 = r2);
+  Alcotest.(check bool) "tables bit-identical" true
+    (Prt.all_reservations prt1 = Prt.all_reservations prt2)
+
+let test_footprint_invalidation () =
+  let cache = Plan_cache.create () in
+  let c = coflow 0 in
+  ignore (Sunflow.schedule ~prt:(Prt.create ()) ~cache ~delta ~bandwidth c);
+  (* a foreign window on a footprint port at replay time: stale marks,
+     the kernel must re-run — and schedule around the intruder *)
+  let prt = Prt.create () in
+  let blocker =
+    { Prt.coflow = 99; src = 0; dst = 1; start = 0.; setup = 0.; length = 0.05 }
+  in
+  Prt.reserve prt blocker;
+  let oracle = Prt.copy prt in
+  let rc = Sunflow.schedule ~prt ~cache ~delta ~bandwidth c in
+  let ro = Sunflow.schedule ~prt:oracle ~delta ~bandwidth c in
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "stale marks counted" 1 s.Plan_cache.invalidations;
+  Alcotest.(check int) "no false hit" 0 s.Plan_cache.hits;
+  Alcotest.(check bool) "re-run matches the bare kernel" true (rc = ro);
+  (* an off-footprint window changes nothing the plan depends on: a
+     table differing only outside the footprint still replays (fresh
+     handle — the miss above refreshed the old entry's snapshot to the
+     blocked table's marks) *)
+  let cache2 = Plan_cache.create () in
+  let r_cold = Sunflow.schedule ~prt:(Prt.create ()) ~cache:cache2 ~delta
+      ~bandwidth c
+  in
+  let prt = Prt.create () in
+  Prt.reserve prt
+    { Prt.coflow = 99; src = 7; dst = 8; start = 0.; setup = 0.; length = 1. };
+  let rc2 = Sunflow.schedule ~prt ~cache:cache2 ~delta ~bandwidth c in
+  let s2 = Plan_cache.stats cache2 in
+  Alcotest.(check int) "off-footprint load still hits" 1 s2.Plan_cache.hits;
+  Alcotest.(check bool) "replay result unchanged" true (rc2 = r_cold)
+
+let test_eviction_bound () =
+  let cache = Plan_cache.create ~max_windows:10 () in
+  for id = 0 to 19 do
+    ignore
+      (Sunflow.schedule ~prt:(Prt.create ()) ~cache ~delta ~bandwidth
+         (coflow id))
+  done;
+  let s = Plan_cache.stats cache in
+  Alcotest.(check bool) "resident windows bounded" true
+    (s.Plan_cache.windows + s.entries <= 10);
+  Alcotest.(check bool) "something evicted" true (s.entries < 20)
+
+(* Random interleavings of {schedule, foreign reserve on/off the
+   footprint, retract, checkpoint/rollback}, run twice on one cache
+   handle: pass 1 against a fresh table populates, pass 2 against
+   another fresh table replays wherever the (deterministic) mutation
+   history matches. Every schedule, in both passes, must be
+   bit-identical — result and table — to the bare kernel run on a
+   deep copy of the same table. *)
+let prop_cache_vs_fresh_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"cached schedule bit-identical to the fresh kernel under mixed \
+              mutations"
+       ~count:120
+       QCheck2.Gen.(
+         list_size (int_range 6 40) (pair (int_range 0 3) (int_range 0 999)))
+       (fun ops ->
+         let cache = Plan_cache.create () in
+         let mk_coflow id salt =
+           let d = Demand.create () in
+           for k = 0 to salt mod 3 do
+             Demand.set d
+               ((salt + k) mod 4)
+               ((salt + (2 * k) + 1) mod 4)
+               (Units.mb (float_of_int (1 + ((salt * (k + 3)) mod 20))))
+           done;
+           Coflow.make ~id ~arrival:0. d
+         in
+         let run_pass () =
+           let prt = Prt.create () in
+           let cp = ref None in
+           let ok = ref true in
+           List.iter
+             (fun (op, salt) ->
+               match op with
+               | 0 ->
+                 let id = salt mod 3 in
+                 ignore (Prt.retract_coflow prt id : int);
+                 let c = mk_coflow id (salt mod 7) in
+                 let now = float_of_int (salt mod 3) in
+                 let oracle = Prt.copy prt in
+                 let rc =
+                   Sunflow.schedule ~prt ~cache ~now ~delta ~bandwidth c
+                 in
+                 let ro = Sunflow.schedule ~prt:oracle ~now ~delta ~bandwidth c in
+                 if
+                   rc <> ro
+                   || Prt.all_reservations prt <> Prt.all_reservations oracle
+                 then ok := false
+               | 1 ->
+                 (try
+                    Prt.reserve prt
+                      {
+                        Prt.coflow = 999;
+                        src = salt mod 5;
+                        dst = salt / 5 mod 5;
+                        start = float_of_int (salt mod 50) /. 4.;
+                        setup = 0.;
+                        length = 0.5 +. float_of_int (salt mod 4);
+                      }
+                  with Invalid_argument _ -> ())
+               | 2 -> ignore (Prt.retract_coflow prt (salt mod 4) : int)
+               | _ -> (
+                 match !cp with
+                 | None -> cp := Some (Prt.checkpoint prt)
+                 | Some c0 ->
+                   Prt.rollback prt c0;
+                   cp := None))
+             ops;
+           !ok
+         in
+         run_pass () && run_pass ()))
+
+(* The schedule kernel's scratch arena lives on past the call (that is
+   the point: zero steady-state allocation). It must not pin what the
+   call produced — every arena slot that held a reservation or a wake
+   entry is cleared to a dummy before returning, including the slot
+   vacated by each heap pop. Mirrors the engine's no-GC-pinning test
+   from the incremental PR. Runs without a cache: a cache retains
+   plans by design. *)
+let test_arena_no_pinning () =
+  let n_weak = 8 in
+  let weak_c : Coflow.t Weak.t = Weak.create 1 in
+  let weak_r : Prt.reservation Weak.t = Weak.create n_weak in
+  let () =
+    let c = coflow 0 in
+    Weak.set weak_c 0 (Some c);
+    let res = Sunflow.schedule ~delta ~bandwidth c in
+    List.iteri
+      (fun i r -> if i < n_weak then Weak.set weak_r i (Some r))
+      res.Sunflow.reservations
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "Coflow collected" false (Weak.check weak_c 0);
+  for i = 0 to n_weak - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "reservation %d collected" i)
+      false (Weak.check weak_r i)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "hit across fresh tables" `Quick
+      test_hit_across_fresh_tables;
+    Alcotest.test_case "footprint invalidation" `Quick
+      test_footprint_invalidation;
+    Alcotest.test_case "eviction bound" `Quick test_eviction_bound;
+    Alcotest.test_case "arena pins nothing after return" `Quick
+      test_arena_no_pinning;
+    prop_cache_vs_fresh_oracle;
+  ]
