@@ -878,8 +878,12 @@ let json_string s =
   Buffer.contents b
 
 let report path gbps ms replan buckets bucket_base shards shard_block
-    plan_cache jobs out samples_out top_k =
+    plan_cache plan_cache_windows jobs out samples_out top_k =
   set_jobs jobs;
+  if plan_cache_windows < 1 then begin
+    Format.eprintf "--plan-cache-windows must be >= 1@.";
+    exit 1
+  end;
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let trace = load_trace path in
   if trace.Trace.coflows = [] then begin
@@ -910,7 +914,9 @@ let report path gbps ms replan buckets bucket_base shards shard_block
       install_sigint_flush ())
     samples_out;
   let cache =
-    if plan_cache then Some (Sunflow_core.Plan_cache.create ()) else None
+    if plan_cache then
+      Some (Sunflow_core.Plan_cache.create ~max_windows:plan_cache_windows ())
+    else None
   in
   let result =
     Sunflow_sim.Circuit_sim.run ~replan ~buckets ~bucket_base ~shards
@@ -1015,13 +1021,18 @@ let report_cmd =
     Term.(
       const report $ trace_file_arg $ bandwidth_arg $ delta_arg $ replan_arg
       $ buckets_arg $ bucket_base_arg $ shards_arg $ shard_block_arg
-      $ plan_cache_arg $ jobs_arg $ out $ samples_out $ top_k)
+      $ plan_cache_arg $ plan_cache_windows_arg $ jobs_arg $ out $ samples_out
+      $ top_k)
 
 (* --- serve --- *)
 
-let serve path gbps ms buckets bucket_base shards shard_block plan_cache jobs
-    deadline_mult validate trace_out metrics_out =
+let serve path gbps ms buckets bucket_base shards shard_block plan_cache
+    plan_cache_windows jobs deadline_mult validate trace_out metrics_out =
   set_jobs jobs;
+  if plan_cache_windows < 1 then begin
+    Format.eprintf "--plan-cache-windows must be >= 1@.";
+    exit 1
+  end;
   let bandwidth = to_bandwidth gbps and delta = to_delta ms in
   let stats, broken =
     with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -1064,7 +1075,9 @@ let serve path gbps ms buckets bucket_base shards shard_block plan_cache jobs
     in
     let w0 = Obs.Control.now_ns () in
     let cache =
-      if plan_cache then Some (Sunflow_core.Plan_cache.create ()) else None
+      if plan_cache then
+        Some (Sunflow_core.Plan_cache.create ~max_windows:plan_cache_windows ())
+      else None
     in
     let stats =
       Serve.run ~buckets ~bucket_base ~shards ~shard_block ~runner
@@ -1147,8 +1160,8 @@ let serve_cmd =
     Term.(
       const serve $ stream_arg $ bandwidth_arg $ delta_arg $ buckets_arg
       $ bucket_base_arg $ shards_arg $ shard_block_arg $ plan_cache_arg
-      $ jobs_arg $ deadline_arg $ validate_serve_arg $ trace_out_arg
-      $ metrics_out_arg)
+      $ plan_cache_windows_arg $ jobs_arg $ deadline_arg $ validate_serve_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 let () =
   let info =

@@ -751,8 +751,11 @@ exception Cross_conflict
    [prt] — the same decision procedure as [step_unsharded]'s bucketed
    branch, parameterised over the table, with [guard] consulted before
    any eviction (shard passes raise [Cross_conflict] on a cross-shard
-   owner) and every replaced plan recorded for rollback. *)
-let make_pass g ~prt ~now ~remaining ~is_established ~dirty ~guard =
+   owner) and every replaced plan recorded for rollback. [cache] is
+   threaded explicitly rather than read off [g]: a [Plan_cache.t] is
+   single-domain mutable state, so the caller must pass [None] to any
+   pass it may execute concurrently with another. *)
+let make_pass g ~prt ~cache ~now ~remaining ~is_established ~dirty ~guard =
   let touched : (int, Prt.reservation list ref) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -763,7 +766,7 @@ let make_pass g ~prt ~now ~remaining ~is_established ~dirty ~guard =
     old_plans := (e, e.e_plan) :: !old_plans;
     let c = Coflow.with_demand e.e_coflow (remaining e.e_coflow.Coflow.id) in
     e.e_plan <-
-      Sunflow.schedule ~prt ?cache:g.g_cache ~now ~order:g.g_order
+      Sunflow.schedule ~prt ?cache ~now ~order:g.g_order
         ~established:is_established ~delta:g.g_delta ~bandwidth:g.g_bandwidth c;
     incr resched
   in
@@ -826,13 +829,15 @@ type pass_out =
    position. Reads shared engine state only (g_index, dirty, the
    established set — all frozen for the event); mutates only the
    shard's own table and its own entries' plans, so passes are safe to
-   run on separate domains. *)
-let run_shard_pass g ~now ~remaining ~is_established ~dirty s first =
+   run on separate domains — provided [cache] is [None] whenever the
+   caller dispatches more than one pass to a runner that may span
+   domains (the plan cache is single-domain state). *)
+let run_shard_pass g ~cache ~now ~remaining ~is_established ~dirty s first =
   let vec = g.g_slocal.(s) in
   let guard o = if Array.length o.e_shards > 1 then raise Cross_conflict in
   let process, old_plans, resched, spliced, cascades =
-    make_pass g ~prt:g.g_sprt.(s) ~now ~remaining ~is_established ~dirty
-      ~guard
+    make_pass g ~prt:g.g_sprt.(s) ~cache ~now ~remaining ~is_established
+      ~dirty ~guard
   in
   try
     for i = evec_lower g.g_cmp vec first to vec.v_n - 1 do
@@ -890,8 +895,9 @@ let resolve_cross g ~obs ~now ~remaining ~is_established ~dirty ~min_dirty
       List.iter (Prt.reserve merged) e.e_plan.Sunflow.reservations
   done;
   let process, _old, resched, spliced, cascades =
-    make_pass g ~prt:merged ~now ~remaining ~is_established ~dirty
-      ~guard:(fun _ -> ())
+    (* single pass on the calling domain: the engine's cache is safe *)
+    make_pass g ~prt:merged ~cache:g.g_cache ~now ~remaining ~is_established
+      ~dirty ~guard:(fun _ -> ())
   in
   (match min_dirty with
   | None -> ()
@@ -1126,11 +1132,27 @@ let sharded_step g ~now ~arrivals ~finished ~remaining =
         | Some m -> targets := (s, m) :: !targets
         | None -> ()
       done;
+      (* the plan cache is single-domain mutable state (plain Hashtbl +
+         Queue): when more than one pass goes through a runner that may
+         execute them on separate domains, the passes run uncached —
+         sharing the handle would race its table and counters. The
+         default [sequential_runner] keeps the cache (it runs the
+         thunks on the calling domain), as does a single-pass round;
+         decisions are bit-identical either way, the skipped round just
+         neither consults nor refreshes the entries. *)
+      let cache =
+        if
+          g.g_runner == sequential_runner
+          || List.compare_length_with !targets 1 <= 0
+        then g.g_cache
+        else None
+      in
       let thunks =
         Array.of_list
           (List.map
              (fun (s, m) () ->
-               run_shard_pass g ~now ~remaining ~is_established ~dirty s m)
+               run_shard_pass g ~cache ~now ~remaining ~is_established ~dirty
+                 s m)
              !targets)
       in
       let outs =

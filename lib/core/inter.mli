@@ -154,12 +154,19 @@ val engine :
     global). Raises [Invalid_argument] if [shards < 1] or
     [shard_block < 1].
 
-    [plan_cache] threads a {!Plan_cache} handle into every
-    [Sunflow.schedule] call the engine makes (all stepping modes,
-    including sharded passes and the rebuild oracle). Decisions are
-    bit-identical with or without it; a handle shared across repeated
-    replays of the same workload turns the repeated replans into
-    verbatim window replays. Default: no cache. *)
+    [plan_cache] threads a {!Plan_cache} handle into the
+    [Sunflow.schedule] calls the engine makes on the calling domain:
+    every unsharded stepping mode, the rebuild oracle, the sharded
+    cross-shard resolution pass, and optimistic shard passes that run
+    sequentially (the default {!sequential_runner}, or a round with a
+    single dirty shard). A round that dispatches several passes
+    through a non-default [runner] — which may execute them on
+    separate domains — runs those passes uncached: the handle is
+    single-domain mutable state and must not be shared across domains.
+    Decisions are bit-identical with or without the cache; a handle
+    shared across repeated replays of the same workload turns the
+    repeated replans into verbatim window replays. Default: no
+    cache. *)
 
 val schedule_incremental :
   engine ->

@@ -49,7 +49,16 @@ val schedule :
       one [Prt.reserve] per window, no probe loop — and the stored
       result is returned, bit-identical to what the kernel would
       recompute. On a miss the kernel runs and the entry is
-      refreshed. Default: no cache; the uncached path is untouched.
+      refreshed. With a cache, [established] must be a pure function
+      of the circuit pair for the duration of the call: building the
+      key evaluates it once per pending flow up front, on a hit the
+      kernel's own lazy probes never run at all, and on a miss they
+      run in addition to the key build — so a stateful or effectful
+      closure observes different call counts and ordering than the
+      uncached path (the schedule itself stays bit-identical whenever
+      the closure's answers are stable). Default: no cache; the
+      uncached path is untouched, including its [established] call
+      pattern.
     - [now]: scheduling start time (default [0.]).
     - [order]: reservation consideration order (default
       {!Order.Ordered_port}).
